@@ -1,0 +1,66 @@
+//! Criterion bench: the spatial substrate — grid snapping, hot-cell
+//! tokenisation, KD-tree queries and neighbour-table construction
+//! (Table VIII's cost axis: smaller cells mean larger vocabularies and
+//! costlier preprocessing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngExt;
+use std::hint::black_box;
+use t2vec_spatial::grid::Grid;
+use t2vec_spatial::kdtree::KdTree;
+use t2vec_spatial::point::{BBox, Point};
+use t2vec_spatial::vocab::{NeighborTable, Vocab};
+use t2vec_tensor::rng::det_rng;
+
+fn random_points(n: usize, extent: f64, seed: u64) -> Vec<Point> {
+    let mut rng = det_rng(seed);
+    (0..n)
+        .map(|_| Point::new(rng.random_range(0.0..extent), rng.random_range(0.0..extent)))
+        .collect()
+}
+
+fn bench_cell_ops(c: &mut Criterion) {
+    let extent = 5_000.0;
+    let points = random_points(20_000, extent, 31);
+
+    let mut group = c.benchmark_group("cell_ops");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+
+    // Vocabulary build cost versus cell size (Table VIII's #cells axis).
+    for side in [50.0f64, 100.0, 200.0] {
+        group.bench_with_input(
+            BenchmarkId::new("vocab_build", format!("{side}m")),
+            &side,
+            |b, &side| {
+                b.iter(|| {
+                    let grid = Grid::new(BBox::new(0.0, 0.0, extent, extent), side);
+                    black_box(Vocab::build(grid, points.iter(), 3))
+                })
+            },
+        );
+    }
+
+    let grid = Grid::new(BBox::new(0.0, 0.0, extent, extent), 100.0);
+    let vocab = Vocab::build(grid, points.iter(), 3);
+    let traj = random_points(100, extent, 32);
+
+    group.bench_function("tokenize_100_points", |b| {
+        b.iter(|| black_box(vocab.tokenize(black_box(&traj))))
+    });
+
+    group.bench_function("neighbor_table_k20", |b| {
+        b.iter(|| black_box(NeighborTable::build(&vocab, 20.min(vocab.num_hot_cells()), 100.0)))
+    });
+
+    let tree = KdTree::build(points.iter().enumerate().map(|(i, &p)| (p, i)).collect());
+    let query = Point::new(extent / 2.0, extent / 2.0);
+    group.bench_function("kdtree_knn20_of_20k", |b| {
+        b.iter(|| black_box(tree.k_nearest(black_box(&query), 20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell_ops);
+criterion_main!(benches);

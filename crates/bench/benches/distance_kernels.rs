@@ -1,0 +1,60 @@
+//! Criterion bench: the `O(n²)` cost of the pairwise point-matching
+//! measures versus trajectory length.
+//!
+//! This is the complexity argument behind Figure 6 and §IV-D: every DP
+//! baseline scales quadratically in trajectory length, while t2vec's
+//! encoding (see the `encode` bench) is linear and its comparison is
+//! `O(|v|)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use t2vec_distance::{
+    cms::Cms, dtw::Dtw, edr::Edr, edwp::Edwp, erp::Erp, frechet::DiscreteFrechet, lcss::Lcss,
+    TrajDistance,
+};
+use t2vec_spatial::point::Point;
+use t2vec_tensor::rng::det_rng;
+
+fn walk(n: usize, seed: u64) -> Vec<Point> {
+    use rand::RngExt;
+    let mut rng = det_rng(seed);
+    let mut p = Point::new(0.0, 0.0);
+    (0..n)
+        .map(|_| {
+            p = Point::new(
+                p.x + rng.random_range(20.0..120.0),
+                p.y + rng.random_range(-60.0..60.0),
+            );
+            p
+        })
+        .collect()
+}
+
+fn bench_distance_kernels(c: &mut Criterion) {
+    let methods: Vec<Box<dyn TrajDistance>> = vec![
+        Box::new(Dtw::new()),
+        Box::new(Erp::new()),
+        Box::new(Edr::new(50.0)),
+        Box::new(Lcss::new(50.0)),
+        Box::new(DiscreteFrechet::new()),
+        Box::new(Edwp::new()),
+        Box::new(Cms::new(100.0)),
+    ];
+    let mut group = c.benchmark_group("distance_kernels");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for n in [32usize, 64, 128, 256] {
+        let a = walk(n, 1);
+        let b = walk(n, 2);
+        for m in &methods {
+            group.bench_with_input(BenchmarkId::new(m.name(), n), &n, |bench, _| {
+                bench.iter(|| black_box(m.dist(black_box(&a), black_box(&b))))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distance_kernels);
+criterion_main!(benches);

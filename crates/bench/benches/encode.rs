@@ -1,0 +1,61 @@
+//! Criterion bench: t2vec trajectory encoding is `O(n)` in trajectory
+//! length (§IV-D), and batch encoding amortises the per-step overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use t2vec_core::{T2Vec, T2VecConfig};
+use t2vec_spatial::point::Point;
+use t2vec_tensor::rng::det_rng;
+use t2vec_trajgen::city::City;
+use t2vec_trajgen::dataset::DatasetBuilder;
+
+fn trained_model() -> (T2Vec, Vec<Vec<Point>>) {
+    let mut rng = det_rng(5);
+    let city = City::tiny(&mut rng);
+    let ds = DatasetBuilder::new(&city).trips(80).min_len(6).build(&mut rng);
+    let mut config = T2VecConfig::tiny();
+    config.max_epochs = 2;
+    let model = T2Vec::train(&config, &ds.train, &mut rng).expect("training failed");
+    let trajs = ds.test.iter().map(|t| t.points.clone()).collect();
+    (model, trajs)
+}
+
+/// A straight trajectory of n points (length scaling).
+fn line(n: usize) -> Vec<Point> {
+    (0..n).map(|i| Point::new(i as f64 * 50.0, (i as f64 * 0.1).sin() * 100.0)).collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let (model, trajs) = trained_model();
+
+    let mut group = c.benchmark_group("encode_length_scaling");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(30);
+    for n in [16usize, 32, 64, 128, 256] {
+        let traj = line(n);
+        group.bench_with_input(BenchmarkId::new("encode", n), &n, |b, _| {
+            b.iter(|| black_box(model.encode(black_box(&traj))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("encode_batch");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(15);
+    group.bench_function("batch_20_trajectories", |b| {
+        b.iter(|| black_box(model.encode_batch(black_box(&trajs))))
+    });
+    group.bench_function("sequential_20_trajectories", |b| {
+        b.iter(|| {
+            for t in &trajs {
+                black_box(model.encode(black_box(t)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench: exact brute-force vector search versus the LSH
+//! index (paper future-work item 3, §VI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngExt;
+use std::hint::black_box;
+use t2vec_core::index::{BruteForceIndex, LshIndex, VectorIndex};
+use t2vec_tensor::rng::det_rng;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = det_rng(seed);
+    (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect()
+}
+
+fn bench_index(c: &mut Criterion) {
+    let dim = 64;
+    let mut group = c.benchmark_group("vector_index");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 50_000] {
+        let vectors = random_vectors(n, dim, 41);
+        let query = random_vectors(1, dim, 42).pop().unwrap();
+
+        let brute = BruteForceIndex::from_vectors(vectors.clone());
+        group.bench_with_input(BenchmarkId::new("brute", n), &n, |b, _| {
+            b.iter(|| black_box(brute.knn(black_box(&query), 50)))
+        });
+
+        let mut rng = det_rng(43);
+        let mut lsh = LshIndex::new(dim, 10, 6, &mut rng);
+        for v in vectors {
+            lsh.add(v);
+        }
+        group.bench_with_input(BenchmarkId::new("lsh", n), &n, |b, _| {
+            b.iter(|| black_box(lsh.knn(black_box(&query), 50)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

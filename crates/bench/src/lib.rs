@@ -1,0 +1,1 @@
+//! Criterion benches and the `experiments` binary live in this crate; see `src/bin` and `benches/`.

@@ -1,0 +1,244 @@
+//! t2vec training configuration.
+
+use serde::{Deserialize, Serialize};
+use t2vec_nn::skipgram::SkipGramConfig;
+use t2vec_nn::LossKind;
+
+/// Full configuration of the t2vec pipeline. Field defaults follow the
+/// paper (§V-B); [`T2VecConfig::tiny`] is a seconds-scale preset used by
+/// tests and the quickstart example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct T2VecConfig {
+    // -- space discretisation (§IV-B) --
+    /// Grid cell side, meters (paper default 100; Table VIII sweeps
+    /// 25–150).
+    pub cell_side: f64,
+    /// Hot-cell threshold δ — keep cells hit by *more than* this many
+    /// points (paper: 50).
+    pub hot_cell_threshold: usize,
+
+    // -- spatial proximity (§IV-C) --
+    /// K nearest cells used by the spatial losses and Algorithm 1
+    /// (paper: 20).
+    pub k_nearest: usize,
+    /// Spatial scale θ in meters (paper: 100, shared by Eq. 5 and Eq. 8).
+    pub theta: f64,
+
+    // -- model (§V-B) --
+    /// Embedding & hidden size (paper: 256 for both; Table IX sweeps the
+    /// hidden size 64–512). `|v| = hidden`.
+    pub embed_dim: usize,
+    /// GRU hidden size.
+    pub hidden: usize,
+    /// Stacked GRU layers (paper: 3).
+    pub layers: usize,
+    /// Bidirectional encoder (the authors' implementation; per-direction
+    /// hidden size is `hidden / 2` so `|v| = hidden`).
+    pub bidirectional: bool,
+
+    // -- training (§IV-B, §V-A, §V-B) --
+    /// The loss (paper default: `L3` with 500 noise cells).
+    pub loss: LossKind,
+    /// Down-sampling rates used to create training variants.
+    pub dropping_rates: Vec<f64>,
+    /// Distortion rates used to create training variants.
+    pub distorting_rates: Vec<f64>,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Maximum number of optimisation steps (safety cap).
+    pub max_iterations: usize,
+    /// Training epochs over the pair corpus (upper bound; early stopping
+    /// can end sooner).
+    pub max_epochs: usize,
+    /// Early-stopping patience: stop when the validation loss has not
+    /// improved for this many consecutive validations (the paper stops
+    /// after 20 000 stagnant iterations; we validate once per epoch).
+    pub patience: usize,
+    /// Adam learning rate (paper: 1e-3).
+    pub learning_rate: f32,
+    /// Max global gradient norm (paper: 5).
+    pub grad_clip: f32,
+
+    // -- cell pre-training (Algorithm 1) --
+    /// Whether to pre-train the embedding with the spatial skip-gram.
+    pub pretrain_cells: bool,
+    /// Skip-gram hyper-parameters (`dim` is overridden by `embed_dim`).
+    pub skipgram: SkipGramConfig,
+}
+
+impl Default for T2VecConfig {
+    fn default() -> Self {
+        Self {
+            cell_side: 100.0,
+            hot_cell_threshold: 50,
+            k_nearest: 20,
+            theta: 100.0,
+            embed_dim: 256,
+            hidden: 256,
+            layers: 3,
+            bidirectional: true,
+            loss: LossKind::paper_default(),
+            dropping_rates: vec![0.0, 0.2, 0.4, 0.6],
+            distorting_rates: vec![0.0, 0.2, 0.4, 0.6],
+            batch_size: 64,
+            max_iterations: usize::MAX,
+            max_epochs: 50,
+            patience: 5,
+            learning_rate: 1e-3,
+            grad_clip: 5.0,
+            pretrain_cells: true,
+            skipgram: SkipGramConfig::default(),
+        }
+    }
+}
+
+impl T2VecConfig {
+    /// The paper's configuration (GPU-scale; slow on one CPU core).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// A configuration scaled for one CPU core: hidden size 32, a single
+    /// GRU layer, fewer variant rates, small NCE noise set. Trains on a
+    /// few hundred trips in seconds while preserving every pipeline
+    /// stage. Used by the test-suite and the experiment harness's
+    /// smallest scale.
+    pub fn tiny() -> Self {
+        Self {
+            hot_cell_threshold: 5,
+            embed_dim: 32,
+            hidden: 32,
+            layers: 1,
+            loss: LossKind::SpatialNce { noise: 32 },
+            dropping_rates: vec![0.0, 0.4],
+            distorting_rates: vec![0.0, 0.4],
+            batch_size: 32,
+            max_epochs: 8,
+            patience: 3,
+            learning_rate: 2e-3,
+            skipgram: SkipGramConfig { epochs: 5, ..SkipGramConfig::default() },
+            ..Self::default()
+        }
+    }
+
+    /// A mid-size configuration used by the experiment harness: hidden
+    /// 64 — large enough to show the paper's orderings, small enough
+    /// for minutes-scale single-core CPU runs (6 training variants per
+    /// trip instead of the paper's 16, one GRU layer instead of 3).
+    pub fn small() -> Self {
+        Self {
+            hot_cell_threshold: 10,
+            embed_dim: 64,
+            hidden: 64,
+            layers: 1,
+            loss: LossKind::SpatialNce { noise: 128 },
+            dropping_rates: vec![0.0, 0.3, 0.6],
+            distorting_rates: vec![0.0, 0.3],
+            batch_size: 64,
+            max_epochs: 16,
+            patience: 4,
+            skipgram: SkipGramConfig { epochs: 8, ..SkipGramConfig::default() },
+            ..Self::default()
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    /// Returns [`crate::T2VecError::InvalidConfig`] on out-of-range
+    /// values.
+    pub fn validate(&self) -> Result<(), crate::T2VecError> {
+        let bad = |msg: &str| Err(crate::T2VecError::InvalidConfig(msg.to_string()));
+        if self.cell_side <= 0.0 {
+            return bad("cell_side must be positive");
+        }
+        if self.theta <= 0.0 {
+            return bad("theta must be positive");
+        }
+        if self.k_nearest == 0 {
+            return bad("k_nearest must be positive");
+        }
+        if self.embed_dim == 0 || self.hidden == 0 || self.layers == 0 {
+            return bad("model dimensions must be positive");
+        }
+        if self.bidirectional && !self.hidden.is_multiple_of(2) {
+            return bad("bidirectional encoder needs an even hidden size");
+        }
+        if self.batch_size == 0 {
+            return bad("batch_size must be positive");
+        }
+        if self.dropping_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return bad("dropping rates must be in [0,1]");
+        }
+        if self.distorting_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+            return bad("distorting rates must be in [0,1]");
+        }
+        if self.dropping_rates.is_empty() || self.distorting_rates.is_empty() {
+            return bad("at least one dropping and one distorting rate required");
+        }
+        if self.learning_rate <= 0.0 || self.grad_clip <= 0.0 {
+            return bad("learning_rate and grad_clip must be positive");
+        }
+        Ok(())
+    }
+
+    /// Number of training variants generated per trajectory
+    /// (`|dropping_rates| × |distorting_rates|`; 16 in the paper).
+    pub fn variants_per_trajectory(&self) -> usize {
+        self.dropping_rates.len() * self.distorting_rates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_v_b() {
+        let c = T2VecConfig::paper_default();
+        assert_eq!(c.cell_side, 100.0);
+        assert_eq!(c.hot_cell_threshold, 50);
+        assert_eq!(c.k_nearest, 20);
+        assert_eq!(c.theta, 100.0);
+        assert_eq!(c.hidden, 256);
+        assert_eq!(c.layers, 3);
+        assert_eq!(c.loss, LossKind::SpatialNce { noise: 500 });
+        assert_eq!(c.variants_per_trajectory(), 16);
+        assert_eq!(c.grad_clip, 5.0);
+        assert!((c.learning_rate - 1e-3).abs() < 1e-9);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn tiny_and_small_are_valid() {
+        T2VecConfig::tiny().validate().unwrap();
+        T2VecConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        for mutate in [
+            (|c: &mut T2VecConfig| c.cell_side = 0.0) as fn(&mut T2VecConfig),
+            |c| c.theta = -1.0,
+            |c| c.k_nearest = 0,
+            |c| c.hidden = 0,
+            |c| c.batch_size = 0,
+            |c| c.dropping_rates = vec![1.5],
+            |c| c.distorting_rates = vec![],
+            |c| c.learning_rate = 0.0,
+        ] {
+            let mut c = T2VecConfig::tiny();
+            mutate(&mut c);
+            assert!(c.validate().is_err(), "mutation should be rejected");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = T2VecConfig::small();
+        let back: T2VecConfig =
+            serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back.hidden, c.hidden);
+        assert_eq!(back.loss, c.loss);
+    }
+}

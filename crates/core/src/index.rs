@@ -1,0 +1,297 @@
+//! Vector indexes over trajectory representations.
+//!
+//! After encoding, k-nearest-trajectory search is plain vector search.
+//! [`BruteForceIndex`] is the exact `O(N·|v|)` scan used for the paper's
+//! experiments; [`LshIndex`] implements the paper's future-work item 3
+//! (§VI): random-hyperplane locality-sensitive hashing with multi-table
+//! lookup, trading a little recall for sub-linear candidate sets.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use t2vec_tensor::rng::standard_normal;
+
+/// Common interface of the vector indexes.
+pub trait VectorIndex {
+    /// Adds a vector, returning its id (insertion order).
+    fn add(&mut self, v: Vec<f32>) -> usize;
+
+    /// The `k` nearest stored vectors to `query` by Euclidean distance,
+    /// closest first, as `(id, distance)`.
+    fn knn(&self, query: &[f32], k: usize) -> Vec<(usize, f32)>;
+
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+
+    /// `true` when nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Squared Euclidean distance.
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn top_k(
+    candidates: impl Iterator<Item = usize>,
+    vectors: &[Vec<f32>],
+    query: &[f32],
+    k: usize,
+) -> Vec<(usize, f32)> {
+    let mut scored: Vec<(usize, f32)> =
+        candidates.map(|id| (id, sq_dist(&vectors[id], query))).collect();
+    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.truncate(k);
+    for s in &mut scored {
+        s.1 = s.1.sqrt();
+    }
+    scored
+}
+
+/// Exact k-NN by linear scan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BruteForceIndex {
+    vectors: Vec<Vec<f32>>,
+}
+
+impl BruteForceIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index from vectors (ids follow input order).
+    pub fn from_vectors(vectors: Vec<Vec<f32>>) -> Self {
+        Self { vectors }
+    }
+
+    /// Read access to a stored vector.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.vectors[id]
+    }
+}
+
+impl VectorIndex for BruteForceIndex {
+    fn add(&mut self, v: Vec<f32>) -> usize {
+        self.vectors.push(v);
+        self.vectors.len() - 1
+    }
+
+    fn knn(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        top_k(0..self.vectors.len(), &self.vectors, query, k)
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+/// Random-hyperplane LSH with `tables` independent hash tables of
+/// `bits`-bit signatures. Candidates are the union of the query's
+/// buckets across tables, re-ranked exactly; recall is tuned by `tables`
+/// (more tables = higher recall, more candidates).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LshIndex {
+    dim: usize,
+    bits: usize,
+    /// `tables × bits` hyperplane normals, each of length `dim`.
+    planes: Vec<Vec<Vec<f32>>>,
+    buckets: Vec<std::collections::HashMap<u64, Vec<usize>>>,
+    vectors: Vec<Vec<f32>>,
+}
+
+impl LshIndex {
+    /// A new index for `dim`-dimensional vectors.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or > 63, or `tables` is 0.
+    pub fn new(dim: usize, bits: usize, tables: usize, rng: &mut impl Rng) -> Self {
+        assert!(bits > 0 && bits <= 63, "bits must be in 1..=63");
+        assert!(tables > 0, "need at least one table");
+        let planes = (0..tables)
+            .map(|_| {
+                (0..bits)
+                    .map(|_| (0..dim).map(|_| standard_normal(rng)).collect())
+                    .collect()
+            })
+            .collect();
+        Self {
+            dim,
+            bits,
+            planes,
+            buckets: vec![std::collections::HashMap::new(); tables],
+            vectors: Vec::new(),
+        }
+    }
+
+    fn signature(&self, table: usize, v: &[f32]) -> u64 {
+        let mut sig = 0u64;
+        for (bit, plane) in self.planes[table].iter().enumerate() {
+            let dot: f32 = plane.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+            if dot >= 0.0 {
+                sig |= 1 << bit;
+            }
+        }
+        sig
+    }
+
+    /// Number of candidate vectors examined for `query` (diagnostic —
+    /// the sub-linearity the index buys).
+    pub fn candidate_count(&self, query: &[f32]) -> usize {
+        self.candidates(query).len()
+    }
+
+    fn candidates(&self, query: &[f32]) -> std::collections::HashSet<usize> {
+        let mut set = std::collections::HashSet::new();
+        for table in 0..self.planes.len() {
+            let sig = self.signature(table, query);
+            if let Some(ids) = self.buckets[table].get(&sig) {
+                set.extend(ids.iter().copied());
+            }
+        }
+        set
+    }
+}
+
+impl VectorIndex for LshIndex {
+    fn add(&mut self, v: Vec<f32>) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.vectors.len();
+        for table in 0..self.planes.len() {
+            let sig = self.signature(table, &v);
+            self.buckets[table].entry(sig).or_default().push(id);
+        }
+        self.vectors.push(v);
+        id
+    }
+
+    fn knn(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let cands = self.candidates(query);
+        if cands.is_empty() {
+            // Degenerate fallback: exact scan (keeps the API total).
+            return top_k(0..self.vectors.len(), &self.vectors, query, k);
+        }
+        top_k(cands.into_iter(), &self.vectors, query, k)
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use t2vec_tensor::rng::det_rng;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = det_rng(seed);
+        (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect()).collect()
+    }
+
+    #[test]
+    fn brute_force_exact_small() {
+        let mut idx = BruteForceIndex::new();
+        idx.add(vec![0.0, 0.0]);
+        idx.add(vec![1.0, 0.0]);
+        idx.add(vec![0.0, 2.0]);
+        let r = idx.knn(&[0.1, 0.0], 2);
+        assert_eq!(r[0].0, 0);
+        assert_eq!(r[1].0, 1);
+        assert!((r[0].1 - 0.1).abs() < 1e-6);
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn knn_k_larger_than_n() {
+        let idx = BruteForceIndex::from_vectors(vec![vec![1.0], vec![2.0]]);
+        assert_eq!(idx.knn(&[0.0], 10).len(), 2);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = BruteForceIndex::new();
+        assert!(idx.knn(&[1.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn distances_sorted_ascending() {
+        let vectors = random_vectors(200, 8, 1);
+        let idx = BruteForceIndex::from_vectors(vectors);
+        let r = idx.knn(&[0.0; 8], 20);
+        for w in r.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn lsh_recall_against_exact() {
+        let vectors = random_vectors(500, 16, 2);
+        let mut rng = det_rng(3);
+        // Uniform random vectors are a worst case for angular LSH (true
+        // neighbours are not much closer in angle than the crowd), so use
+        // short signatures and many tables.
+        let mut lsh = LshIndex::new(16, 6, 24, &mut rng);
+        let brute = BruteForceIndex::from_vectors(vectors.clone());
+        for v in vectors {
+            lsh.add(v);
+        }
+        let queries = random_vectors(30, 16, 4);
+        let mut recall_sum = 0.0;
+        for q in &queries {
+            let exact: std::collections::HashSet<usize> =
+                brute.knn(q, 10).into_iter().map(|(id, _)| id).collect();
+            let approx: std::collections::HashSet<usize> =
+                lsh.knn(q, 10).into_iter().map(|(id, _)| id).collect();
+            recall_sum += exact.intersection(&approx).count() as f64 / exact.len() as f64;
+        }
+        let recall = recall_sum / queries.len() as f64;
+        assert!(recall > 0.6, "LSH recall too low: {recall}");
+    }
+
+    #[test]
+    fn lsh_examines_fewer_candidates_than_n() {
+        let vectors = random_vectors(2_000, 16, 5);
+        let mut rng = det_rng(6);
+        let mut lsh = LshIndex::new(16, 10, 4, &mut rng);
+        for v in vectors {
+            lsh.add(v);
+        }
+        let q = random_vectors(1, 16, 7).pop().unwrap();
+        let cands = lsh.candidate_count(&q);
+        assert!(cands < 2_000 / 2, "LSH should prune: {cands} candidates");
+        assert!(lsh.knn(&q, 5).len() == 5);
+    }
+
+    #[test]
+    fn lsh_identical_vector_always_found() {
+        let mut rng = det_rng(8);
+        let mut lsh = LshIndex::new(4, 6, 6, &mut rng);
+        let target = vec![0.3, -0.7, 0.2, 0.9];
+        for v in random_vectors(100, 4, 9) {
+            lsh.add(v);
+        }
+        let id = lsh.add(target.clone());
+        let r = lsh.knn(&target, 1);
+        assert_eq!(r[0].0, id);
+        assert!(r[0].1 < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn lsh_wrong_dim_panics() {
+        let mut rng = det_rng(10);
+        let mut lsh = LshIndex::new(4, 4, 2, &mut rng);
+        lsh.add(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be")]
+    fn lsh_zero_bits_panics() {
+        let mut rng = det_rng(11);
+        let _ = LshIndex::new(4, 0, 2, &mut rng);
+    }
+}

@@ -1,0 +1,206 @@
+//! k-means clustering of trajectory representations.
+//!
+//! Implements future-work item 1 of §VI — *"employing the learned
+//! representations to explore more downstream tasks, e.g., trajectory
+//! clustering"*. Because t2vec reduces trajectories to vectors, clustering
+//! a large corpus is just Lloyd's algorithm with k-means++ seeding, at
+//! `O(N·k·|v|)` per iteration — infeasible with the `O(n²)` pairwise
+//! measures the paper replaces.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use t2vec_tensor::rng::weighted_choice;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k × dim`.
+    pub centroids: Vec<Vec<f32>>,
+    /// Cluster assignment per input vector.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (f64::from(x - y)) * f64::from(x - y)).sum()
+}
+
+/// Runs k-means++ / Lloyd on `vectors`.
+///
+/// Converges when assignments stop changing or after `max_iter` rounds.
+///
+/// # Panics
+/// Panics if `k == 0`, `vectors` is empty, `k > vectors.len()`, or the
+/// vectors have inconsistent dimensions.
+pub fn kmeans(
+    vectors: &[Vec<f32>],
+    k: usize,
+    max_iter: usize,
+    rng: &mut impl Rng,
+) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(!vectors.is_empty(), "cannot cluster an empty set");
+    assert!(k <= vectors.len(), "k exceeds the number of vectors");
+    let dim = vectors[0].len();
+    assert!(vectors.iter().all(|v| v.len() == dim), "inconsistent vector dimensions");
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
+    centroids.push(vectors[rng.random_range(0..vectors.len())].clone());
+    while centroids.len() < k {
+        let weights: Vec<f64> = vectors
+            .iter()
+            .map(|v| centroids.iter().map(|c| sq_dist(v, c)).fold(f64::INFINITY, f64::min))
+            .collect();
+        centroids.push(vectors[weighted_choice(rng, &weights)].clone());
+    }
+
+    let mut assignments = vec![0usize; vectors.len()];
+    let mut iterations = 0;
+    for iter in 0..max_iter {
+        iterations = iter + 1;
+        // Assign.
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(v, &centroids[a])
+                        .partial_cmp(&sq_dist(v, &centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("k > 0");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (v, &a) in vectors.iter().zip(assignments.iter()) {
+            counts[a] += 1;
+            for (s, &x) in sums[a].iter_mut().zip(v.iter()) {
+                *s += f64::from(x);
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the farthest point.
+                let far = vectors
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        sq_dist(a, &centroids[c])
+                            .partial_cmp(&sq_dist(b, &centroids[c]))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty vectors");
+                centroids[c] = vectors[far].clone();
+            } else {
+                for d in 0..dim {
+                    centroids[c][d] = (sums[c][d] / counts[c] as f64) as f32;
+                }
+            }
+        }
+    }
+
+    let inertia =
+        vectors.iter().zip(assignments.iter()).map(|(v, &a)| sq_dist(v, &centroids[a])).sum();
+    KMeansResult { centroids, assignments, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2vec_tensor::rng::det_rng;
+
+    fn blobs(seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        // Three well-separated Gaussian blobs in 2-D.
+        let mut rng = det_rng(seed);
+        let centers = [[0.0f32, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut vectors = Vec::new();
+        let mut labels = Vec::new();
+        for (li, c) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                vectors.push(vec![
+                    c[0] + t2vec_tensor::rng::standard_normal(&mut rng) * 0.5,
+                    c[1] + t2vec_tensor::rng::standard_normal(&mut rng) * 0.5,
+                ]);
+                labels.push(li);
+            }
+        }
+        (vectors, labels)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (vectors, labels) = blobs(1);
+        let mut rng = det_rng(2);
+        let result = kmeans(&vectors, 3, 50, &mut rng);
+        // Perfect clustering up to label permutation: every true cluster
+        // maps to exactly one k-means cluster.
+        let mut mapping = std::collections::HashMap::new();
+        for (truth, got) in labels.iter().zip(result.assignments.iter()) {
+            let e = mapping.entry(truth).or_insert(*got);
+            assert_eq!(e, got, "blob split across clusters");
+        }
+        assert_eq!(mapping.values().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert!(result.inertia < 100.0, "inertia too high: {}", result.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let vectors = vec![vec![1.0, 0.0], vec![5.0, 5.0], vec![-3.0, 2.0]];
+        let mut rng = det_rng(3);
+        let r = kmeans(&vectors, 3, 20, &mut rng);
+        assert!(r.inertia < 1e-9);
+        let uniq: std::collections::HashSet<usize> = r.assignments.iter().copied().collect();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn k_one_centroid_is_mean() {
+        let vectors = vec![vec![0.0f32], vec![2.0], vec![4.0]];
+        let mut rng = det_rng(4);
+        let r = kmeans(&vectors, 1, 20, &mut rng);
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-5);
+        assert_eq!(r.assignments, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn inertia_non_increasing_in_k() {
+        let (vectors, _) = blobs(5);
+        let mut last = f64::INFINITY;
+        for k in [1, 2, 3, 5, 10] {
+            let mut rng = det_rng(6);
+            let r = kmeans(&vectors, k, 50, &mut rng);
+            assert!(
+                r.inertia <= last * 1.05,
+                "inertia should broadly decrease with k: k={k}, {} > {last}",
+                r.inertia
+            );
+            last = r.inertia.min(last);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds")]
+    fn k_larger_than_n_panics() {
+        let mut rng = det_rng(7);
+        let _ = kmeans(&[vec![1.0]], 2, 10, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty set")]
+    fn empty_input_panics() {
+        let mut rng = det_rng(8);
+        let _ = kmeans(&[], 1, 10, &mut rng);
+    }
+}

@@ -1,0 +1,141 @@
+//! Common cell set (CMS) baseline.
+//!
+//! §V-A of the paper: *"the common set representation is used to measure
+//! the similarity of two trajectories based on their common set after
+//! they have been mapped to cells"*. CMS discards the sequential order
+//! entirely — the paper includes it precisely to show that order matters
+//! (it is the worst method in every experiment).
+//!
+//! We implement it as the Jaccard distance between the sets of grid cells
+//! the two trajectories touch.
+
+use crate::{empty_rule, TrajDistance};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use t2vec_spatial::point::Point;
+
+/// Common-cell-set (Jaccard) distance.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Cms {
+    /// Side length of the square cells used for discretisation, meters.
+    pub cell_side: f64,
+}
+
+impl Cms {
+    /// CMS over square cells of the given side (meters).
+    ///
+    /// # Panics
+    /// Panics if `cell_side` is not positive.
+    pub fn new(cell_side: f64) -> Self {
+        assert!(cell_side > 0.0, "cell side must be positive");
+        Self { cell_side }
+    }
+
+    fn cells(&self, traj: &[Point]) -> HashSet<(i64, i64)> {
+        traj.iter()
+            .map(|p| ((p.x / self.cell_side).floor() as i64, (p.y / self.cell_side).floor() as i64))
+            .collect()
+    }
+}
+
+impl TrajDistance for Cms {
+    fn name(&self) -> &'static str {
+        "CMS"
+    }
+
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return if d.is_infinite() { 1.0 } else { 0.0 };
+        }
+        let ca = self.cells(a);
+        let cb = self.cells(b);
+        let inter = ca.intersection(&cb).count() as f64;
+        let union = (ca.len() + cb.len()) as f64 - inter;
+        1.0 - inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_basic_axioms, random_walk};
+    use proptest::prelude::*;
+    use t2vec_tensor::rng::det_rng;
+
+    fn pts(xys: &[(f64, f64)]) -> Vec<Point> {
+        xys.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = pts(&[(10.0, 10.0), (150.0, 20.0), (290.0, 30.0)]);
+        assert_eq!(Cms::new(100.0).dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_is_one() {
+        let a = pts(&[(10.0, 10.0)]);
+        let b = pts(&[(1000.0, 1000.0)]);
+        assert_eq!(Cms::new(100.0).dist(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn order_blindness() {
+        // CMS cannot distinguish a route from its reverse — the flaw the
+        // paper calls out.
+        let a = pts(&[(10.0, 10.0), (150.0, 10.0), (290.0, 10.0)]);
+        let mut rev = a.clone();
+        rev.reverse();
+        assert_eq!(Cms::new(100.0).dist(&a, &rev), 0.0);
+    }
+
+    #[test]
+    fn half_overlap_jaccard() {
+        // a covers cells {0,1}, b covers cells {1,2}: Jaccard = 1/3.
+        let a = pts(&[(50.0, 50.0), (150.0, 50.0)]);
+        let b = pts(&[(150.0, 50.0), (250.0, 50.0)]);
+        let d = Cms::new(100.0).dist(&a, &b);
+        assert!((d - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_change_set() {
+        let a = pts(&[(50.0, 50.0), (55.0, 52.0), (51.0, 58.0)]);
+        let b = pts(&[(50.0, 50.0)]);
+        assert_eq!(Cms::new(100.0).dist(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn negative_coordinates_use_floor() {
+        // floor semantics: -10 and +10 are different cells at side 100.
+        let a = pts(&[(-10.0, 0.0)]);
+        let b = pts(&[(10.0, 0.0)]);
+        assert_eq!(Cms::new(100.0).dist(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let a = pts(&[(1.0, 1.0)]);
+        assert_eq!(Cms::new(100.0).dist(&[], &[]), 0.0);
+        assert_eq!(Cms::new(100.0).dist(&a, &[]), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_in_unit_interval(seed in 0u64..200, n in 1usize..30, m in 1usize..30) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(n, &mut rng);
+            let b = random_walk(m, &mut rng);
+            let d = Cms::new(50.0).dist(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn axioms_on_random_walks(seed in 0u64..200, n in 1usize..20, m in 1usize..20) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(n, &mut rng);
+            let b = random_walk(m, &mut rng);
+            assert_basic_axioms(&Cms::new(50.0), &a, &b);
+        }
+    }
+}

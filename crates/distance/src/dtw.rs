@@ -1,0 +1,155 @@
+//! Dynamic Time Warping (Yi, Jagadish & Faloutsos, ICDE 1998).
+//!
+//! DTW was the first measure to address local time shift in trajectory
+//! similarity. It finds the monotone alignment of the two point sequences
+//! that minimises the sum of Euclidean distances between aligned pairs.
+//! The paper excludes it from the main comparison because EDR dominates
+//! it on trajectory data, but it remains the canonical quadratic baseline
+//! and is included in our benchmarks of the `O(n²)` cost.
+
+use crate::{empty_rule, TrajDistance};
+use serde::{Deserialize, Serialize};
+use t2vec_spatial::point::Point;
+
+/// Dynamic Time Warping with an optional Sakoe–Chiba band.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Dtw {
+    /// Sakoe–Chiba band half-width in sequence positions. `None` runs the
+    /// full unconstrained DP.
+    pub band: Option<usize>,
+}
+
+impl Dtw {
+    /// Unconstrained DTW.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// DTW constrained to a Sakoe–Chiba band of half-width `band`.
+    pub fn with_band(band: usize) -> Self {
+        Self { band: Some(band) }
+    }
+}
+
+impl TrajDistance for Dtw {
+    fn name(&self) -> &'static str {
+        "DTW"
+    }
+
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let (n, m) = (a.len(), b.len());
+        // Effective band: at least |n - m| so a path exists.
+        let band = self.band.map(|w| w.max(n.abs_diff(m))).unwrap_or(usize::MAX);
+        // Rolling rows of the DP matrix.
+        let mut prev = vec![f64::INFINITY; m + 1];
+        let mut curr = vec![f64::INFINITY; m + 1];
+        prev[0] = 0.0;
+        for i in 1..=n {
+            curr.fill(f64::INFINITY);
+            let lo = if band == usize::MAX { 1 } else { i.saturating_sub(band).max(1) };
+            let hi = if band == usize::MAX { m } else { (i + band).min(m) };
+            for j in lo..=hi {
+                let cost = a[i - 1].dist(&b[j - 1]);
+                let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
+                curr[j] = cost + best;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_basic_axioms, random_walk};
+    use proptest::prelude::*;
+    use t2vec_tensor::rng::det_rng;
+
+    fn pts(xs: &[f64]) -> Vec<Point> {
+        xs.iter().map(|&x| Point::new(x, 0.0)).collect()
+    }
+
+    #[test]
+    fn identical_sequences_are_zero() {
+        let a = pts(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(Dtw::new().dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_small_alignment() {
+        // a = [0, 10], b = [0, 5, 10]: optimal warp aligns 5 to either
+        // endpoint (cost 5).
+        let a = pts(&[0.0, 10.0]);
+        let b = pts(&[0.0, 5.0, 10.0]);
+        assert_eq!(Dtw::new().dist(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn repeated_points_are_free() {
+        // DTW is invariant to stuttering: repeating a point adds zero cost.
+        let a = pts(&[0.0, 1.0, 2.0]);
+        let b = pts(&[0.0, 0.0, 1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(Dtw::new().dist(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let a = pts(&[1.0]);
+        assert_eq!(Dtw::new().dist(&[], &[]), 0.0);
+        assert_eq!(Dtw::new().dist(&a, &[]), f64::INFINITY);
+        assert_eq!(Dtw::new().dist(&[], &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn band_matches_full_dp_when_wide() {
+        let mut rng = det_rng(21);
+        let a = random_walk(30, &mut rng);
+        let b = random_walk(25, &mut rng);
+        let full = Dtw::new().dist(&a, &b);
+        let banded = Dtw::with_band(100).dist(&a, &b);
+        assert!((full - banded).abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrow_band_upper_bounds_full_dp() {
+        let mut rng = det_rng(22);
+        let a = random_walk(40, &mut rng);
+        let b = random_walk(40, &mut rng);
+        let full = Dtw::new().dist(&a, &b);
+        let banded = Dtw::with_band(2).dist(&a, &b);
+        assert!(banded >= full - 1e-9, "band must constrain: {banded} < {full}");
+        assert!(banded.is_finite());
+    }
+
+    #[test]
+    fn single_point_vs_sequence() {
+        let a = pts(&[0.0]);
+        let b = pts(&[1.0, 2.0]);
+        // Single point aligns to all: |0-1| + |0-2| = 3.
+        assert_eq!(Dtw::new().dist(&a, &b), 3.0);
+    }
+
+    proptest! {
+        #[test]
+        fn axioms_on_random_walks(seed in 0u64..200, n in 1usize..25, m in 1usize..25) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(n, &mut rng);
+            let b = random_walk(m, &mut rng);
+            assert_basic_axioms(&Dtw::new(), &a, &b);
+        }
+
+        #[test]
+        fn dtw_bounded_below_by_endpoint_distances(seed in 0u64..200) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(10, &mut rng);
+            let b = random_walk(12, &mut rng);
+            let d = Dtw::new().dist(&a, &b);
+            // The first and last pairs are always aligned.
+            prop_assert!(d >= a[0].dist(&b[0]) + a[9].dist(&b[11]) - 1e-9);
+        }
+    }
+}

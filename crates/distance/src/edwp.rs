@@ -1,0 +1,296 @@
+//! Edit Distance with Projections (Ranu et al., ICDE 2015).
+//!
+//! EDwP is the state-of-the-art pairwise measure for trajectories with
+//! *inconsistent sampling rates* and the strongest baseline in the t2vec
+//! evaluation. It aligns two trajectories with two edit operations:
+//!
+//! * **replacement** of an edge of `T1` with an edge of `T2`, costing
+//!   `rep(e1, e2) · cov(e1, e2)` where `rep` is the sum of distances
+//!   between the matched edge endpoints and `cov = |e1| + |e2|` weights
+//!   the cost by the length of trajectory covered;
+//! * **insertion** of a new point on an edge, placed at the *projection*
+//!   of the other trajectory's next sample point onto that edge — this is
+//!   the linear-interpolation step that lets EDwP match trajectories
+//!   sampled at different rates exactly.
+//!
+//! # Implementation
+//!
+//! The recursion is realised as a dynamic program over three state
+//! layers, all indexed by `(i, j)` (current point of `T1`, current point
+//! of `T2`):
+//!
+//! * `E[i][j]` — `a_i` is matched with `b_j` (both are real samples);
+//! * `F[i][j]` — the current `T1` position is the projection of `b_j`
+//!   onto segment `a_i → a_{i+1}` (an inserted point), matched with `b_j`;
+//! * `G[i][j]` — symmetric: the current `T2` position is the projection
+//!   of `a_i` onto `b_j → b_{j+1}`, matched with `a_i`.
+//!
+//! Because the inserted point is always the projection of the *most
+//! recently matched* point of the other trajectory, the interpolated
+//! position is a pure function of `(i, j)` and the DP is well-defined.
+//! Each state relaxes at most three successors, so the total cost is
+//! `O(|T1|·|T2|)` time — the quadratic complexity the t2vec paper cites
+//! (it quotes `O((|Ta|+|Tb|)²)`, §V-D).
+//!
+//! The key behavioural property, verified by the tests: inserting extra
+//! collinear sample points along the same route (resampling) leaves the
+//! distance at zero, while genuinely different routes get a positive,
+//! growing cost.
+
+use crate::{empty_rule, TrajDistance};
+use serde::{Deserialize, Serialize};
+use t2vec_spatial::point::Point;
+
+/// Edit Distance with Projections.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Edwp;
+
+impl Edwp {
+    /// A new EDwP measure (it has no tunable parameters).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Cost of replacing edge `(p1 → p2)` of `T1` with `(r1 → r2)` of
+    /// `T2`: `rep · cov`.
+    #[inline]
+    fn edge_cost(p1: &Point, p2: &Point, r1: &Point, r2: &Point) -> f64 {
+        let rep = p1.dist(r1) + p2.dist(r2);
+        let cov = p1.dist(p2) + r1.dist(r2);
+        rep * cov
+    }
+}
+
+impl TrajDistance for Edwp {
+    fn name(&self) -> &'static str {
+        "EDwP"
+    }
+
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let (n, m) = (a.len(), b.len());
+        if n == 1 && m == 1 {
+            // Degenerate trips: fall back to point distance so ranking
+            // still behaves sensibly.
+            return a[0].dist(&b[0]);
+        }
+        if n == 1 {
+            return b
+                .windows(2)
+                .map(|w| Self::edge_cost(&a[0], &a[0], &w[0], &w[1]))
+                .sum();
+        }
+        if m == 1 {
+            return a
+                .windows(2)
+                .map(|w| Self::edge_cost(&w[0], &w[1], &b[0], &b[0]))
+                .sum();
+        }
+
+        // Projection of b[j] onto T1 segment i (valid for i < n-1).
+        let q1 = |i: usize, j: usize| -> Point { b[j].project_onto_segment(&a[i], &a[i + 1]) };
+        // Projection of a[i] onto T2 segment j (valid for j < m-1).
+        let q2 = |i: usize, j: usize| -> Point { a[i].project_onto_segment(&b[j], &b[j + 1]) };
+
+        let inf = f64::INFINITY;
+        let idx = |i: usize, j: usize| i * m + j;
+        let mut e = vec![inf; n * m];
+        let mut f = vec![inf; n * m];
+        let mut g = vec![inf; n * m];
+        e[idx(0, 0)] = 0.0;
+
+        let relax = |slot: &mut f64, cand: f64| {
+            if cand < *slot {
+                *slot = cand;
+            }
+        };
+
+        for i in 0..n {
+            for j in 0..m {
+                // --- From E[i][j]: positions (a_i, b_j). ---
+                let ec = e[idx(i, j)];
+                if ec < inf && i + 1 < n && j + 1 < m {
+                    {
+                        // replacement
+                        let c = ec + Self::edge_cost(&a[i], &a[i + 1], &b[j], &b[j + 1]);
+                        relax(&mut e[idx(i + 1, j + 1)], c);
+                        // insert into T1 at proj(b_{j+1})
+                        let q = q1(i, j + 1);
+                        let c = ec + Self::edge_cost(&a[i], &q, &b[j], &b[j + 1]);
+                        relax(&mut f[idx(i, j + 1)], c);
+                        // insert into T2 at proj(a_{i+1})
+                        let r = q2(i + 1, j);
+                        let c = ec + Self::edge_cost(&a[i], &a[i + 1], &b[j], &r);
+                        relax(&mut g[idx(i + 1, j)], c);
+                    }
+                }
+                // --- From F[i][j]: positions (proj(b_j, seg_i), b_j). ---
+                let fc = f[idx(i, j)];
+                if fc < inf && i + 1 < n {
+                    let p = q1(i, j);
+                    if j + 1 < m {
+                        // replacement: consume (p -> a_{i+1}) and (b_j -> b_{j+1})
+                        let c = fc + Self::edge_cost(&p, &a[i + 1], &b[j], &b[j + 1]);
+                        relax(&mut e[idx(i + 1, j + 1)], c);
+                        // insert into T1 again on the same segment
+                        let q = q1(i, j + 1);
+                        let c = fc + Self::edge_cost(&p, &q, &b[j], &b[j + 1]);
+                        relax(&mut f[idx(i, j + 1)], c);
+                    }
+                    if j + 1 < m {
+                        // insert into T2 at proj(a_{i+1})
+                        let r = q2(i + 1, j);
+                        let c = fc + Self::edge_cost(&p, &a[i + 1], &b[j], &r);
+                        relax(&mut g[idx(i + 1, j)], c);
+                    }
+                }
+                // --- From G[i][j]: positions (a_i, proj(a_i, seg_j)). ---
+                let gc = g[idx(i, j)];
+                if gc < inf && j + 1 < m {
+                    let r = q2(i, j);
+                    if i + 1 < n {
+                        // replacement: consume (a_i -> a_{i+1}) and (r -> b_{j+1})
+                        let c = gc + Self::edge_cost(&a[i], &a[i + 1], &r, &b[j + 1]);
+                        relax(&mut e[idx(i + 1, j + 1)], c);
+                        // insert into T2 again on the same segment
+                        let r2p = q2(i + 1, j);
+                        let c = gc + Self::edge_cost(&a[i], &a[i + 1], &r, &r2p);
+                        relax(&mut g[idx(i + 1, j)], c);
+                        // insert into T1 at proj(b_{j+1})
+                        let q = q1(i, j + 1);
+                        let c = gc + Self::edge_cost(&a[i], &q, &r, &b[j + 1]);
+                        relax(&mut f[idx(i, j + 1)], c);
+                    }
+                }
+            }
+        }
+        e[idx(n - 1, m - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edr::Edr;
+    use crate::testutil::{assert_basic_axioms, random_walk};
+    use proptest::prelude::*;
+    use t2vec_spatial::transform::downsample;
+    use t2vec_tensor::rng::det_rng;
+
+    fn pts(xys: &[(f64, f64)]) -> Vec<Point> {
+        xys.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    /// Inserts the midpoint of every edge (a lossless resampling).
+    fn resample_double(traj: &[Point]) -> Vec<Point> {
+        let mut out = Vec::with_capacity(traj.len() * 2);
+        for w in traj.windows(2) {
+            out.push(w[0]);
+            out.push(w[0].lerp(&w[1], 0.5));
+        }
+        out.push(*traj.last().unwrap());
+        out
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = pts(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0)]);
+        assert_eq!(Edwp::new().dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn resampling_same_route_is_free() {
+        // The headline property: a denser sampling of the same polyline
+        // is at distance ~0 — this is what linear interpolation buys and
+        // what EDR/LCSS fundamentally cannot do.
+        let a = pts(&[(0.0, 0.0), (100.0, 0.0), (100.0, 100.0), (250.0, 100.0)]);
+        let b = resample_double(&a);
+        let d = Edwp::new().dist(&a, &b);
+        assert!(d < 1e-6, "resampled route should be free, got {d}");
+        // EDR at a moderate threshold cannot see this equality.
+        assert!(Edr::new(10.0).dist(&a, &b) > 0.0);
+    }
+
+    #[test]
+    fn double_resampling_still_free() {
+        let a = pts(&[(0.0, 0.0), (60.0, 80.0), (120.0, 0.0)]);
+        let b = resample_double(&resample_double(&a));
+        assert!(Edwp::new().dist(&a, &b) < 1e-6);
+    }
+
+    #[test]
+    fn offset_route_costs_more_with_larger_offset() {
+        let a = pts(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)]);
+        let mut last = 0.0;
+        for off in [10.0, 30.0, 90.0] {
+            let b: Vec<Point> = a.iter().map(|p| Point::new(p.x, p.y + off)).collect();
+            let d = Edwp::new().dist(&a, &b);
+            assert!(d > last, "cost must grow with offset");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn single_point_cases() {
+        let a = pts(&[(0.0, 0.0)]);
+        let b = pts(&[(3.0, 4.0)]);
+        assert_eq!(Edwp::new().dist(&a, &b), 5.0);
+        let c = pts(&[(0.0, 0.0), (10.0, 0.0)]);
+        let d = Edwp::new().dist(&a, &c);
+        assert!(d > 0.0 && d.is_finite());
+        assert_eq!(d, Edwp::new().dist(&c, &a), "single-point symmetric");
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let a = pts(&[(1.0, 1.0)]);
+        assert_eq!(Edwp::new().dist(&[], &[]), 0.0);
+        assert_eq!(Edwp::new().dist(&a, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn robust_to_downsampling_ranking() {
+        // A downsampled variant of route A must stay closer to A than a
+        // parallel but distinct route — the core claim EDwP was built for.
+        let mut rng = det_rng(60);
+        let a: Vec<Point> = (0..40).map(|i| Point::new(i as f64 * 25.0, (i as f64 * 0.3).sin() * 40.0)).collect();
+        let offset: Vec<Point> = a.iter().map(|p| Point::new(p.x, p.y + 300.0)).collect();
+        let edwp = Edwp::new();
+        for _ in 0..5 {
+            let down = downsample(&a, 0.5, &mut rng);
+            assert!(
+                edwp.dist(&a, &down) < edwp.dist(&a, &offset),
+                "downsampled self must rank above a distinct route"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn axioms_on_random_walks(seed in 0u64..150, n in 1usize..12, m in 1usize..12) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(n, &mut rng);
+            let b = random_walk(m, &mut rng);
+            assert_basic_axioms(&Edwp::new(), &a, &b);
+        }
+
+        #[test]
+        fn midpoint_resampling_invariance(seed in 0u64..150, n in 2usize..10) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(n, &mut rng);
+            let b = resample_double(&a);
+            let d = Edwp::new().dist(&a, &b);
+            prop_assert!(d.abs() < 1e-4, "resampling cost {d}");
+        }
+
+        #[test]
+        fn finite_on_all_nonempty_inputs(seed in 0u64..150, n in 1usize..15, m in 1usize..15) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(n, &mut rng);
+            let b = random_walk(m, &mut rng);
+            prop_assert!(Edwp::new().dist(&a, &b).is_finite());
+        }
+    }
+}

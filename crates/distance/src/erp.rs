@@ -1,0 +1,142 @@
+//! Edit distance with Real Penalty (Chen & Ng, VLDB 2004).
+//!
+//! ERP "marries" Lp-norms and edit distance: aligned pairs cost their
+//! Euclidean distance, and gaps cost the distance to a fixed *gap point*
+//! `g`. Unlike DTW, ERP is a metric (it satisfies the triangle
+//! inequality), which the tests verify empirically.
+
+use crate::TrajDistance;
+use serde::{Deserialize, Serialize};
+use t2vec_spatial::point::Point;
+
+/// Edit distance with Real Penalty.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Erp {
+    /// The gap point `g` (Chen & Ng use the origin).
+    pub gap: Point,
+}
+
+impl Default for Erp {
+    fn default() -> Self {
+        Self { gap: Point::new(0.0, 0.0) }
+    }
+}
+
+impl Erp {
+    /// ERP with the origin as the gap point.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// ERP with an explicit gap point (e.g. the dataset centroid).
+    pub fn with_gap(gap: Point) -> Self {
+        Self { gap }
+    }
+}
+
+impl TrajDistance for Erp {
+    fn name(&self) -> &'static str {
+        "ERP"
+    }
+
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        // ERP defines the distance to an empty sequence exactly: the total
+        // gap cost (so it stays a metric), rather than the workspace-wide
+        // INFINITY convention used by the threshold-based measures.
+        if a.is_empty() || b.is_empty() {
+            let non_empty = if a.is_empty() { b } else { a };
+            return non_empty.iter().map(|p| p.dist(&self.gap)).sum();
+        }
+        let (n, m) = (a.len(), b.len());
+        let mut prev = vec![0.0f64; m + 1];
+        let mut curr = vec![0.0f64; m + 1];
+        // dp[0][j]: all of b matched to gaps.
+        for j in 1..=m {
+            prev[j] = prev[j - 1] + b[j - 1].dist(&self.gap);
+        }
+        for i in 1..=n {
+            curr[0] = prev[0] + a[i - 1].dist(&self.gap);
+            for j in 1..=m {
+                let match_cost = prev[j - 1] + a[i - 1].dist(&b[j - 1]);
+                let gap_a = prev[j] + a[i - 1].dist(&self.gap);
+                let gap_b = curr[j - 1] + b[j - 1].dist(&self.gap);
+                curr[j] = match_cost.min(gap_a).min(gap_b);
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_basic_axioms, random_walk};
+    use proptest::prelude::*;
+    use t2vec_tensor::rng::det_rng;
+
+    fn pts(xs: &[f64]) -> Vec<Point> {
+        xs.iter().map(|&x| Point::new(x, 0.0)).collect()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = pts(&[1.0, 2.0, 3.0]);
+        assert_eq!(Erp::new().dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn one_sided_empty_costs_gap_distance() {
+        let a = pts(&[3.0, 4.0]);
+        // gap at origin: |3| + |4| = 7.
+        assert_eq!(Erp::new().dist(&a, &[]), 7.0);
+        assert_eq!(Erp::new().dist(&[], &a), 7.0);
+        assert_eq!(Erp::new().dist(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn known_alignment_with_gap() {
+        // a = [5], b = [5, 6]; best: match 5-5, gap 6 (cost |6 - 0| = 6).
+        let a = pts(&[5.0]);
+        let b = pts(&[5.0, 6.0]);
+        assert_eq!(Erp::new().dist(&a, &b), 6.0);
+        // With gap point at (6, 0), the gap is free.
+        assert_eq!(Erp::with_gap(Point::new(6.0, 0.0)).dist(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_random_walks() {
+        // ERP is a metric; check the triangle inequality on many triples.
+        let mut rng = det_rng(30);
+        let erp = Erp::new();
+        for _ in 0..40 {
+            let a = random_walk(8, &mut rng);
+            let b = random_walk(10, &mut rng);
+            let c = random_walk(6, &mut rng);
+            let ab = erp.dist(&a, &b);
+            let bc = erp.dist(&b, &c);
+            let ac = erp.dist(&a, &c);
+            assert!(ac <= ab + bc + 1e-6, "triangle violated: {ac} > {ab} + {bc}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn axioms_on_random_walks(seed in 0u64..200, n in 1usize..20, m in 1usize..20) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(n, &mut rng);
+            let b = random_walk(m, &mut rng);
+            assert_basic_axioms(&Erp::new(), &a, &b);
+        }
+
+        #[test]
+        fn gap_choice_changes_distance_smoothly(seed in 0u64..100) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(6, &mut rng);
+            let b = random_walk(9, &mut rng);
+            let d1 = Erp::new().dist(&a, &b);
+            let d2 = Erp::with_gap(Point::new(1.0, 1.0)).dist(&a, &b);
+            prop_assert!(d1.is_finite() && d2.is_finite());
+        }
+    }
+}

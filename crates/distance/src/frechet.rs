@@ -1,0 +1,140 @@
+//! Discrete Fréchet distance (Eiter & Mannila, 1994).
+//!
+//! The "dog-leash" distance between two polylines, restricted to their
+//! sample points: the minimum over monotone alignments of the *maximum*
+//! aligned pair distance. It is not part of the paper's comparison set but
+//! completes the family of classical measures and is useful as an
+//! additional sanity baseline in the examples.
+
+use crate::{empty_rule, TrajDistance};
+use serde::{Deserialize, Serialize};
+use t2vec_spatial::point::Point;
+
+/// Discrete Fréchet distance.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DiscreteFrechet;
+
+impl DiscreteFrechet {
+    /// A new discrete Fréchet measure.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl TrajDistance for DiscreteFrechet {
+    fn name(&self) -> &'static str {
+        "Frechet"
+    }
+
+    fn dist(&self, a: &[Point], b: &[Point]) -> f64 {
+        if let Some(d) = empty_rule(a, b) {
+            return d;
+        }
+        let m = b.len();
+        let mut prev = vec![f64::INFINITY; m];
+        let mut curr = vec![f64::INFINITY; m];
+        for (i, pa) in a.iter().enumerate() {
+            for j in 0..m {
+                let d = pa.dist(&b[j]);
+                let reach = if i == 0 && j == 0 {
+                    d
+                } else {
+                    let mut best = f64::INFINITY;
+                    if i > 0 {
+                        best = best.min(prev[j]);
+                    }
+                    if j > 0 {
+                        best = best.min(curr[j - 1]);
+                    }
+                    if i > 0 && j > 0 {
+                        best = best.min(prev[j - 1]);
+                    }
+                    best.max(d)
+                };
+                curr[j] = reach;
+            }
+            std::mem::swap(&mut prev, &mut curr);
+        }
+        prev[m - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{assert_basic_axioms, random_walk};
+    use proptest::prelude::*;
+    use t2vec_tensor::rng::det_rng;
+
+    fn pts(xys: &[(f64, f64)]) -> Vec<Point> {
+        xys.iter().map(|&(x, y)| Point::new(x, y)).collect()
+    }
+
+    #[test]
+    fn identical_is_zero() {
+        let a = pts(&[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(DiscreteFrechet::new().dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn parallel_lines_distance_is_offset() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 3.0), (1.0, 3.0), (2.0, 3.0)]);
+        assert_eq!(DiscreteFrechet::new().dist(&a, &b), 3.0);
+    }
+
+    #[test]
+    fn dominated_by_worst_pair() {
+        // One far outlier forces the leash length.
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (1.0, 50.0), (2.0, 0.0)]);
+        assert_eq!(DiscreteFrechet::new().dist(&a, &b), 50.0);
+    }
+
+    #[test]
+    fn stuttering_is_free() {
+        let a = pts(&[(0.0, 0.0), (1.0, 0.0)]);
+        let b = pts(&[(0.0, 0.0), (0.0, 0.0), (1.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(DiscreteFrechet::new().dist(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let a = pts(&[(1.0, 1.0)]);
+        assert_eq!(DiscreteFrechet::new().dist(&[], &[]), 0.0);
+        assert_eq!(DiscreteFrechet::new().dist(&a, &[]), f64::INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn axioms_on_random_walks(seed in 0u64..200, n in 1usize..20, m in 1usize..20) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(n, &mut rng);
+            let b = random_walk(m, &mut rng);
+            assert_basic_axioms(&DiscreteFrechet::new(), &a, &b);
+        }
+
+        #[test]
+        fn frechet_at_least_endpoint_distance(seed in 0u64..200) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(10, &mut rng);
+            let b = random_walk(8, &mut rng);
+            let d = DiscreteFrechet::new().dist(&a, &b);
+            prop_assert!(d >= a[0].dist(&b[0]) - 1e-9);
+            prop_assert!(d >= a[9].dist(&b[7]) - 1e-9);
+        }
+
+        #[test]
+        fn frechet_bounded_by_max_pairwise(seed in 0u64..200) {
+            let mut rng = det_rng(seed);
+            let a = random_walk(10, &mut rng);
+            let b = random_walk(8, &mut rng);
+            let d = DiscreteFrechet::new().dist(&a, &b);
+            let max_pair = a
+                .iter()
+                .flat_map(|p| b.iter().map(move |q| p.dist(q)))
+                .fold(0.0f64, f64::max);
+            prop_assert!(d <= max_pair + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! k-nearest-trajectory search for the DP measures, with lower-bound
+//! pruning.
+//!
+//! The paper (§V-D) notes the classical measures *"rely on intricate
+//! pruning techniques to answer k-nn queries on large datasets"*. This
+//! module provides the standard cheap-to-expensive cascade:
+//!
+//! 1. a **lower bound** for each candidate (O(n) or O(1)), then
+//! 2. the exact O(n²) dynamic program only for candidates whose bound
+//!    beats the current k-th best distance.
+//!
+//! Bounds implemented:
+//! * EDR: `|len(a) − len(b)|` (each unmatched point costs ≥ 1);
+//! * DTW: distance between aligned endpoints (first + last pairs are
+//!   always matched);
+//! * a generic no-op bound (cascade degenerates to a full scan).
+
+use crate::dtw::Dtw;
+use crate::edr::Edr;
+use crate::TrajDistance;
+use t2vec_spatial::point::Point;
+
+/// A lower bound for a trajectory distance: `bound(q, t) ≤ dist(q, t)`.
+pub trait LowerBound<D: TrajDistance> {
+    /// Cheap lower bound on `D::dist(query, candidate)`.
+    fn bound(&self, query: &[Point], candidate: &[Point]) -> f64;
+}
+
+/// The trivial bound (always 0): no pruning.
+pub struct NoBound;
+
+impl<D: TrajDistance> LowerBound<D> for NoBound {
+    fn bound(&self, _query: &[Point], _candidate: &[Point]) -> f64 {
+        0.0
+    }
+}
+
+/// EDR length-difference bound: at least `|n − m|` edit operations are
+/// required to equalise the lengths.
+pub struct EdrLengthBound;
+
+impl LowerBound<Edr> for EdrLengthBound {
+    fn bound(&self, query: &[Point], candidate: &[Point]) -> f64 {
+        query.len().abs_diff(candidate.len()) as f64
+    }
+}
+
+/// DTW endpoint bound: the first and last pairs are always aligned, so
+/// `d(q₀, t₀) + d(q₋₁, t₋₁) ≤ DTW(q, t)`.
+pub struct DtwEndpointBound;
+
+impl LowerBound<Dtw> for DtwEndpointBound {
+    fn bound(&self, query: &[Point], candidate: &[Point]) -> f64 {
+        match (query.first(), candidate.first(), query.last(), candidate.last()) {
+            (Some(qf), Some(cf), Some(ql), Some(cl)) => qf.dist(cf) + ql.dist(cl),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Statistics of one pruned search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnnStats {
+    /// Candidates whose exact DP was evaluated.
+    pub evaluated: usize,
+    /// Candidates skipped by the lower bound.
+    pub pruned: usize,
+}
+
+/// Exact k-NN with lower-bound pruning. Returns `(index, distance)`
+/// pairs sorted ascending, plus pruning statistics.
+///
+/// The result is identical to a full scan — the bound only skips
+/// candidates that provably cannot enter the top k.
+pub fn knn_pruned<D: TrajDistance>(
+    dist: &D,
+    bound: &impl LowerBound<D>,
+    query: &[Point],
+    db: &[Vec<Point>],
+    k: usize,
+) -> (Vec<(usize, f64)>, KnnStats) {
+    let mut top: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
+    let mut stats = KnnStats { evaluated: 0, pruned: 0 };
+    // Visit candidates in ascending bound order so good candidates are
+    // found early and the pruning threshold tightens fast.
+    let mut order: Vec<(usize, f64)> =
+        db.iter().enumerate().map(|(i, t)| (i, bound.bound(query, t))).collect();
+    order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (i, lb) in order {
+        let kth = if top.len() >= k { top[k - 1].1 } else { f64::INFINITY };
+        if top.len() >= k && lb >= kth {
+            stats.pruned += 1;
+            continue;
+        }
+        stats.evaluated += 1;
+        let d = dist.dist(query, &db[i]);
+        if d < kth || top.len() < k {
+            let pos = top.partition_point(|&(_, td)| td <= d);
+            top.insert(pos, (i, d));
+            top.truncate(k);
+        }
+    }
+    (top, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::random_walk;
+    use t2vec_tensor::rng::det_rng;
+
+    fn db(n: usize, seed: u64) -> Vec<Vec<Point>> {
+        let mut rng = det_rng(seed);
+        (0..n).map(|i| random_walk(5 + (i * 7) % 30, &mut rng)).collect()
+    }
+
+    #[test]
+    fn pruned_result_equals_full_scan_edr() {
+        // Lengths spread 5..85 so the |n - m| bound exceeds the k-th best
+        // distance for the extreme lengths.
+        let mut rng = det_rng(1);
+        let db: Vec<Vec<Point>> =
+            (0..60).map(|i| random_walk(5 + (i * 13) % 80, &mut rng)).collect();
+        let edr = Edr::new(20.0);
+        let query = random_walk(18, &mut rng);
+        let (pruned, stats) = knn_pruned(&edr, &EdrLengthBound, &query, &db, 3);
+        let (full, _) = knn_pruned(&edr, &NoBound, &query, &db, 3);
+        let pd: Vec<f64> = pruned.iter().map(|&(_, d)| d).collect();
+        let fd: Vec<f64> = full.iter().map(|&(_, d)| d).collect();
+        assert_eq!(pd, fd, "pruning must be exact");
+        assert!(stats.pruned > 0, "length bound should prune something");
+        assert_eq!(stats.evaluated + stats.pruned, db.len());
+    }
+
+    #[test]
+    fn pruned_result_equals_full_scan_dtw() {
+        // Half the database lives 50 km away: its endpoint bound is far
+        // beyond the k-th best of the near cluster.
+        let mut rng = det_rng(3);
+        let mut db: Vec<Vec<Point>> = (0..20).map(|_| random_walk(8, &mut rng)).collect();
+        db.extend((0..20).map(|_| {
+            random_walk(8, &mut rng)
+                .into_iter()
+                .map(|p| Point::new(p.x + 50_000.0, p.y + 50_000.0))
+                .collect::<Vec<_>>()
+        }));
+        let dtw = Dtw::new();
+        let query = random_walk(8, &mut rng);
+        let (pruned, stats) = knn_pruned(&dtw, &DtwEndpointBound, &query, &db, 3);
+        let (full, _) = knn_pruned(&dtw, &NoBound, &query, &db, 3);
+        assert_eq!(
+            pruned.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
+            full.iter().map(|&(_, d)| d).collect::<Vec<_>>()
+        );
+        assert!(stats.pruned >= 20, "the far cluster should be pruned: {stats:?}");
+    }
+
+    #[test]
+    fn bounds_are_valid_lower_bounds() {
+        let db = db(30, 5);
+        let mut rng = det_rng(6);
+        let query = random_walk(15, &mut rng);
+        let edr = Edr::new(20.0);
+        let dtw = Dtw::new();
+        for t in &db {
+            assert!(
+                LowerBound::<Edr>::bound(&EdrLengthBound, &query, t) <= edr.dist(&query, t) + 1e-9
+            );
+            assert!(
+                LowerBound::<Dtw>::bound(&DtwEndpointBound, &query, t)
+                    <= dtw.dist(&query, t) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn k_larger_than_db() {
+        let db = db(4, 7);
+        let mut rng = det_rng(8);
+        let query = random_walk(10, &mut rng);
+        let (res, _) = knn_pruned(&Edr::new(20.0), &EdrLengthBound, &query, &db, 10);
+        assert_eq!(res.len(), 4);
+    }
+
+    #[test]
+    fn empty_db() {
+        let mut rng = det_rng(9);
+        let query = random_walk(5, &mut rng);
+        let (res, stats) = knn_pruned(&Edr::new(20.0), &NoBound, &query, &[], 3);
+        assert!(res.is_empty());
+        assert_eq!(stats, KnnStats { evaluated: 0, pruned: 0 });
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let db = db(40, 10);
+        let mut rng = det_rng(11);
+        let query = random_walk(10, &mut rng);
+        let (res, _) = knn_pruned(&Dtw::new(), &DtwEndpointBound, &query, &db, 10);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Evaluation harness: metrics and runners that regenerate every table
+//! and figure of the t2vec paper's §V on the synthetic city.
+//!
+//! | Module | Paper artefact |
+//! |--------|----------------|
+//! | [`metrics`] | mean rank, precision@k, cross-distance deviation |
+//! | [`method`] | the unified query interface over all similarity methods |
+//! | [`experiments::most_similar`] | Tables III, IV, V (Experiments 1–3) |
+//! | [`experiments::cross_similarity`] | Table VI |
+//! | [`experiments::knn_precision`] | Figure 5 |
+//! | [`experiments::scalability`] | Figure 6 |
+//! | [`experiments::loss_ablation`] | Table VII |
+//! | [`experiments::sweeps`] | Tables VIII, IX and Figure 7 |
+//! | [`paper`] | the paper's reported Porto numbers, for side-by-side output |
+//! | [`tables`] | ASCII table rendering |
+//!
+//! Scales are configurable ([`experiments::Scale`]); the defaults run on
+//! one CPU core in minutes while preserving the paper's *relative*
+//! comparisons (who wins, by how much, where methods break down).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod method;
+pub mod metrics;
+pub mod paper;
+pub mod tables;

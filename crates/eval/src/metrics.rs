@@ -1,0 +1,165 @@
+//! Evaluation metrics used throughout §V of the paper.
+
+/// Rank of the target item among candidate distances: one plus the
+/// number of candidates strictly closer than the target (rank 1 = best).
+/// Ties in front of the target do not hurt it.
+///
+/// # Panics
+/// Panics if `target` is out of range.
+pub fn rank_of(distances: &[f64], target: usize) -> usize {
+    let target_dist = distances[target];
+    1 + distances.iter().filter(|&&d| d < target_dist).count()
+}
+
+/// Mean of a slice of ranks.
+pub fn mean_rank(ranks: &[usize]) -> f64 {
+    if ranks.is_empty() {
+        return 0.0;
+    }
+    ranks.iter().sum::<usize>() as f64 / ranks.len() as f64
+}
+
+/// The ids of the `k` smallest distances (ties broken by id for
+/// determinism), ascending by distance.
+pub fn knn_ids(distances: &[f64], k: usize) -> Vec<usize> {
+    let mut ids: Vec<usize> = (0..distances.len()).collect();
+    ids.sort_by(|&a, &b| {
+        distances[a]
+            .partial_cmp(&distances[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    ids.truncate(k);
+    ids
+}
+
+/// Precision@k between a ground-truth k-NN set and a retrieved k-NN set:
+/// `|truth ∩ retrieved| / |truth|` (the "proportion of true k-nn
+/// trajectories" of §V-C3).
+pub fn precision_at_k(truth: &[usize], retrieved: &[usize]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let t: std::collections::HashSet<usize> = truth.iter().copied().collect();
+    let hit = retrieved.iter().filter(|id| t.contains(id)).count();
+    hit as f64 / truth.len() as f64
+}
+
+/// Cross-distance deviation (§V-C2): `|d(Ta, Ta') − d(Tb, Tb')| /
+/// d(Tb, Tb')`, how much the distance between two *different* trips
+/// drifts when both are degraded. Returns `None` when the reference
+/// distance is zero or not finite (the pair is skipped, as a ratio would
+/// be meaningless).
+pub fn cross_distance_deviation(degraded: f64, reference: f64) -> Option<f64> {
+    if !(reference.is_finite() && degraded.is_finite()) || reference <= 0.0 {
+        return None;
+    }
+    Some((degraded - reference).abs() / reference)
+}
+
+/// Mean of an iterator of f64 values; 0.0 when empty.
+pub fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rank_basics() {
+        let d = [3.0, 1.0, 2.0, 5.0];
+        assert_eq!(rank_of(&d, 1), 1); // smallest
+        assert_eq!(rank_of(&d, 2), 2);
+        assert_eq!(rank_of(&d, 0), 3);
+        assert_eq!(rank_of(&d, 3), 4);
+    }
+
+    #[test]
+    fn rank_with_ties_is_optimistic() {
+        let d = [1.0, 1.0, 1.0];
+        for t in 0..3 {
+            assert_eq!(rank_of(&d, t), 1);
+        }
+    }
+
+    #[test]
+    fn mean_rank_basics() {
+        assert_eq!(mean_rank(&[1, 2, 3]), 2.0);
+        assert_eq!(mean_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn knn_ids_sorted_and_deterministic() {
+        let d = [5.0, 1.0, 3.0, 1.0, 0.5];
+        assert_eq!(knn_ids(&d, 3), vec![4, 1, 3]);
+        assert_eq!(knn_ids(&d, 10).len(), 5);
+        assert!(knn_ids(&d, 0).is_empty());
+    }
+
+    #[test]
+    fn precision_basics() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(precision_at_k(&[1, 2, 3], &[4, 5, 6]), 0.0);
+        assert!((precision_at_k(&[1, 2, 3], &[1, 9, 3]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn deviation_basics() {
+        assert_eq!(cross_distance_deviation(11.0, 10.0), Some(0.1));
+        assert_eq!(cross_distance_deviation(9.0, 10.0), Some(0.1));
+        assert_eq!(cross_distance_deviation(5.0, 0.0), None);
+        assert_eq!(cross_distance_deviation(f64::INFINITY, 10.0), None);
+        assert_eq!(cross_distance_deviation(1.0, f64::NAN), None);
+    }
+
+    #[test]
+    fn mean_iterator() {
+        assert_eq!(mean([1.0, 2.0, 3.0].into_iter()), 2.0);
+        assert_eq!(mean(std::iter::empty()), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn rank_is_within_bounds(
+            d in proptest::collection::vec(0.0..100.0f64, 1..50),
+            idx in 0usize..50,
+        ) {
+            let idx = idx % d.len();
+            let r = rank_of(&d, idx);
+            prop_assert!(r >= 1 && r <= d.len());
+        }
+
+        #[test]
+        fn knn_distances_ascending(
+            d in proptest::collection::vec(0.0..100.0f64, 1..50),
+            k in 1usize..10,
+        ) {
+            let ids = knn_ids(&d, k);
+            for w in ids.windows(2) {
+                prop_assert!(d[w[0]] <= d[w[1]]);
+            }
+        }
+
+        #[test]
+        fn precision_in_unit_interval(
+            truth in proptest::collection::vec(0usize..100, 1..20),
+            got in proptest::collection::vec(0usize..100, 0..20),
+        ) {
+            let p = precision_at_k(&truth, &got);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! The numbers the paper reports for the Porto dataset, embedded so the
+//! experiment harness can print paper-vs-measured side by side and
+//! `EXPERIMENTS.md` can be regenerated.
+//!
+//! We reproduce *shape*, not absolute values: the paper ran 0.8 M-trip
+//! datasets on a GPU; we run a scaled synthetic city on one CPU core.
+
+/// Method names in the canonical order of the paper's tables.
+pub const METHODS: [&str; 6] = ["EDR", "LCSS", "CMS", "vRNN", "EDwP", "t2vec"];
+
+/// Table III (Porto): mean rank versus database size.
+pub const TABLE3_DB_SIZES: [usize; 5] = [20_000, 40_000, 60_000, 80_000, 100_000];
+/// Table III rows, aligned with [`METHODS`] and [`TABLE3_DB_SIZES`].
+pub const TABLE3_PORTO: [[f64; 5]; 6] = [
+    [25.73, 50.70, 76.07, 104.01, 130.98], // EDR
+    [31.95, 59.20, 95.85, 130.40, 150.67], // LCSS
+    [62.18, 112.84, 173.34, 231.55, 291.26], // CMS
+    [32.73, 61.24, 100.20, 135.22, 163.10], // vRNN
+    [6.78, 11.48, 16.08, 23.02, 28.90],    // EDwP
+    [2.30, 3.45, 4.73, 6.35, 7.67],        // t2vec
+];
+
+/// Table IV (Porto): mean rank versus dropping rate r1.
+pub const TABLE4_RATES: [f64; 5] = [0.2, 0.3, 0.4, 0.5, 0.6];
+/// Table IV rows, aligned with [`METHODS`] and [`TABLE4_RATES`].
+pub const TABLE4_PORTO: [[f64; 5]; 6] = [
+    [160.03, 208.01, 235.60, 285.10, 340.68],
+    [168.02, 173.45, 187.60, 188.40, 192.20],
+    [296.56, 317.70, 430.00, 387.90, 446.50],
+    [173.45, 179.58, 190.24, 200.13, 210.20],
+    [29.10, 30.50, 31.64, 39.67, 61.72],
+    [7.88, 8.00, 9.48, 12.70, 15.99],
+];
+
+/// Table V (Porto): mean rank versus distorting rate r2.
+pub const TABLE5_RATES: [f64; 5] = [0.2, 0.3, 0.4, 0.5, 0.6];
+/// Table V rows, aligned with [`METHODS`] and [`TABLE5_RATES`].
+pub const TABLE5_PORTO: [[f64; 5]; 6] = [
+    [132.40, 133.10, 135.60, 134.90, 139.10],
+    [210.30, 215.70, 214.60, 215.05, 228.03],
+    [296.16, 317.27, 337.31, 327.90, 346.05],
+    [212.16, 220.0, 217.30, 220.61, 235.70],
+    [30.10, 30.16, 32.63, 31.23, 33.53],
+    [9.10, 9.20, 9.52, 9.49, 10.80],
+];
+
+/// Table VI methods (subset used for cross-distance deviation).
+pub const TABLE6_METHODS: [&str; 3] = ["t2vec", "EDwP", "EDR"];
+/// Table VI: mean cross-distance deviation vs dropping rate r1.
+pub const TABLE6_RATES: [f64; 4] = [0.1, 0.2, 0.4, 0.6];
+/// Deviation under down-sampling, rows aligned with [`TABLE6_METHODS`].
+pub const TABLE6_DROP: [[f64; 4]; 3] = [
+    [0.057, 0.010, 0.016, 0.025],
+    [0.059, 0.010, 0.024, 0.039],
+    [0.130, 0.190, 0.380, 0.580],
+];
+/// Deviation under distortion, rows aligned with [`TABLE6_METHODS`].
+pub const TABLE6_DISTORT: [[f64; 4]; 3] = [
+    [0.010, 0.013, 0.018, 0.021],
+    [0.010, 0.018, 0.031, 0.038],
+    [0.012, 0.019, 0.033, 0.039],
+];
+
+/// Table VII: loss-function ablation (Porto). Columns: mean rank at
+/// r1 = 0.4 / 0.5 / 0.6, then training hours.
+pub const TABLE7_LOSSES: [&str; 4] = ["L1", "L2", "L3", "L3+CL"];
+/// Table VII values, rows aligned with [`TABLE7_LOSSES`].
+pub const TABLE7_PORTO: [[f64; 4]; 4] = [
+    [46.56, 55.72, 68.49, 26.0],
+    [21.34, 27.30, 32.01, 120.0], // L2 did not converge in 120 h
+    [9.70, 13.50, 16.52, 22.0],
+    [9.48, 12.70, 15.99, 14.0],
+];
+
+/// Table VIII: cell-size sweep (Porto). Columns per cell size:
+/// number of hot cells, MR@r1=0.5, MR@r1=0.6, MR@r2=0.5, MR@r2=0.6,
+/// training hours.
+pub const TABLE8_CELL_SIZES: [f64; 4] = [25.0, 50.0, 100.0, 150.0];
+/// Table VIII values, rows aligned with [`TABLE8_CELL_SIZES`].
+pub const TABLE8_PORTO: [[f64; 6]; 4] = [
+    [60_004.0, 216.23, 234.18, 291.57, 302.91, 37.0],
+    [35_335.0, 15.21, 19.21, 9.49, 10.87, 25.0],
+    [18_866.0, 12.70, 15.99, 9.49, 10.80, 14.0],
+    [12_425.0, 12.70, 16.03, 9.51, 11.03, 8.0],
+];
+
+/// Table IX: hidden-size sweep (Porto). Columns: MR@r1=0.5, MR@r1=0.6,
+/// MR@r2=0.5, MR@r2=0.6.
+pub const TABLE9_HIDDEN: [usize; 5] = [64, 128, 256, 484, 512];
+/// Table IX values, rows aligned with [`TABLE9_HIDDEN`].
+pub const TABLE9_PORTO: [[f64; 4]; 5] = [
+    [400.01, 431.11, 390.27, 397.22],
+    [50.21, 63.71, 48.36, 50.26],
+    [12.70, 15.99, 9.49, 10.80],
+    [10.24, 16.70, 8.01, 9.27],
+    [11.26, 17.42, 9.09, 10.05],
+];
+
+/// Figure 7: the qualitative claim — mean rank drops steeply as the
+/// training set grows from 200 k to 600 k trips, then flattens.
+pub const FIG7_CLAIM: &str =
+    "mean rank falls steeply with training size, with diminishing returns past ~3/4 scale";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_consistent() {
+        assert_eq!(TABLE3_PORTO.len(), METHODS.len());
+        assert_eq!(TABLE4_PORTO.len(), METHODS.len());
+        assert_eq!(TABLE5_PORTO.len(), METHODS.len());
+        assert_eq!(TABLE6_DROP.len(), TABLE6_METHODS.len());
+        assert_eq!(TABLE7_PORTO.len(), TABLE7_LOSSES.len());
+        assert_eq!(TABLE8_PORTO.len(), TABLE8_CELL_SIZES.len());
+        assert_eq!(TABLE9_PORTO.len(), TABLE9_HIDDEN.len());
+    }
+
+    #[test]
+    fn paper_orderings_hold_in_reference_data() {
+        // t2vec < EDwP < {EDR, LCSS, vRNN} < CMS on every Table III column.
+        let idx = |m: &str| METHODS.iter().position(|&x| x == m).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for c in 0..TABLE3_DB_SIZES.len() {
+            let v = |m: &str| TABLE3_PORTO[idx(m)][c];
+            assert!(v("t2vec") < v("EDwP"));
+            assert!(v("EDwP") < v("EDR"));
+            assert!(v("EDR") < v("CMS"));
+            assert!(v("LCSS") < v("CMS"));
+            assert!(v("vRNN") < v("CMS"));
+        }
+    }
+
+    #[test]
+    fn distortion_hurts_less_than_dropping() {
+        // Compare Table V (distortion) to Table IV (dropping) at matched
+        // rates for EDR: the paper's observation that no method is very
+        // sensitive to distortion.
+        for c in 0..5 {
+            assert!(TABLE5_PORTO[0][c] < TABLE4_PORTO[0][c]);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Minimal ASCII table rendering for experiment output.
+
+/// Renders a table with a header row. Columns are right-aligned except
+/// the first.
+///
+/// # Panics
+/// Panics if a row's width differs from the header's.
+pub fn render(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::from("| ");
+        for (i, (cell, w)) in cells.iter().zip(widths.iter()).enumerate() {
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("{cell:>w$}"));
+            }
+            line.push_str(" | ");
+        }
+        line.trim_end().to_string()
+    };
+    let sep = {
+        let mut s = String::from("|");
+        for w in &widths {
+            s.push_str(&"-".repeat(w + 2));
+            s.push('|');
+        }
+        s
+    };
+    out.push_str(&fmt_row(headers));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Convenience: stringifies a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Convenience: stringifies a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Builds the headers vector from string slices.
+pub fn headers(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let out = render(
+            "Demo",
+            &headers(&["method", "mr"]),
+            &[
+                vec!["EDR".into(), "25.73".into()],
+                vec!["t2vec".into(), "2.30".into()],
+            ],
+        );
+        assert!(out.starts_with("Demo\n"));
+        assert!(out.contains("| method | "));
+        assert!(out.contains("| t2vec  | "));
+        // numeric column right-aligned
+        assert!(out.contains("  2.30 |"));
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = render("x", &headers(&["a", "b"]), &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.005), "1.00"); // banker's-ish rounding from format!
+        assert_eq!(f2(25.728), "25.73");
+        assert_eq!(f3(0.0571), "0.057");
+    }
+}

@@ -1,0 +1,349 @@
+//! Gated Recurrent Unit cells and stacks.
+//!
+//! The paper (§V-B) chooses GRU over LSTM — *"it has been shown to be as
+//! good as LSTM in sequence modeling tasks, while it is much more
+//! efficient to compute"* — with 3 layers and hidden size 256. The cell
+//! follows Chung et al. 2014:
+//!
+//! ```text
+//! z = σ(x·Wxz + h·Whz + bz)          update gate
+//! r = σ(x·Wxr + h·Whr + br)          reset gate
+//! n = tanh(x·Wxn + r ∘ (h·Whn) + bn) candidate state
+//! h' = (1 − z) ∘ n + z ∘ h
+//! ```
+//!
+//! The three input projections are fused into one `(input × 3H)` matrix
+//! (and likewise the hidden projections) so each step costs two matmuls.
+//! Every cell offers a tape-recorded [`GruCell::step`] for training and a
+//! tape-free [`GruCell::step_raw`] for inference; the tests assert both
+//! compute identical values.
+
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use t2vec_tensor::{init, Matrix, Tape, Var};
+
+/// One GRU layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruCell {
+    /// Fused input projection `(input_dim × 3·hidden)`, gate order
+    /// `[z | r | n]`.
+    pub wx: Param,
+    /// Fused hidden projection `(hidden × 3·hidden)`, same gate order.
+    pub wh: Param,
+    /// Fused bias `(1 × 3·hidden)`.
+    pub b: Param,
+    input_dim: usize,
+    hidden: usize,
+}
+
+/// The per-step tape bindings of one cell.
+#[derive(Clone, Copy)]
+pub struct BoundGruCell<'t> {
+    wx: Var<'t>,
+    wh: Var<'t>,
+    b: Var<'t>,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// A new cell with Xavier-initialised projections.
+    pub fn new(name: &str, input_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            wx: Param::new(format!("{name}.wx"), init::xavier_uniform(input_dim, 3 * hidden, rng)),
+            wh: Param::new(format!("{name}.wh"), init::xavier_uniform(hidden, 3 * hidden, rng)),
+            b: Param::new(format!("{name}.b"), Matrix::zeros(1, 3 * hidden)),
+            input_dim,
+            hidden,
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Binds the cell's parameters on `tape` for one training step.
+    pub fn bind<'t>(&self, tape: &'t Tape) -> BoundGruCell<'t> {
+        BoundGruCell {
+            wx: self.wx.bind(tape),
+            wh: self.wh.bind(tape),
+            b: self.b.bind(tape),
+            hidden: self.hidden,
+        }
+    }
+
+    /// Mutable references to the parameters, in binding order (must stay
+    /// aligned with [`BoundGruCell::vars`]).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+
+    /// Immutable access to the parameters, in binding order.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+
+    /// Inference step without a tape: `h' = GRU(x, h)`.
+    pub fn step_raw(&self, x: &Matrix, h: &Matrix) -> Matrix {
+        let hidden = self.hidden;
+        let gx = x.matmul(&self.wx.value).add_row_broadcast(&self.b.value);
+        let gh = h.matmul(&self.wh.value);
+        let mut out = Matrix::zeros(h.rows(), hidden);
+        for row in 0..h.rows() {
+            let gxr = gx.row(row);
+            let ghr = gh.row(row);
+            let hr = h.row(row);
+            let o = out.row_mut(row);
+            for k in 0..hidden {
+                let z = sigmoid(gxr[k] + ghr[k]);
+                let r = sigmoid(gxr[hidden + k] + ghr[hidden + k]);
+                let n = (gxr[2 * hidden + k] + r * ghr[2 * hidden + k]).tanh();
+                o[k] = (1.0 - z) * n + z * hr[k];
+            }
+        }
+        out
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl<'t> BoundGruCell<'t> {
+    /// The bound parameter vars, in the same order as
+    /// [`GruCell::params_mut`].
+    pub fn vars(&self) -> Vec<Var<'t>> {
+        vec![self.wx, self.wh, self.b]
+    }
+
+    /// Tape-recorded step: `h' = GRU(x, h)` where `x` is `(batch ×
+    /// input)` and `h` is `(batch × hidden)`.
+    pub fn step(&self, x: Var<'t>, h: Var<'t>) -> Var<'t> {
+        let hd = self.hidden;
+        let gx = x.matmul(self.wx).add_broadcast(self.b); // (B × 3H)
+        let gh = h.matmul(self.wh); // (B × 3H)
+        let z = gx.slice_cols(0, hd).add(gh.slice_cols(0, hd)).sigmoid();
+        let r = gx.slice_cols(hd, 2 * hd).add(gh.slice_cols(hd, 2 * hd)).sigmoid();
+        let n = gx.slice_cols(2 * hd, 3 * hd).add(r.hadamard(gh.slice_cols(2 * hd, 3 * hd))).tanh();
+        // h' = (1 - z)∘n + z∘h = n + z∘(h - n)
+        n.add(z.hadamard(h.sub(n)))
+    }
+}
+
+/// A stack of GRU layers (layer `l` feeds layer `l+1`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GruStack {
+    layers: Vec<GruCell>,
+}
+
+/// Per-step tape bindings of a stack.
+pub struct BoundGruStack<'t> {
+    layers: Vec<BoundGruCell<'t>>,
+}
+
+impl GruStack {
+    /// A stack of `num_layers` cells; the first takes `input_dim`, the
+    /// rest take `hidden`.
+    ///
+    /// # Panics
+    /// Panics if `num_layers == 0`.
+    pub fn new(
+        name: &str,
+        input_dim: usize,
+        hidden: usize,
+        num_layers: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(num_layers > 0, "GRU stack needs at least one layer");
+        let layers = (0..num_layers)
+            .map(|l| {
+                let in_dim = if l == 0 { input_dim } else { hidden };
+                GruCell::new(&format!("{name}.l{l}"), in_dim, hidden, rng)
+            })
+            .collect();
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.layers[0].hidden()
+    }
+
+    /// Binds all layers on `tape`.
+    pub fn bind<'t>(&self, tape: &'t Tape) -> BoundGruStack<'t> {
+        BoundGruStack { layers: self.layers.iter().map(|l| l.bind(tape)).collect() }
+    }
+
+    /// Mutable parameter references, in binding order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(GruCell::params_mut).collect()
+    }
+
+    /// Immutable parameter references, in binding order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(GruCell::params).collect()
+    }
+
+    /// Zero initial states, one `(batch × hidden)` matrix per layer.
+    pub fn zero_state(&self, batch: usize) -> Vec<Matrix> {
+        self.layers.iter().map(|l| Matrix::zeros(batch, l.hidden())).collect()
+    }
+
+    /// Inference step: updates `states` in place, returns a reference to
+    /// the top-layer state.
+    ///
+    /// # Panics
+    /// Panics if `states` does not have one entry per layer.
+    pub fn step_raw<'s>(&self, x: &Matrix, states: &'s mut [Matrix]) -> &'s Matrix {
+        assert_eq!(states.len(), self.layers.len(), "state count mismatch");
+        let mut input = x.clone();
+        for (layer, state) in self.layers.iter().zip(states.iter_mut()) {
+            let new_state = layer.step_raw(&input, state);
+            input = new_state.clone();
+            *state = new_state;
+        }
+        states.last().expect("non-empty stack")
+    }
+}
+
+impl<'t> BoundGruStack<'t> {
+    /// All bound vars, aligned with [`GruStack::params_mut`].
+    pub fn vars(&self) -> Vec<Var<'t>> {
+        self.layers.iter().flat_map(BoundGruCell::vars).collect()
+    }
+
+    /// Tape-recorded step: consumes the per-layer states and returns the
+    /// new ones; the last element is the top layer's output.
+    pub fn step(&self, x: Var<'t>, states: &[Var<'t>]) -> Vec<Var<'t>> {
+        assert_eq!(states.len(), self.layers.len(), "state count mismatch");
+        let mut out = Vec::with_capacity(states.len());
+        let mut input = x;
+        for (layer, &state) in self.layers.iter().zip(states.iter()) {
+            let h = layer.step(input, state);
+            input = h;
+            out.push(h);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2vec_tensor::gradcheck::check_scalar_fn;
+    use t2vec_tensor::rng::det_rng;
+
+    #[test]
+    fn taped_and_raw_steps_agree() {
+        let mut rng = det_rng(1);
+        let cell = GruCell::new("g", 3, 5, &mut rng);
+        let x = init::uniform(4, 3, 1.0, &mut rng);
+        let h = init::uniform(4, 5, 0.5, &mut rng);
+        let raw = cell.step_raw(&x, &h);
+        let tape = Tape::new();
+        let bound = cell.bind(&tape);
+        let taped = bound.step(tape.leaf(x), tape.leaf(h)).value();
+        assert!(raw.max_abs_diff(&taped) < 1e-5, "taped vs raw mismatch");
+    }
+
+    #[test]
+    fn stack_taped_and_raw_agree() {
+        let mut rng = det_rng(2);
+        let stack = GruStack::new("s", 3, 4, 3, &mut rng);
+        let x = init::uniform(2, 3, 1.0, &mut rng);
+        let mut states = stack.zero_state(2);
+        let raw_top = stack.step_raw(&x, &mut states).clone();
+
+        let tape = Tape::new();
+        let bound = stack.bind(&tape);
+        let state_vars: Vec<Var<'_>> =
+            stack.zero_state(2).into_iter().map(|m| tape.leaf(m)).collect();
+        let new_states = bound.step(tape.leaf(x), &state_vars);
+        let taped_top = new_states.last().unwrap().value();
+        assert!(raw_top.max_abs_diff(&taped_top) < 1e-5);
+        // Intermediate states match too.
+        for (s, v) in states.iter().zip(new_states.iter()) {
+            assert!(s.max_abs_diff(&v.value()) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradcheck_gru_cell_end_to_end() {
+        // Check gradients through a two-step GRU unroll w.r.t. all three
+        // parameter matrices and the input.
+        let mut rng = det_rng(3);
+        let (in_dim, hidden) = (2, 3);
+        let wx = init::xavier_uniform(in_dim, 3 * hidden, &mut rng);
+        let wh = init::xavier_uniform(hidden, 3 * hidden, &mut rng);
+        let b = init::uniform(1, 3 * hidden, 0.1, &mut rng);
+        let x1 = init::uniform(2, in_dim, 1.0, &mut rng);
+        let x2 = init::uniform(2, in_dim, 1.0, &mut rng);
+        check_scalar_fn(&[wx, wh, b, x1, x2], |tape, vars| {
+            let (wx, wh, b, x1, x2) = (vars[0], vars[1], vars[2], vars[3], vars[4]);
+            let cell = BoundGruCell { wx, wh, b, hidden: 3 };
+            let h0 = tape.leaf(Matrix::zeros(2, 3));
+            let h1 = cell.step(x1, h0);
+            let h2 = cell.step(x2, h1);
+            h2.tanh().sum()
+        });
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        // GRU state is a convex combination of tanh outputs and previous
+        // state, so |h| <= 1 forever when starting from zero.
+        let mut rng = det_rng(4);
+        let cell = GruCell::new("g", 2, 6, &mut rng);
+        let mut h = Matrix::zeros(1, 6);
+        for step in 0..200 {
+            let x = init::uniform(1, 2, 10.0, &mut rng); // large inputs
+            h = cell.step_raw(&x, &h);
+            assert!(
+                h.as_slice().iter().all(|v| v.abs() <= 1.0 + 1e-6),
+                "state escaped bounds at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_input_zero_state_is_stable() {
+        let mut rng = det_rng(5);
+        let mut cell = GruCell::new("g", 2, 3, &mut rng);
+        // Zero bias => with x = 0, h = 0: z = 0.5, r = 0.5, n = 0 => h' = 0.
+        cell.b = Param::new("g.b", Matrix::zeros(1, 9));
+        let h = cell.step_raw(&Matrix::zeros(1, 2), &Matrix::zeros(1, 3));
+        assert!(h.as_slice().iter().all(|&v| v.abs() < 1e-7));
+    }
+
+    #[test]
+    fn params_order_matches_vars_order() {
+        let mut rng = det_rng(6);
+        let mut stack = GruStack::new("s", 2, 3, 2, &mut rng);
+        let names: Vec<String> = stack.params_mut().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names.len(), 6);
+        assert_eq!(names[0], "s.l0.wx");
+        assert_eq!(names[5], "s.l1.b");
+        let tape = Tape::new();
+        let bound = stack.bind(&tape);
+        assert_eq!(bound.vars().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_panics() {
+        let mut rng = det_rng(7);
+        let _ = GruStack::new("s", 2, 3, 0, &mut rng);
+    }
+}

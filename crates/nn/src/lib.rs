@@ -1,0 +1,34 @@
+//! Neural building blocks of the t2vec model.
+//!
+//! Everything the paper's §IV needs, built on the autodiff tape of
+//! [`t2vec_tensor`]:
+//!
+//! * [`param`] — named trainable parameters with Adam state, and the
+//!   clip-then-step update used by the trainer (max grad norm 5, §V-B);
+//! * [`embedding`] — the token embedding layer (§III-B);
+//! * [`gru`] — GRU cells and stacked GRUs (the paper uses 3 layers of
+//!   GRU with hidden size 256, §V-B), with both tape-recorded training
+//!   forward and an allocation-lean inference forward;
+//! * [`seq2seq`] — the encoder–decoder of Figure 2: the encoder squashes
+//!   the input token sequence into the representation `v`, the decoder is
+//!   initialised from the encoder state and reconstructs the target;
+//! * [`loss`] — the three training losses: `L1` (plain NLL, Eq. 4), `L2`
+//!   (exact spatial-proximity-aware loss, Eq. 5) and `L3` (the K-nearest
+//!   + NCE approximation, Eq. 7);
+//! * [`batch`] — length-bucketed minibatching of training pairs;
+//! * [`skipgram`] — Algorithm 1: skip-gram with negative sampling over
+//!   spatially sampled cell contexts, used to pre-train the embedding.
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod embedding;
+pub mod gru;
+pub mod loss;
+pub mod param;
+pub mod seq2seq;
+pub mod skipgram;
+
+pub use loss::LossKind;
+pub use param::Param;
+pub use seq2seq::{Seq2Seq, Seq2SeqConfig};

@@ -1,0 +1,675 @@
+//! The sequence encoder–decoder of Figure 2.
+//!
+//! The encoder reads the (tokenised) trajectory `Ta` and squashes it into
+//! the representation `v` — the final hidden state of the top GRU layer.
+//! The decoder starts from the encoder's final states and is trained to
+//! reconstruct the higher-sampling-rate counterpart `Tb` (teacher-forced),
+//! maximising `P(Tb | Ta)` (Eq. 2). At inference time only the encoder
+//! runs: `O(n)` to embed a trajectory, after which similarity is the
+//! Euclidean distance between vectors (§IV-D).
+
+use crate::batch::Batch;
+use crate::embedding::Embedding;
+use crate::gru::{BoundGruStack, GruStack};
+use crate::loss::{step_loss, LossKind};
+use crate::param::Param;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use t2vec_spatial::vocab::{NeighborTable, Token};
+use t2vec_tensor::{init, Matrix, Tape, Var};
+
+/// Architecture hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Seq2SeqConfig {
+    /// Vocabulary size (hot cells + specials).
+    pub vocab: usize,
+    /// Token embedding dimension (paper: 256, equal to the hidden size).
+    pub embed_dim: usize,
+    /// GRU hidden size — this is also `|v|`, the representation
+    /// dimension (paper default 256; Table IX sweeps 64–512).
+    pub hidden: usize,
+    /// Number of stacked GRU layers (paper: 3).
+    pub layers: usize,
+    /// Bidirectional encoder (the authors' released implementation runs
+    /// the encoder in both directions with per-direction hidden size
+    /// `hidden / 2` and concatenates the final states, so `|v|` stays
+    /// `hidden`). The decoder is always unidirectional.
+    #[serde(default)]
+    pub bidirectional: bool,
+}
+
+impl Seq2SeqConfig {
+    /// Sanity-checks the configuration.
+    ///
+    /// # Panics
+    /// Panics on zero-sized dimensions, or an odd hidden size with a
+    /// bidirectional encoder.
+    pub fn validate(&self) {
+        assert!(self.vocab > Token::NUM_SPECIALS as usize, "vocabulary has no hot cells");
+        assert!(self.embed_dim > 0 && self.hidden > 0 && self.layers > 0);
+        if self.bidirectional {
+            assert!(self.hidden.is_multiple_of(2), "bidirectional encoder needs an even hidden size");
+        }
+    }
+
+    /// Per-direction encoder hidden size.
+    pub fn dir_hidden(&self) -> usize {
+        if self.bidirectional {
+            self.hidden / 2
+        } else {
+            self.hidden
+        }
+    }
+}
+
+/// The encoder–decoder model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Seq2Seq {
+    config: Seq2SeqConfig,
+    embedding: Embedding,
+    encoder: GruStack,
+    /// Backward-direction encoder (present iff
+    /// [`Seq2SeqConfig::bidirectional`]).
+    #[serde(default)]
+    encoder_bwd: Option<GruStack>,
+    decoder: GruStack,
+    /// Output projection `(vocab × hidden)`; logits are `h · Wᵀ` and the
+    /// sampled loss gathers its rows (no bias, per Eq. 5).
+    w_out: Param,
+}
+
+/// Tape bindings of the whole model for one training step.
+pub struct BoundSeq2Seq<'m, 't> {
+    emb: Var<'t>,
+    encoder: BoundGruStack<'t>,
+    encoder_bwd: Option<BoundGruStack<'t>>,
+    decoder: BoundGruStack<'t>,
+    w_out: Var<'t>,
+    model: &'m Seq2Seq,
+}
+
+impl Seq2Seq {
+    /// A model with randomly initialised embeddings.
+    pub fn new(config: Seq2SeqConfig, rng: &mut impl Rng) -> Self {
+        config.validate();
+        let embedding = Embedding::new("emb", config.vocab, config.embed_dim, rng);
+        Self::with_embedding(config, embedding, rng)
+    }
+
+    /// A model whose embedding table is initialised from pre-trained cell
+    /// vectors (Algorithm 1); the table remains trainable.
+    ///
+    /// # Panics
+    /// Panics if the table shape disagrees with the config.
+    pub fn with_pretrained_embedding(
+        config: Seq2SeqConfig,
+        table: Matrix,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(table.shape(), (config.vocab, config.embed_dim), "pretrained table shape");
+        let embedding = Embedding::from_pretrained("emb", table);
+        Self::with_embedding(config, embedding, rng)
+    }
+
+    fn with_embedding(config: Seq2SeqConfig, embedding: Embedding, rng: &mut impl Rng) -> Self {
+        config.validate();
+        let dh = config.dir_hidden();
+        let encoder = GruStack::new("enc.fwd", config.embed_dim, dh, config.layers, rng);
+        let encoder_bwd = config
+            .bidirectional
+            .then(|| GruStack::new("enc.bwd", config.embed_dim, dh, config.layers, rng));
+        let decoder = GruStack::new("dec", config.embed_dim, config.hidden, config.layers, rng);
+        let w_out = Param::new("w_out", init::xavier_uniform(config.vocab, config.hidden, rng));
+        Self { config, embedding, encoder, encoder_bwd, decoder, w_out }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Seq2SeqConfig {
+        &self.config
+    }
+
+    /// Representation dimension `|v|`.
+    pub fn repr_dim(&self) -> usize {
+        self.config.hidden
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Immutable parameter references, in binding order.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.embedding.table];
+        v.extend(self.encoder.params());
+        if let Some(bwd) = &self.encoder_bwd {
+            v.extend(bwd.params());
+        }
+        v.extend(self.decoder.params());
+        v.push(&self.w_out);
+        v
+    }
+
+    /// Mutable parameter references, in binding order (aligned with
+    /// [`BoundSeq2Seq::vars`]).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.embedding.table];
+        v.extend(self.encoder.params_mut());
+        if let Some(bwd) = &mut self.encoder_bwd {
+            v.extend(bwd.params_mut());
+        }
+        v.extend(self.decoder.params_mut());
+        v.push(&mut self.w_out);
+        v
+    }
+
+    /// Binds all parameters on `tape`.
+    pub fn bind<'m, 't>(&'m self, tape: &'t Tape) -> BoundSeq2Seq<'m, 't> {
+        BoundSeq2Seq {
+            emb: self.embedding.bind(tape),
+            encoder: self.encoder.bind(tape),
+            encoder_bwd: self.encoder_bwd.as_ref().map(|b| b.bind(tape)),
+            decoder: self.decoder.bind(tape),
+            w_out: self.w_out.bind(tape),
+            model: self,
+        }
+    }
+
+    /// Runs the (possibly bidirectional) encoder over one token sequence
+    /// without a tape, returning per-layer decoder-init states of width
+    /// `hidden`.
+    fn encode_states_raw(&self, tokens: &[Token]) -> Vec<Matrix> {
+        let mut fwd = self.encoder.zero_state(1);
+        for tok in tokens {
+            let x = self.embedding.lookup_raw(std::slice::from_ref(tok));
+            self.encoder.step_raw(&x, &mut fwd);
+        }
+        match &self.encoder_bwd {
+            None => fwd,
+            Some(bwd_stack) => {
+                let mut bwd = bwd_stack.zero_state(1);
+                for tok in tokens.iter().rev() {
+                    let x = self.embedding.lookup_raw(std::slice::from_ref(tok));
+                    bwd_stack.step_raw(&x, &mut bwd);
+                }
+                fwd.iter().zip(bwd.iter()).map(|(f, b)| f.concat_cols(b)).collect()
+            }
+        }
+    }
+
+    /// Encodes one token sequence into its representation `v` (the final
+    /// top-layer hidden state) without building a tape — the `O(n)`
+    /// inference path of §IV-D. Returns a zero vector for an empty
+    /// sequence.
+    pub fn encode_tokens(&self, tokens: &[Token]) -> Vec<f32> {
+        let states = self.encode_states_raw(tokens);
+        states.last().expect("non-empty stack").row(0).to_vec()
+    }
+
+    /// Encodes a batch of *equal-length* token sequences in one pass
+    /// (used by the bulk encoder in `t2vec-core`).
+    ///
+    /// # Panics
+    /// Panics if the sequences do not share a length.
+    pub fn encode_tokens_batch(&self, seqs: &[&[Token]]) -> Vec<Vec<f32>> {
+        if seqs.is_empty() {
+            return Vec::new();
+        }
+        let len = seqs[0].len();
+        assert!(seqs.iter().all(|s| s.len() == len), "batch sequences must share a length");
+        if len == 0 {
+            return vec![vec![0.0; self.config.hidden]; seqs.len()];
+        }
+        let mut fwd = self.encoder.zero_state(seqs.len());
+        let mut step_tokens = Vec::with_capacity(seqs.len());
+        for t in 0..len {
+            step_tokens.clear();
+            step_tokens.extend(seqs.iter().map(|s| s[t]));
+            let x = self.embedding.lookup_raw(&step_tokens);
+            self.encoder.step_raw(&x, &mut fwd);
+        }
+        let top = match &self.encoder_bwd {
+            None => fwd.last().expect("non-empty stack").clone(),
+            Some(bwd_stack) => {
+                let mut bwd = bwd_stack.zero_state(seqs.len());
+                for t in (0..len).rev() {
+                    step_tokens.clear();
+                    step_tokens.extend(seqs.iter().map(|s| s[t]));
+                    let x = self.embedding.lookup_raw(&step_tokens);
+                    bwd_stack.step_raw(&x, &mut bwd);
+                }
+                fwd.last()
+                    .expect("non-empty stack")
+                    .concat_cols(bwd.last().expect("non-empty stack"))
+            }
+        };
+        (0..seqs.len()).map(|b| top.row(b).to_vec()).collect()
+    }
+
+    /// Beam-search decode: the `beam_width` most likely token sequences
+    /// given the input, with their total log-probabilities (highest
+    /// first). Generalises [`Seq2Seq::greedy_decode`] (`beam_width = 1`)
+    /// and mirrors the top-k most-likely-route inference of Banerjee et
+    /// al. [12] that the paper discusses. Sequences end at `EOS` or
+    /// `max_len`.
+    pub fn beam_decode(
+        &self,
+        tokens: &[Token],
+        max_len: usize,
+        beam_width: usize,
+    ) -> Vec<(Vec<Token>, f32)> {
+        assert!(beam_width > 0, "beam width must be positive");
+        let states = self.encode_states_raw(tokens);
+        struct Beam {
+            states: Vec<Matrix>,
+            tokens: Vec<Token>,
+            logp: f32,
+            done: bool,
+        }
+        let mut beams =
+            vec![Beam { states, tokens: Vec::new(), logp: 0.0, done: false }];
+        for _ in 0..max_len {
+            if beams.iter().all(|b| b.done) {
+                break;
+            }
+            let mut candidates: Vec<Beam> = Vec::new();
+            for beam in &beams {
+                if beam.done {
+                    candidates.push(Beam {
+                        states: beam.states.clone(),
+                        tokens: beam.tokens.clone(),
+                        logp: beam.logp,
+                        done: true,
+                    });
+                    continue;
+                }
+                let prev = beam.tokens.last().copied().unwrap_or(Token::BOS);
+                let x = self.embedding.lookup_raw(&[prev]);
+                let mut new_states = beam.states.clone();
+                let h = self.decoder.step_raw(&x, &mut new_states).clone();
+                let logits = h.matmul_transpose(&self.w_out.value);
+                let logp = logits.log_softmax_rows();
+                // Top beam_width expansions of this beam.
+                let mut scored: Vec<(usize, f32)> = (0..logp.cols())
+                    .filter(|&i| {
+                        i != Token::PAD.idx() && i != Token::BOS.idx() && i != Token::UNK.idx()
+                    })
+                    .map(|i| (i, logp.get(0, i)))
+                    .collect();
+                scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for &(idx, lp) in scored.iter().take(beam_width) {
+                    let tok = Token(idx as u32);
+                    let mut tokens = beam.tokens.clone();
+                    let done = tok == Token::EOS;
+                    if !done {
+                        tokens.push(tok);
+                    }
+                    candidates.push(Beam {
+                        states: new_states.clone(),
+                        tokens,
+                        logp: beam.logp + lp,
+                        done,
+                    });
+                }
+            }
+            candidates
+                .sort_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap_or(std::cmp::Ordering::Equal));
+            candidates.truncate(beam_width);
+            beams = candidates;
+        }
+        beams.sort_by(|a, b| b.logp.partial_cmp(&a.logp).unwrap_or(std::cmp::Ordering::Equal));
+        beams.into_iter().map(|b| (b.tokens, b.logp)).collect()
+    }
+
+    /// Greedy decode: reconstructs the most likely token sequence from a
+    /// representation (used to inspect what route the model believes a
+    /// sparse trajectory took). Stops at `EOS` or `max_len`.
+    pub fn greedy_decode(&self, tokens: &[Token], max_len: usize) -> Vec<Token> {
+        let mut dec_states = self.encode_states_raw(tokens);
+        let mut out = Vec::new();
+        let mut prev = Token::BOS;
+        for _ in 0..max_len {
+            let x = self.embedding.lookup_raw(&[prev]);
+            let h = self.decoder.step_raw(&x, &mut dec_states);
+            // logits = h · Wᵀ; pick argmax, never PAD/BOS.
+            let logits = h.matmul_transpose(&self.w_out.value);
+            let mut best = Token::EOS;
+            let mut best_score = f32::NEG_INFINITY;
+            for idx in 0..logits.cols() {
+                if idx == Token::PAD.idx() || idx == Token::BOS.idx() || idx == Token::UNK.idx() {
+                    continue;
+                }
+                let s = logits.get(0, idx);
+                if s > best_score {
+                    best_score = s;
+                    best = Token(idx as u32);
+                }
+            }
+            if best == Token::EOS {
+                break;
+            }
+            out.push(best);
+            prev = best;
+        }
+        out
+    }
+}
+
+impl<'m, 't> BoundSeq2Seq<'m, 't> {
+    /// All bound vars, aligned with [`Seq2Seq::params_mut`].
+    pub fn vars(&self) -> Vec<Var<'t>> {
+        let mut v = vec![self.emb];
+        v.extend(self.encoder.vars());
+        if let Some(bwd) = &self.encoder_bwd {
+            v.extend(bwd.vars());
+        }
+        v.extend(self.decoder.vars());
+        v.push(self.w_out);
+        v
+    }
+
+    /// Runs the (possibly bidirectional) encoder over a time-major batch
+    /// and returns the per-layer decoder-init states (width `hidden`).
+    fn encode_batch(&self, tape: &'t Tape, src: &[Vec<Token>], batch: usize) -> Vec<Var<'t>> {
+        let model = self.model;
+        let mut fwd: Vec<Var<'t>> =
+            model.encoder.zero_state(batch).into_iter().map(|m| tape.leaf(m)).collect();
+        for step_tokens in src {
+            let x = model.embedding.lookup(self.emb, step_tokens);
+            fwd = self.encoder.step(x, &fwd);
+        }
+        match (&self.encoder_bwd, &model.encoder_bwd) {
+            (Some(bound_bwd), Some(bwd_stack)) => {
+                let mut bwd: Vec<Var<'t>> =
+                    bwd_stack.zero_state(batch).into_iter().map(|m| tape.leaf(m)).collect();
+                for step_tokens in src.iter().rev() {
+                    let x = model.embedding.lookup(self.emb, step_tokens);
+                    bwd = bound_bwd.step(x, &bwd);
+                }
+                fwd.iter().zip(bwd.iter()).map(|(&f, &b)| f.concat_cols(b)).collect()
+            }
+            _ => fwd,
+        }
+    }
+
+    /// Teacher-forced training loss on one batch: the *mean* per-token
+    /// loss (a `1×1` var) under `kind`.
+    pub fn loss(
+        &self,
+        tape: &'t Tape,
+        batch: &Batch,
+        kind: LossKind,
+        table: &NeighborTable,
+        rng: &mut impl Rng,
+    ) -> Var<'t> {
+        let model = self.model;
+        let mut states = self.encode_batch(tape, &batch.src, batch.batch_size);
+        let mut total: Option<Var<'t>> = None;
+        for (inputs, targets) in batch.dec_inputs.iter().zip(batch.dec_targets.iter()) {
+            let x = model.embedding.lookup(self.emb, inputs);
+            states = self.decoder.step(x, &states);
+            let h = *states.last().expect("non-empty stack");
+            let l = step_loss(kind, h, self.w_out, targets, table, model.config.vocab, rng);
+            total = Some(match total {
+                Some(t) => t.add(l),
+                None => l,
+            });
+        }
+        let total = total.expect("batch has at least one decode step");
+        total.scale(1.0 / batch.num_target_tokens.max(1) as f32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::make_batches;
+    use crate::param::apply_grads;
+    use t2vec_spatial::grid::Grid;
+    use t2vec_spatial::point::{BBox, Point};
+    use t2vec_spatial::vocab::Vocab;
+    use t2vec_tensor::opt::Adam;
+    use t2vec_tensor::rng::det_rng;
+
+    fn tiny_setup() -> (Vocab, NeighborTable, Seq2Seq) {
+        let grid = Grid::new(BBox::new(0.0, 0.0, 500.0, 500.0), 100.0);
+        let pts: Vec<Point> = (0..25).flat_map(|c| vec![grid.centroid(c); 3]).collect();
+        let vocab = Vocab::build(grid, pts.iter(), 2);
+        let table = NeighborTable::build(&vocab, 4, 100.0);
+        let mut rng = det_rng(1);
+        let config = Seq2SeqConfig {
+            vocab: vocab.size(),
+            embed_dim: 8,
+            hidden: 8,
+            layers: 2,
+            bidirectional: true,
+        };
+        let model = Seq2Seq::new(config, &mut rng);
+        (vocab, table, model)
+    }
+
+    fn toy_pairs(vocab: &Vocab) -> Vec<(Vec<Token>, Vec<Token>)> {
+        let toks: Vec<Token> = vocab.hot_tokens().collect();
+        // Source is every other token of the target ("downsampled").
+        let tgt: Vec<Token> = toks[..8].to_vec();
+        let src: Vec<Token> = tgt.iter().step_by(2).copied().collect();
+        vec![(src, tgt); 6]
+    }
+
+    #[test]
+    fn encode_produces_hidden_sized_vector() {
+        let (vocab, _, model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().take(5).collect();
+        let v = model.encode_tokens(&toks);
+        assert_eq!(v.len(), 8);
+        assert!(v.iter().any(|&x| x != 0.0));
+        // Empty input encodes to the zero vector.
+        assert!(model.encode_tokens(&[]).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_order_sensitive() {
+        let (vocab, _, model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().take(6).collect();
+        let v1 = model.encode_tokens(&toks);
+        let v2 = model.encode_tokens(&toks);
+        assert_eq!(v1, v2);
+        let mut rev = toks.clone();
+        rev.reverse();
+        let v3 = model.encode_tokens(&rev);
+        assert_ne!(v1, v3, "encoder must be order-sensitive (unlike CMS)");
+    }
+
+    #[test]
+    fn batch_encode_matches_single_encode() {
+        let (vocab, _, model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().take(6).collect();
+        let a = &toks[0..4];
+        let b = &toks[2..6];
+        let batch = model.encode_tokens_batch(&[a, b]);
+        let single_a = model.encode_tokens(a);
+        let single_b = model.encode_tokens(b);
+        for (x, y) in batch[0].iter().zip(single_a.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        for (x, y) in batch[1].iter().zip(single_b.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn loss_is_finite_for_all_kinds() {
+        let (vocab, table, model) = tiny_setup();
+        let pairs = toy_pairs(&vocab);
+        let mut rng = det_rng(2);
+        let batches = make_batches(&pairs, 4, &mut rng);
+        for kind in [LossKind::Nll, LossKind::Spatial, LossKind::SpatialNce { noise: 8 }] {
+            let tape = Tape::new();
+            let bound = model.bind(&tape);
+            let loss = bound.loss(&tape, &batches[0], kind, &table, &mut rng);
+            let v = loss.value().item();
+            assert!(v.is_finite() && v > 0.0, "{kind:?} loss = {v}");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (vocab, table, mut model) = tiny_setup();
+        let pairs = toy_pairs(&vocab);
+        // L1 has no entropy floor (one-hot targets), so the loss can
+        // approach zero; the spatial losses bottom out at the target
+        // distribution's entropy instead.
+        let adam = Adam::with_lr(5e-3);
+        let mut rng = det_rng(3);
+        let kind = LossKind::Nll;
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let batches = make_batches(&pairs, 8, &mut rng);
+            for batch in &batches {
+                let tape = Tape::new();
+                let bound = model.bind(&tape);
+                let vars = bound.vars();
+                let loss = bound.loss(&tape, batch, kind, &table, &mut rng);
+                last = loss.value().item();
+                first.get_or_insert(last);
+                let mut grads = tape.backward(loss);
+                let mut params = model.params_mut();
+                let mut bindings: Vec<(&mut Param, Var<'_>)> =
+                    params.iter_mut().map(|p| &mut **p).zip(vars.iter().copied()).collect();
+                apply_grads(&mut bindings, &mut grads, &adam, 5.0);
+            }
+        }
+        let first = first.unwrap();
+        assert!(
+            last < 0.5 * first,
+            "loss did not drop enough: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn training_moves_representations_of_same_route_closer() {
+        // The core claim, in miniature: two disjoint down-samplings of the
+        // same token route should embed closer after training than before.
+        let (vocab, table, mut model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().collect();
+        let route_a: Vec<Token> = toks[..10].to_vec();
+        let route_b: Vec<Token> = toks[10..20].to_vec();
+        let evens = |r: &[Token]| -> Vec<Token> { r.iter().step_by(2).copied().collect() };
+        let odds = |r: &[Token]| -> Vec<Token> { r.iter().skip(1).step_by(2).copied().collect() };
+        let mut pairs = Vec::new();
+        for r in [&route_a, &route_b] {
+            pairs.push((evens(r), r.to_vec()));
+            pairs.push((odds(r), r.to_vec()));
+            pairs.push((r.to_vec(), r.to_vec()));
+        }
+
+        let gap = |model: &Seq2Seq| {
+            let dist = |x: &[f32], y: &[f32]| -> f32 {
+                x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt()
+            };
+            let ea = model.encode_tokens(&evens(&route_a));
+            let oa = model.encode_tokens(&odds(&route_a));
+            let eb = model.encode_tokens(&evens(&route_b));
+            // same-route distance minus cross-route distance: more
+            // negative = better separation.
+            dist(&ea, &oa) - dist(&ea, &eb)
+        };
+
+        let before = gap(&model);
+        let adam = Adam::with_lr(5e-3);
+        let mut rng = det_rng(4);
+        let kind = LossKind::SpatialNce { noise: 8 };
+        for _ in 0..40 {
+            let batches = make_batches(&pairs, 8, &mut rng);
+            for batch in &batches {
+                let tape = Tape::new();
+                let bound = model.bind(&tape);
+                let vars = bound.vars();
+                let loss = bound.loss(&tape, batch, kind, &table, &mut rng);
+                let mut grads = tape.backward(loss);
+                let mut params = model.params_mut();
+                let mut bindings: Vec<(&mut Param, Var<'_>)> =
+                    params.iter_mut().map(|p| &mut **p).zip(vars.iter().copied()).collect();
+                apply_grads(&mut bindings, &mut grads, &adam, 5.0);
+            }
+        }
+        let after = gap(&model);
+        assert!(
+            after < before,
+            "same-route separation should improve: before {before}, after {after}"
+        );
+        assert!(after < 0.0, "same-route pairs should be closer than cross-route: {after}");
+    }
+
+    #[test]
+    fn beam_width_one_matches_greedy() {
+        let (vocab, _, model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().take(5).collect();
+        let greedy = model.greedy_decode(&toks, 10);
+        let beams = model.beam_decode(&toks, 10, 1);
+        assert_eq!(beams.len(), 1);
+        assert_eq!(beams[0].0, greedy);
+    }
+
+    #[test]
+    fn beam_search_scores_sorted_and_beats_greedy() {
+        let (vocab, _, model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().take(6).collect();
+        let beams = model.beam_decode(&toks, 10, 4);
+        assert!(!beams.is_empty() && beams.len() <= 4);
+        for w in beams.windows(2) {
+            assert!(w[0].1 >= w[1].1, "beams must be sorted by log-prob");
+        }
+        // The best beam's log-prob can never be worse than greedy's path
+        // (greedy is within the width-4 search space).
+        let greedy_beam = model.beam_decode(&toks, 10, 1);
+        assert!(beams[0].1 >= greedy_beam[0].1 - 1e-5);
+        // No special tokens leak into outputs.
+        for (seq, _) in &beams {
+            assert!(seq.iter().all(|t| !t.is_special()));
+        }
+    }
+
+    #[test]
+    fn greedy_decode_emits_hot_tokens() {
+        let (vocab, _, model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().take(4).collect();
+        let out = model.greedy_decode(&toks, 12);
+        assert!(out.len() <= 12);
+        assert!(out.iter().all(|t| !t.is_special()));
+    }
+
+    #[test]
+    fn pretrained_embedding_is_loaded() {
+        let (vocab, _, _) = tiny_setup();
+        let mut rng = det_rng(5);
+        let config = Seq2SeqConfig {
+            vocab: vocab.size(),
+            embed_dim: 4,
+            hidden: 6,
+            layers: 1,
+            bidirectional: true,
+        };
+        let table = init::uniform(vocab.size(), 4, 0.5, &mut rng);
+        let model = Seq2Seq::with_pretrained_embedding(config, table.clone(), &mut rng);
+        assert_eq!(model.params()[0].value, table);
+    }
+
+    #[test]
+    fn num_parameters_counts_everything() {
+        let (_, _, model) = tiny_setup();
+        let by_sum: usize = model.params().iter().map(|p| p.len()).sum();
+        assert_eq!(model.num_parameters(), by_sum);
+        assert!(model.num_parameters() > 1000);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_encoding() {
+        let (vocab, _, model) = tiny_setup();
+        let json = serde_json::to_string(&model).unwrap();
+        let back: Seq2Seq = serde_json::from_str(&json).unwrap();
+        let toks: Vec<Token> = vocab.hot_tokens().take(5).collect();
+        assert_eq!(model.encode_tokens(&toks), back.encode_tokens(&toks));
+    }
+}

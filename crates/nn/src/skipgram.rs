@@ -1,0 +1,256 @@
+//! Cell representation pre-training (Algorithm 1, "CL").
+//!
+//! §IV-C2 of the paper: one-hot cell representations lose spatial
+//! proximity and raw coordinates are too rigid, so cell vectors are
+//! pre-trained with a skip-gram. The "context" of a cell `u` is sampled
+//! from its K nearest cells with probability proportional to
+//! `exp(−‖u′ − u‖₂ / θ)` (Eq. 8), and the vectors are learned with the
+//! negative-sampling objective of Mikolov et al. (Eq. 9). The resulting
+//! table initialises the model's embedding layer — it is *not* frozen.
+//!
+//! The paper reports that this pre-training both improves the mean rank
+//! and cuts training time by about a third (Table VII).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use t2vec_spatial::vocab::{Token, Vocab};
+use t2vec_tensor::rng::weighted_choice;
+use t2vec_tensor::{init, Matrix};
+
+/// Hyper-parameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SkipGramConfig {
+    /// Dimension `d` of the learned representations (must match the
+    /// model's embedding dim; paper: 256).
+    pub dim: usize,
+    /// Context window size `l` — how many neighbours are sampled as the
+    /// context of each cell (paper: 10).
+    pub context_window: usize,
+    /// K — contexts are drawn from the K nearest cells (paper: 20).
+    pub k: usize,
+    /// Spatial scale θ of the sampling kernel, meters (paper: 100).
+    pub theta: f64,
+    /// Negative samples per positive pair (word2vec default: 5).
+    pub negatives: usize,
+    /// Training epochs over the vocabulary.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+}
+
+impl Default for SkipGramConfig {
+    fn default() -> Self {
+        Self { dim: 64, context_window: 10, k: 20, theta: 100.0, negatives: 5, epochs: 12, lr: 0.05 }
+    }
+}
+
+/// Samples the context `C(u)` of a hot cell per Eq. 8: `l` draws from the
+/// K nearest cells (excluding `u` itself), weighted by the exponential
+/// kernel.
+pub fn sample_context(
+    vocab: &Vocab,
+    u: Token,
+    config: &SkipGramConfig,
+    rng: &mut impl Rng,
+) -> Vec<Token> {
+    let nn = vocab.k_nearest_tokens(u, config.k + 1);
+    let neighbours: Vec<(Token, f64)> =
+        nn.into_iter().filter(|&(t, _)| t != u).take(config.k).collect();
+    if neighbours.is_empty() {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = neighbours.iter().map(|&(_, d)| (-d / config.theta).exp()).collect();
+    (0..config.context_window)
+        .map(|_| neighbours[weighted_choice(rng, &weights)].0)
+        .collect()
+}
+
+/// Runs Algorithm 1 and returns the `(vocab × dim)` table of cell
+/// representations (special-token rows get small random vectors).
+///
+/// # Panics
+/// Panics if the vocabulary has no hot cells.
+pub fn pretrain_cells(vocab: &Vocab, config: &SkipGramConfig, rng: &mut impl Rng) -> Matrix {
+    assert!(vocab.num_hot_cells() > 0, "cannot pre-train an empty vocabulary");
+    let v = vocab.size();
+    let mut w_in = init::uniform(v, config.dim, 0.5 / config.dim as f32, rng);
+    let mut w_ctx = Matrix::zeros(v, config.dim);
+    let hot: Vec<Token> = vocab.hot_tokens().collect();
+
+    let mut order: Vec<usize> = (0..hot.len()).collect();
+    for _ in 0..config.epochs {
+        // fresh contexts each epoch (Algorithm 1 line 3-5)
+        use rand::seq::SliceRandom;
+        order.shuffle(rng);
+        for &ui in &order {
+            let u = hot[ui];
+            let context = sample_context(vocab, u, config, rng);
+            for ctx in context {
+                sgns_update(&mut w_in, &mut w_ctx, u.idx(), ctx.idx(), true, config.lr);
+                for _ in 0..config.negatives {
+                    let neg = hot[rng.random_range(0..hot.len())];
+                    if neg == ctx || neg == u {
+                        continue;
+                    }
+                    sgns_update(&mut w_in, &mut w_ctx, u.idx(), neg.idx(), false, config.lr);
+                }
+            }
+        }
+    }
+    w_in
+}
+
+/// One negative-sampling gradient step on a (center, context) pair:
+/// maximise `log σ(w·c)` for positives, `log σ(−w·c)` for negatives.
+fn sgns_update(w_in: &mut Matrix, w_ctx: &mut Matrix, center: usize, other: usize, positive: bool, lr: f32) {
+    let dim = w_in.cols();
+    let mut dot = 0.0f32;
+    for k in 0..dim {
+        dot += w_in.get(center, k) * w_ctx.get(other, k);
+    }
+    let sigma = 1.0 / (1.0 + (-dot).exp());
+    let label = if positive { 1.0 } else { 0.0 };
+    let g = lr * (label - sigma);
+    for k in 0..dim {
+        let wi = w_in.get(center, k);
+        let wc = w_ctx.get(other, k);
+        w_in.set(center, k, wi + g * wc);
+        w_ctx.set(other, k, wc + g * wi);
+    }
+}
+
+/// Cosine similarity between two rows of a table (diagnostic helper used
+/// by tests and the loss-ablation experiment).
+pub fn row_cosine(table: &Matrix, a: usize, b: usize) -> f32 {
+    let (mut dot, mut na, mut nb) = (0.0f32, 0.0f32, 0.0f32);
+    for k in 0..table.cols() {
+        let x = table.get(a, k);
+        let y = table.get(b, k);
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2vec_spatial::grid::Grid;
+    use t2vec_spatial::point::{BBox, Point};
+    use t2vec_tensor::rng::det_rng;
+
+    fn full_vocab(n: u64, side: f64) -> Vocab {
+        let grid = Grid::new(BBox::new(0.0, 0.0, n as f64 * side, n as f64 * side), side);
+        let pts: Vec<Point> =
+            (0..grid.num_cells()).flat_map(|c| vec![grid.centroid(c); 3]).collect();
+        Vocab::build(grid, pts.iter(), 2)
+    }
+
+    #[test]
+    fn context_sampled_from_near_cells() {
+        let vocab = full_vocab(6, 100.0);
+        let config = SkipGramConfig { k: 8, context_window: 50, ..Default::default() };
+        let mut rng = det_rng(1);
+        let u = vocab.hot_tokens().nth(14).unwrap(); // interior cell
+        let ctx = sample_context(&vocab, u, &config, &mut rng);
+        assert_eq!(ctx.len(), 50);
+        assert!(ctx.iter().all(|&c| c != u), "context must exclude the cell itself");
+        // All sampled contexts are within the K-nearest set, hence close.
+        for c in ctx {
+            assert!(vocab.token_dist(u, c) <= 300.0, "context too far");
+        }
+    }
+
+    #[test]
+    fn nearer_cells_sampled_more_often() {
+        let vocab = full_vocab(6, 100.0);
+        let config =
+            SkipGramConfig { k: 12, context_window: 3000, theta: 100.0, ..Default::default() };
+        let mut rng = det_rng(2);
+        let u = vocab.hot_tokens().nth(14).unwrap();
+        let ctx = sample_context(&vocab, u, &config, &mut rng);
+        let near = ctx.iter().filter(|&&c| vocab.token_dist(u, c) <= 110.0).count();
+        let far = ctx.iter().filter(|&&c| vocab.token_dist(u, c) > 150.0).count();
+        assert!(near > 2 * far, "kernel should prefer near cells: near {near}, far {far}");
+    }
+
+    #[test]
+    fn pretraining_captures_spatial_proximity() {
+        // After CL, adjacent cells must be more similar in the embedding
+        // space than distant cells — the property §IV-C2 demands.
+        let vocab = full_vocab(5, 100.0);
+        let config = SkipGramConfig {
+            dim: 16,
+            epochs: 30,
+            ..Default::default()
+        };
+        let mut rng = det_rng(3);
+        let table = pretrain_cells(&vocab, &config, &mut rng);
+        assert_eq!(table.shape(), (vocab.size(), 16));
+
+        let toks: Vec<Token> = vocab.hot_tokens().collect();
+        // Average similarity of adjacent pairs vs far pairs.
+        let (mut near_sim, mut near_n) = (0.0f32, 0);
+        let (mut far_sim, mut far_n) = (0.0f32, 0);
+        for &a in &toks {
+            for &b in &toks {
+                if a >= b {
+                    continue;
+                }
+                let d = vocab.token_dist(a, b);
+                let s = row_cosine(&table, a.idx(), b.idx());
+                if d <= 110.0 {
+                    near_sim += s;
+                    near_n += 1;
+                } else if d >= 350.0 {
+                    far_sim += s;
+                    far_n += 1;
+                }
+            }
+        }
+        let near = near_sim / near_n as f32;
+        let far = far_sim / far_n as f32;
+        assert!(
+            near > far + 0.1,
+            "adjacent cells should embed closer: near {near:.3} vs far {far:.3}"
+        );
+    }
+
+    #[test]
+    fn single_cell_vocab_has_empty_context() {
+        let grid = Grid::new(BBox::new(0.0, 0.0, 200.0, 200.0), 100.0);
+        let pts = [Point::new(50.0, 50.0); 10];
+        let vocab = Vocab::build(grid, pts.iter(), 2);
+        assert_eq!(vocab.num_hot_cells(), 1);
+        let mut rng = det_rng(4);
+        let u = vocab.hot_tokens().next().unwrap();
+        let ctx = sample_context(&vocab, u, &SkipGramConfig::default(), &mut rng);
+        assert!(ctx.is_empty());
+        // Pre-training must still not panic or hang.
+        let table =
+            pretrain_cells(&vocab, &SkipGramConfig { epochs: 1, ..Default::default() }, &mut rng);
+        assert_eq!(table.rows(), vocab.size());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty vocabulary")]
+    fn empty_vocab_panics() {
+        let grid = Grid::new(BBox::new(0.0, 0.0, 100.0, 100.0), 100.0);
+        let vocab = Vocab::build(grid, [].iter(), 0);
+        let mut rng = det_rng(5);
+        let _ = pretrain_cells(&vocab, &SkipGramConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn row_cosine_basics() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 0.0], &[0.0, 0.0]]);
+        assert!((row_cosine(&m, 0, 2) - 1.0).abs() < 1e-6);
+        assert!(row_cosine(&m, 0, 1).abs() < 1e-6);
+        assert_eq!(row_cosine(&m, 0, 3), 0.0);
+    }
+}

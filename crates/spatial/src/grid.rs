@@ -1,0 +1,209 @@
+//! Uniform grid partition of the plane into equal-size square cells.
+//!
+//! The paper (§IV-B): *"we partition the space into cells of equal size
+//! and treat each cell as a token"*. Default cell side is 100 m (§V-B,
+//! Table VIII sweeps 25–150 m).
+
+use crate::point::{BBox, Point};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a raw grid cell: `row * width + col`.
+///
+/// Raw cell ids are distinct from [`crate::vocab::Token`]s: tokens index
+/// the *hot-cell* vocabulary and include special symbols.
+pub type CellId = u64;
+
+/// A uniform grid over a bounding region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    bbox: BBox,
+    cell_side: f64,
+    width: u64,
+    height: u64,
+}
+
+impl Grid {
+    /// Creates a grid of `cell_side`-meter square cells covering `bbox`.
+    ///
+    /// The box is expanded to an exact multiple of the cell side.
+    ///
+    /// # Panics
+    /// Panics if `cell_side <= 0` or the box is degenerate.
+    pub fn new(bbox: BBox, cell_side: f64) -> Self {
+        assert!(cell_side > 0.0, "cell side must be positive");
+        assert!(bbox.width() > 0.0 && bbox.height() > 0.0, "degenerate bounding box");
+        let width = (bbox.width() / cell_side).ceil().max(1.0) as u64;
+        let height = (bbox.height() / cell_side).ceil().max(1.0) as u64;
+        Self { bbox, cell_side, width, height }
+    }
+
+    /// Cell side in meters.
+    pub fn cell_side(&self) -> f64 {
+        self.cell_side
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> u64 {
+        self.width * self.height
+    }
+
+    /// The covered region.
+    pub fn bbox(&self) -> &BBox {
+        &self.bbox
+    }
+
+    /// Maps a point to its cell. Points outside the box are clamped to the
+    /// border cells, which matches how trajectory datasets are cropped to
+    /// a region of interest.
+    pub fn cell_of(&self, p: &Point) -> CellId {
+        let col = ((p.x - self.bbox.min_x) / self.cell_side).floor();
+        let row = ((p.y - self.bbox.min_y) / self.cell_side).floor();
+        let col = (col.max(0.0) as u64).min(self.width - 1);
+        let row = (row.max(0.0) as u64).min(self.height - 1);
+        row * self.width + col
+    }
+
+    /// The centroid of a cell.
+    ///
+    /// # Panics
+    /// Panics if `cell` is out of range.
+    pub fn centroid(&self, cell: CellId) -> Point {
+        assert!(cell < self.num_cells(), "cell id {cell} out of range");
+        let row = cell / self.width;
+        let col = cell % self.width;
+        Point::new(
+            self.bbox.min_x + (col as f64 + 0.5) * self.cell_side,
+            self.bbox.min_y + (row as f64 + 0.5) * self.cell_side,
+        )
+    }
+
+    /// `(row, col)` of a cell.
+    pub fn row_col(&self, cell: CellId) -> (u64, u64) {
+        (cell / self.width, cell % self.width)
+    }
+
+    /// Euclidean distance between two cell centroids, in meters.
+    pub fn cell_dist(&self, a: CellId, b: CellId) -> f64 {
+        self.centroid(a).dist(&self.centroid(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn grid_1km_100m() -> Grid {
+        Grid::new(BBox::new(0.0, 0.0, 1000.0, 1000.0), 100.0)
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = grid_1km_100m();
+        assert_eq!(g.width(), 10);
+        assert_eq!(g.height(), 10);
+        assert_eq!(g.num_cells(), 100);
+    }
+
+    #[test]
+    fn non_divisible_extent_rounds_up() {
+        let g = Grid::new(BBox::new(0.0, 0.0, 1050.0, 910.0), 100.0);
+        assert_eq!(g.width(), 11);
+        assert_eq!(g.height(), 10);
+    }
+
+    #[test]
+    fn cell_of_known_points() {
+        let g = grid_1km_100m();
+        assert_eq!(g.cell_of(&Point::new(50.0, 50.0)), 0);
+        assert_eq!(g.cell_of(&Point::new(150.0, 50.0)), 1);
+        assert_eq!(g.cell_of(&Point::new(50.0, 150.0)), 10);
+        assert_eq!(g.cell_of(&Point::new(999.0, 999.0)), 99);
+    }
+
+    #[test]
+    fn outside_points_clamp_to_border() {
+        let g = grid_1km_100m();
+        assert_eq!(g.cell_of(&Point::new(-50.0, -50.0)), 0);
+        assert_eq!(g.cell_of(&Point::new(5000.0, 5000.0)), 99);
+        assert_eq!(g.cell_of(&Point::new(-50.0, 550.0)), 50);
+    }
+
+    #[test]
+    fn centroid_roundtrip() {
+        let g = grid_1km_100m();
+        for cell in [0u64, 7, 55, 99] {
+            assert_eq!(g.cell_of(&g.centroid(cell)), cell);
+        }
+    }
+
+    #[test]
+    fn centroid_of_first_cell() {
+        let g = grid_1km_100m();
+        assert_eq!(g.centroid(0), Point::new(50.0, 50.0));
+        assert_eq!(g.centroid(11), Point::new(150.0, 150.0));
+    }
+
+    #[test]
+    fn cell_dist_matches_geometry() {
+        let g = grid_1km_100m();
+        // cells 0 and 1 are horizontally adjacent: 100 m apart.
+        assert!((g.cell_dist(0, 1) - 100.0).abs() < 1e-9);
+        // cells 0 and 11 are diagonal: 100·√2.
+        assert!((g.cell_dist(0, 11) - 100.0 * 2f64.sqrt()).abs() < 1e-9);
+        assert_eq!(g.cell_dist(42, 42), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn centroid_out_of_range_panics() {
+        let _ = grid_1km_100m().centroid(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell side must be positive")]
+    fn zero_cell_side_panics() {
+        let _ = Grid::new(BBox::new(0.0, 0.0, 10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let g = grid_1km_100m();
+        let back: Grid = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    proptest! {
+        #[test]
+        fn every_inside_point_maps_to_a_valid_cell(
+            x in 0.0..1000.0f64, y in 0.0..1000.0f64
+        ) {
+            let g = grid_1km_100m();
+            let cell = g.cell_of(&Point::new(x, y));
+            prop_assert!(cell < g.num_cells());
+            // The centroid of the mapped cell is within one cell diagonal.
+            let c = g.centroid(cell);
+            prop_assert!(c.dist(&Point::new(x, y)) <= 100.0 * 2f64.sqrt() / 2.0 + 1e-9);
+        }
+
+        #[test]
+        fn snapping_error_bounded_by_half_diagonal(
+            x in 0.0..1000.0f64, y in 0.0..1000.0f64, side in 10.0..400.0f64
+        ) {
+            let g = Grid::new(BBox::new(0.0, 0.0, 1000.0, 1000.0), side);
+            let p = Point::new(x, y);
+            let c = g.centroid(g.cell_of(&p));
+            prop_assert!(c.dist(&p) <= side * 2f64.sqrt() / 2.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! A 2-d tree over points for nearest-neighbour queries.
+//!
+//! Used for two jobs in the pipeline: snapping raw sample points to their
+//! nearest *hot cell* centroid (§IV-B) and building the K-nearest-cell
+//! tables needed by the `L3` loss and by the cell pre-training sampler
+//! (paper K = 20).
+
+use crate::point::Point;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An immutable 2-d tree. Construction is O(n log n); nearest-neighbour
+/// queries are O(log n) expected.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    /// Nodes in heap-free flattened form: each entry is (point, payload).
+    nodes: Vec<(Point, usize)>,
+    /// `tree[i]` indexes into `nodes`; children of `i` at `2i+1`, `2i+2`.
+    tree: Vec<Option<u32>>,
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    payload: usize,
+}
+
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist.partial_cmp(&other.dist).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl KdTree {
+    /// Builds a tree over `(point, payload)` pairs. Payloads are opaque
+    /// identifiers returned by queries (e.g. vocabulary token indexes).
+    pub fn build(items: Vec<(Point, usize)>) -> Self {
+        let n = items.len();
+        let mut nodes = items;
+        // A complete-ish implicit tree: indices into `nodes` placed by
+        // recursive median split.
+        let mut tree = vec![None; 4 * n.max(1)];
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        fn split(
+            nodes: &mut [(Point, usize)],
+            order: &mut [u32],
+            tree: &mut Vec<Option<u32>>,
+            slot: usize,
+            axis: usize,
+        ) {
+            if order.is_empty() {
+                return;
+            }
+            if slot >= tree.len() {
+                tree.resize(slot + 1, None);
+            }
+            let mid = order.len() / 2;
+            order.sort_by(|&a, &b| {
+                let pa = nodes[a as usize].0;
+                let pb = nodes[b as usize].0;
+                let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+                ka.partial_cmp(&kb).unwrap_or(Ordering::Equal)
+            });
+            tree[slot] = Some(order[mid]);
+            let (left, rest) = order.split_at_mut(mid);
+            let right = &mut rest[1..];
+            split(nodes, left, tree, 2 * slot + 1, 1 - axis);
+            split(nodes, right, tree, 2 * slot + 2, 1 - axis);
+        }
+        split(&mut nodes, &mut order, &mut tree, 0, 0);
+        Self { nodes, tree }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The payload of the nearest point to `query`, or `None` if empty.
+    pub fn nearest(&self, query: &Point) -> Option<usize> {
+        self.k_nearest(query, 1).first().map(|&(p, _)| p)
+    }
+
+    /// The `k` nearest `(payload, distance)` pairs, closest first.
+    pub fn k_nearest(&self, query: &Point, k: usize) -> Vec<(usize, f64)> {
+        if k == 0 || self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new(); // max-heap by dist
+        self.search(0, 0, query, k, &mut heap);
+        let mut out: Vec<(usize, f64)> =
+            heap.into_iter().map(|h| (h.payload, h.dist.sqrt())).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    fn search(
+        &self,
+        slot: usize,
+        axis: usize,
+        query: &Point,
+        k: usize,
+        heap: &mut BinaryHeap<HeapItem>,
+    ) {
+        let Some(Some(node_idx)) = self.tree.get(slot).copied() else { return };
+        let (p, payload) = self.nodes[node_idx as usize];
+        let d2 = p.sq_dist(query);
+        if heap.len() < k {
+            heap.push(HeapItem { dist: d2, payload });
+        } else if d2 < heap.peek().map_or(f64::INFINITY, |h| h.dist) {
+            heap.pop();
+            heap.push(HeapItem { dist: d2, payload });
+        }
+        let delta = if axis == 0 { query.x - p.x } else { query.y - p.y };
+        let (near, far) =
+            if delta < 0.0 { (2 * slot + 1, 2 * slot + 2) } else { (2 * slot + 2, 2 * slot + 1) };
+        self.search(near, 1 - axis, query, k, heap);
+        let worst = heap.peek().map_or(f64::INFINITY, |h| h.dist);
+        if heap.len() < k || delta * delta < worst {
+            self.search(far, 1 - axis, query, k, heap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::RngExt;
+    use t2vec_tensor::rng::det_rng;
+
+    fn brute_knn(pts: &[(Point, usize)], q: &Point, k: usize) -> Vec<usize> {
+        let mut v: Vec<(f64, usize)> = pts.iter().map(|(p, id)| (p.sq_dist(q), *id)).collect();
+        v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        v.into_iter().take(k).map(|(_, id)| id).collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = KdTree::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.nearest(&Point::new(0.0, 0.0)).is_none());
+        assert!(t.k_nearest(&Point::new(0.0, 0.0), 3).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(vec![(Point::new(1.0, 2.0), 42)]);
+        assert_eq!(t.nearest(&Point::new(100.0, 100.0)), Some(42));
+        let knn = t.k_nearest(&Point::new(0.0, 0.0), 5);
+        assert_eq!(knn.len(), 1);
+        assert_eq!(knn[0].0, 42);
+    }
+
+    #[test]
+    fn nearest_on_grid() {
+        let pts: Vec<(Point, usize)> = (0..100)
+            .map(|i| (Point::new((i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0), i))
+            .collect();
+        let t = KdTree::build(pts);
+        // Query near the center of point 55 = (50, 50).
+        assert_eq!(t.nearest(&Point::new(51.0, 49.0)), Some(55));
+        assert_eq!(t.nearest(&Point::new(-5.0, -5.0)), Some(0));
+        assert_eq!(t.nearest(&Point::new(95.0, 95.0)), Some(99));
+    }
+
+    #[test]
+    fn k_nearest_sorted_and_correct() {
+        let pts: Vec<(Point, usize)> =
+            (0..50).map(|i| (Point::new(i as f64, 0.0), i)).collect();
+        let t = KdTree::build(pts.clone());
+        let got: Vec<usize> =
+            t.k_nearest(&Point::new(10.2, 0.0), 4).into_iter().map(|(p, _)| p).collect();
+        assert_eq!(got, vec![10, 11, 9, 12]);
+        // distances are non-decreasing
+        let res = t.k_nearest(&Point::new(7.7, 3.0), 10);
+        for w in res.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn duplicate_points_all_returned() {
+        let p = Point::new(5.0, 5.0);
+        let t = KdTree::build(vec![(p, 1), (p, 2), (p, 3)]);
+        let ids: std::collections::HashSet<usize> =
+            t.k_nearest(&p, 3).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_clouds() {
+        let mut rng = det_rng(99);
+        for trial in 0..20 {
+            let n = 1 + (trial * 37) % 200;
+            let pts: Vec<(Point, usize)> = (0..n)
+                .map(|i| {
+                    (
+                        Point::new(
+                            rng.random_range(-100.0..100.0),
+                            rng.random_range(-100.0..100.0),
+                        ),
+                        i,
+                    )
+                })
+                .collect();
+            let t = KdTree::build(pts.clone());
+            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let k = 1 + trial % 10;
+            let got: Vec<usize> = t.k_nearest(&q, k).into_iter().map(|(p, _)| p).collect();
+            let want = brute_knn(&pts, &q, k.min(n));
+            // Ties may permute; compare distances instead of ids.
+            let gd: Vec<f64> =
+                got.iter().map(|&id| pts[id].0.dist(&q)).collect();
+            let wd: Vec<f64> = want.iter().map(|&id| pts[id].0.dist(&q)).collect();
+            for (a, b) in gd.iter().zip(wd.iter()) {
+                assert!((a - b).abs() < 1e-9, "trial {trial}: {gd:?} vs {wd:?}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn knn_matches_brute_force(
+            coords in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 1..80),
+            qx in -1e3..1e3f64, qy in -1e3..1e3f64, k in 1usize..12
+        ) {
+            let pts: Vec<(Point, usize)> = coords
+                .iter().enumerate()
+                .map(|(i, &(x, y))| (Point::new(x, y), i))
+                .collect();
+            let t = KdTree::build(pts.clone());
+            let q = Point::new(qx, qy);
+            let got = t.k_nearest(&q, k);
+            let want = brute_knn(&pts, &q, k.min(pts.len()));
+            prop_assert_eq!(got.len(), want.len());
+            for (g, &w) in got.iter().zip(want.iter()) {
+                let gd = pts[g.0].0.dist(&q);
+                let wd = pts[w].0.dist(&q);
+                prop_assert!((gd - wd).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Spatial substrate for the t2vec reproduction.
+//!
+//! The paper discretises the plane into equal-size square cells (§IV-B,
+//! default side 100 m), keeps only *hot* cells hit by more than `δ` sample
+//! points (default δ = 50) as the vocabulary, and snaps every sample point
+//! to its nearest hot cell. This crate provides that machinery plus the
+//! trajectory transformations used to build training pairs and to stress
+//! the methods in the evaluation:
+//!
+//! * [`point`] — points in a local metric plane, bounding boxes, polyline
+//!   helpers, and a lon/lat ↔ meters projection for real data.
+//! * [`grid`] — the uniform grid partition.
+//! * [`kdtree`] — a 2-d tree used for nearest-hot-cell snapping and for
+//!   building K-nearest-cell tables.
+//! * [`vocab`] — the hot-cell vocabulary with reserved special tokens.
+//! * [`transform`] — down-sampling (rate `r1`, endpoints preserved),
+//!   Gaussian distortion (rate `r2`, σ = 30 m, paper Eq. 3), and the
+//!   alternating even/odd split of Figure 4.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod kdtree;
+pub mod point;
+pub mod transform;
+pub mod vocab;
+
+pub use grid::{CellId, Grid};
+pub use point::{BBox, GeoPoint, Point};
+pub use vocab::{Token, Vocab};

@@ -1,0 +1,313 @@
+//! Points, bounding boxes, and polyline geometry in a local metric plane.
+//!
+//! All algorithms in the workspace operate on [`Point`] values measured in
+//! **meters** in a local planar frame, so that the paper's metric
+//! parameters (cell side 100 m, distortion σ 30 m, EDR/LCSS thresholds)
+//! are directly meaningful. Real-world longitude/latitude data is brought
+//! into this frame with [`GeoPoint::project`] (a local equirectangular
+//! projection — accurate to well under 0.1 % over city extents).
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in meters (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A point in the local metric plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in meters.
+    pub x: f64,
+    /// Northing in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.sq_dist(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    pub fn sq_dist(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Linear interpolation: `self + t · (other − self)`.
+    pub fn lerp(&self, other: &Point, t: f64) -> Point {
+        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+    }
+
+    /// The nearest point to `self` on segment `[a, b]`.
+    pub fn project_onto_segment(&self, a: &Point, b: &Point) -> Point {
+        let len2 = a.sq_dist(b);
+        if len2 == 0.0 {
+            return *a;
+        }
+        let t = ((self.x - a.x) * (b.x - a.x) + (self.y - a.y) * (b.y - a.y)) / len2;
+        a.lerp(b, t.clamp(0.0, 1.0))
+    }
+}
+
+/// A longitude/latitude point in degrees (WGS-84), used at the data
+/// import/export boundary only.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Latitude in degrees.
+    pub lat: f64,
+}
+
+impl GeoPoint {
+    /// Creates a geographic point.
+    pub const fn new(lon: f64, lat: f64) -> Self {
+        Self { lon, lat }
+    }
+
+    /// Projects to the local metric plane anchored at `anchor` using a
+    /// local equirectangular projection.
+    pub fn project(&self, anchor: &GeoPoint) -> Point {
+        let lat0 = anchor.lat.to_radians();
+        let x = (self.lon - anchor.lon).to_radians() * lat0.cos() * EARTH_RADIUS_M;
+        let y = (self.lat - anchor.lat).to_radians() * EARTH_RADIUS_M;
+        Point::new(x, y)
+    }
+
+    /// Inverse of [`GeoPoint::project`].
+    pub fn unproject(p: &Point, anchor: &GeoPoint) -> GeoPoint {
+        let lat0 = anchor.lat.to_radians();
+        let lon = anchor.lon + (p.x / (EARTH_RADIUS_M * lat0.cos())).to_degrees();
+        let lat = anchor.lat + (p.y / EARTH_RADIUS_M).to_degrees();
+        GeoPoint::new(lon, lat)
+    }
+}
+
+/// An axis-aligned bounding box in the local metric plane.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    /// Minimum easting.
+    pub min_x: f64,
+    /// Minimum northing.
+    pub min_y: f64,
+    /// Maximum easting.
+    pub max_x: f64,
+    /// Maximum northing.
+    pub max_y: f64,
+}
+
+impl BBox {
+    /// A box from corners; normalises the order of coordinates.
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Self {
+            min_x: min_x.min(max_x),
+            min_y: min_y.min(max_y),
+            max_x: min_x.max(max_x),
+            max_y: min_y.max(max_y),
+        }
+    }
+
+    /// The tight bounding box of `points`, or `None` if empty.
+    pub fn of_points(points: &[Point]) -> Option<Self> {
+        let first = points.first()?;
+        let mut b = BBox::new(first.x, first.y, first.x, first.y);
+        for p in &points[1..] {
+            b.min_x = b.min_x.min(p.x);
+            b.min_y = b.min_y.min(p.y);
+            b.max_x = b.max_x.max(p.x);
+            b.max_y = b.max_y.max(p.y);
+        }
+        Some(b)
+    }
+
+    /// Width in meters.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height in meters.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// `true` if the point lies inside (inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Grows the box by `margin` meters on every side.
+    pub fn expanded(&self, margin: f64) -> BBox {
+        BBox::new(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+    }
+}
+
+/// Total length of a polyline in meters (0 for fewer than two points).
+pub fn polyline_length(points: &[Point]) -> f64 {
+    points.windows(2).map(|w| w[0].dist(&w[1])).sum()
+}
+
+/// The point a fraction `t ∈ [0, 1]` of the way along a polyline by arc
+/// length. Clamps `t`; returns `None` for an empty polyline.
+pub fn point_along(points: &[Point], t: f64) -> Option<Point> {
+    if points.is_empty() {
+        return None;
+    }
+    if points.len() == 1 {
+        return Some(points[0]);
+    }
+    let total = polyline_length(points);
+    if total == 0.0 {
+        return Some(points[0]);
+    }
+    let mut remaining = t.clamp(0.0, 1.0) * total;
+    for w in points.windows(2) {
+        let seg = w[0].dist(&w[1]);
+        if remaining <= seg {
+            let frac = if seg == 0.0 { 0.0 } else { remaining / seg };
+            return Some(w[0].lerp(&w[1], frac));
+        }
+        remaining -= seg;
+    }
+    Some(*points.last().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dist_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.dist(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -20.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, -10.0));
+    }
+
+    #[test]
+    fn projection_onto_segment_clamps() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        assert_eq!(Point::new(5.0, 3.0).project_onto_segment(&a, &b), Point::new(5.0, 0.0));
+        assert_eq!(Point::new(-5.0, 3.0).project_onto_segment(&a, &b), a);
+        assert_eq!(Point::new(25.0, 3.0).project_onto_segment(&a, &b), b);
+    }
+
+    #[test]
+    fn projection_onto_degenerate_segment() {
+        let a = Point::new(2.0, 2.0);
+        assert_eq!(Point::new(0.0, 0.0).project_onto_segment(&a, &a), a);
+    }
+
+    #[test]
+    fn geo_roundtrip_near_porto() {
+        let anchor = GeoPoint::new(-8.61, 41.15); // Porto
+        let g = GeoPoint::new(-8.58, 41.17);
+        let p = g.project(&anchor);
+        let back = GeoPoint::unproject(&p, &anchor);
+        assert!((back.lon - g.lon).abs() < 1e-9);
+        assert!((back.lat - g.lat).abs() < 1e-9);
+        // ~2.5 km east, ~2.2 km north — sanity-check magnitudes.
+        assert!(p.x > 2000.0 && p.x < 3000.0, "x = {}", p.x);
+        assert!(p.y > 2000.0 && p.y < 2500.0, "y = {}", p.y);
+    }
+
+    #[test]
+    fn bbox_of_points() {
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(4.0, -1.0)];
+        let b = BBox::of_points(&pts).unwrap();
+        assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (-2.0, -1.0, 4.0, 5.0));
+        assert!(BBox::of_points(&[]).is_none());
+    }
+
+    #[test]
+    fn bbox_contains_and_expand() {
+        let b = BBox::new(0.0, 0.0, 10.0, 10.0);
+        assert!(b.contains(&Point::new(0.0, 10.0)));
+        assert!(!b.contains(&Point::new(-0.1, 5.0)));
+        let e = b.expanded(1.0);
+        assert!(e.contains(&Point::new(-0.5, 10.5)));
+        assert_eq!(e.width(), 12.0);
+    }
+
+    #[test]
+    fn polyline_length_simple() {
+        let pts =
+            [Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(3.0, 4.0), Point::new(6.0, 8.0)];
+        assert!((polyline_length(&pts) - 10.0).abs() < 1e-12);
+        assert_eq!(polyline_length(&pts[..1]), 0.0);
+    }
+
+    #[test]
+    fn point_along_samples_arc_length() {
+        let pts = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
+        assert_eq!(point_along(&pts, 0.0).unwrap(), pts[0]);
+        assert_eq!(point_along(&pts, 1.0).unwrap(), pts[2]);
+        assert_eq!(point_along(&pts, 0.5).unwrap(), Point::new(10.0, 0.0));
+        assert_eq!(point_along(&pts, 0.25).unwrap(), Point::new(5.0, 0.0));
+        assert!(point_along(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn point_along_degenerate_polyline() {
+        let p = Point::new(1.0, 1.0);
+        assert_eq!(point_along(&[p, p], 0.7).unwrap(), p);
+        assert_eq!(point_along(&[p], 0.3).unwrap(), p);
+    }
+
+    proptest! {
+        #[test]
+        fn dist_symmetry_and_triangle(
+            ax in -1e4..1e4f64, ay in -1e4..1e4f64,
+            bx in -1e4..1e4f64, by in -1e4..1e4f64,
+            cx in -1e4..1e4f64, cy in -1e4..1e4f64,
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!((a.dist(&b) - b.dist(&a)).abs() < 1e-9);
+            prop_assert!(a.dist(&c) <= a.dist(&b) + b.dist(&c) + 1e-9);
+        }
+
+        #[test]
+        fn point_along_stays_on_bbox(
+            t in 0.0..1.0f64,
+            xs in proptest::collection::vec(-1e3..1e3f64, 2..8),
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&x| Point::new(x, -x * 0.5)).collect();
+            let p = point_along(&pts, t).unwrap();
+            let b = BBox::of_points(&pts).unwrap().expanded(1e-9);
+            prop_assert!(b.contains(&p));
+        }
+
+        #[test]
+        fn geo_projection_roundtrip(
+            lon in -9.0..-8.0f64, lat in 41.0..42.0f64,
+        ) {
+            let anchor = GeoPoint::new(-8.6, 41.15);
+            let g = GeoPoint::new(lon, lat);
+            let back = GeoPoint::unproject(&g.project(&anchor), &anchor);
+            prop_assert!((back.lon - lon).abs() < 1e-9);
+            prop_assert!((back.lat - lat).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Trajectory transformations used throughout the paper.
+//!
+//! * [`downsample`] — random point dropping at rate `r1`, preserving the
+//!   start and end points (§IV-B: *"The start and end points of Tb are
+//!   preserved in Ta to avoid changing the underlying route"*).
+//! * [`distort`] — Gaussian distortion of a random fraction `r2` of points
+//!   with a 30 m radius per axis (paper Eq. 3).
+//! * [`alternating_split`] — the evaluation split of Figure 4: two
+//!   sub-trajectories built by alternately taking points, used to define
+//!   the "most similar search" ground truth.
+
+use crate::point::Point;
+use rand::{Rng, RngExt};
+use t2vec_tensor::rng::standard_normal;
+
+/// The paper's distortion radius in meters (Eq. 3).
+pub const DISTORT_RADIUS_M: f64 = 30.0;
+
+/// Randomly drops interior points with probability `r1`, always keeping
+/// the first and last point. Trajectories with fewer than three points are
+/// returned unchanged.
+///
+/// # Panics
+/// Panics if `r1` is not within `[0, 1]`.
+pub fn downsample(traj: &[Point], r1: f64, rng: &mut impl Rng) -> Vec<Point> {
+    assert!((0.0..=1.0).contains(&r1), "dropping rate must be in [0,1]");
+    if traj.len() < 3 || r1 == 0.0 {
+        return traj.to_vec();
+    }
+    let mut out = Vec::with_capacity(traj.len());
+    out.push(traj[0]);
+    for p in &traj[1..traj.len() - 1] {
+        if rng.random_range(0.0..1.0) >= r1 {
+            out.push(*p);
+        }
+    }
+    out.push(*traj[traj.len() - 1..].first().unwrap());
+    out
+}
+
+/// Distorts a random fraction `r2` of the points by adding per-axis
+/// Gaussian noise with radius [`DISTORT_RADIUS_M`] (paper Eq. 3):
+/// `p.x += 30·d_x, d_x ∼ N(0,1)` and likewise for `y`.
+///
+/// # Panics
+/// Panics if `r2` is not within `[0, 1]`.
+pub fn distort(traj: &[Point], r2: f64, rng: &mut impl Rng) -> Vec<Point> {
+    distort_with_radius(traj, r2, DISTORT_RADIUS_M, rng)
+}
+
+/// [`distort`] with an explicit noise radius (used by ablations).
+pub fn distort_with_radius(
+    traj: &[Point],
+    r2: f64,
+    radius: f64,
+    rng: &mut impl Rng,
+) -> Vec<Point> {
+    assert!((0.0..=1.0).contains(&r2), "distorting rate must be in [0,1]");
+    traj.iter()
+        .map(|p| {
+            if r2 > 0.0 && rng.random_range(0.0..1.0) < r2 {
+                Point::new(
+                    p.x + radius * f64::from(standard_normal(rng)),
+                    p.y + radius * f64::from(standard_normal(rng)),
+                )
+            } else {
+                *p
+            }
+        })
+        .collect()
+}
+
+/// Splits a trajectory into two sub-trajectories by alternately taking
+/// points (Figure 4): even-indexed points go to the first, odd-indexed to
+/// the second. Both halves follow the same underlying route at half the
+/// sampling rate, which is the paper's ground truth for self-similarity.
+pub fn alternating_split(traj: &[Point]) -> (Vec<Point>, Vec<Point>) {
+    let even = traj.iter().step_by(2).copied().collect();
+    let odd = traj.iter().skip(1).step_by(2).copied().collect();
+    (even, odd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use t2vec_tensor::rng::det_rng;
+
+    fn line(n: usize) -> Vec<Point> {
+        (0..n).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let traj = line(100);
+        let mut rng = det_rng(1);
+        for _ in 0..20 {
+            let d = downsample(&traj, 0.8, &mut rng);
+            assert_eq!(d.first(), traj.first());
+            assert_eq!(d.last(), traj.last());
+            assert!(d.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn downsample_rate_zero_is_identity() {
+        let traj = line(10);
+        let mut rng = det_rng(2);
+        assert_eq!(downsample(&traj, 0.0, &mut rng), traj);
+    }
+
+    #[test]
+    fn downsample_rate_one_keeps_only_endpoints() {
+        let traj = line(50);
+        let mut rng = det_rng(3);
+        let d = downsample(&traj, 1.0, &mut rng);
+        assert_eq!(d, vec![traj[0], traj[49]]);
+    }
+
+    #[test]
+    fn downsample_short_trajectories_unchanged() {
+        let mut rng = det_rng(4);
+        for n in 0..3 {
+            let traj = line(n);
+            assert_eq!(downsample(&traj, 0.9, &mut rng), traj);
+        }
+    }
+
+    #[test]
+    fn downsample_expected_survival_rate() {
+        let traj = line(1002);
+        let mut rng = det_rng(5);
+        let mut total = 0usize;
+        let trials = 50;
+        for _ in 0..trials {
+            total += downsample(&traj, 0.4, &mut rng).len() - 2;
+        }
+        let mean_interior = total as f64 / trials as f64;
+        // Expected interior survivors: 1000 * 0.6 = 600.
+        assert!((mean_interior - 600.0).abs() < 25.0, "mean {mean_interior}");
+    }
+
+    #[test]
+    fn downsample_preserves_order() {
+        let traj = line(100);
+        let mut rng = det_rng(6);
+        let d = downsample(&traj, 0.5, &mut rng);
+        for w in d.windows(2) {
+            assert!(w[0].x < w[1].x, "order violated");
+        }
+    }
+
+    #[test]
+    fn distort_rate_zero_is_identity() {
+        let traj = line(20);
+        let mut rng = det_rng(7);
+        assert_eq!(distort(&traj, 0.0, &mut rng), traj);
+    }
+
+    #[test]
+    fn distort_preserves_length_and_moves_some_points() {
+        let traj = line(200);
+        let mut rng = det_rng(8);
+        let d = distort(&traj, 0.5, &mut rng);
+        assert_eq!(d.len(), traj.len());
+        let moved = d.iter().zip(traj.iter()).filter(|(a, b)| a != b).count();
+        // ~50% of 200 = 100 expected; allow generous slack.
+        assert!((60..=140).contains(&moved), "moved {moved}");
+    }
+
+    #[test]
+    fn distortion_magnitude_matches_radius() {
+        let traj = vec![Point::new(0.0, 0.0); 5000];
+        let mut rng = det_rng(9);
+        let d = distort(&traj, 1.0, &mut rng);
+        // Per-axis std should be ≈ 30.
+        let var_x: f64 = d.iter().map(|p| p.x * p.x).sum::<f64>() / d.len() as f64;
+        assert!((var_x.sqrt() - 30.0).abs() < 2.0, "std_x {}", var_x.sqrt());
+    }
+
+    #[test]
+    fn alternating_split_reconstructs_interleaved() {
+        let traj = line(7);
+        let (a, b) = alternating_split(&traj);
+        assert_eq!(a.len(), 4);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a[0], traj[0]);
+        assert_eq!(b[0], traj[1]);
+        assert_eq!(a[3], traj[6]);
+        // Interleaving a and b restores traj.
+        let mut merged = Vec::new();
+        for i in 0..traj.len() {
+            merged.push(if i % 2 == 0 { a[i / 2] } else { b[i / 2] });
+        }
+        assert_eq!(merged, traj);
+    }
+
+    #[test]
+    fn alternating_split_edge_cases() {
+        let (a, b) = alternating_split(&[]);
+        assert!(a.is_empty() && b.is_empty());
+        let p = Point::new(1.0, 2.0);
+        let (a, b) = alternating_split(&[p]);
+        assert_eq!(a, vec![p]);
+        assert!(b.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn downsample_is_a_subsequence(
+            n in 3usize..60, r1 in 0.0..1.0f64, seed in 0u64..500
+        ) {
+            let traj = line(n);
+            let mut rng = det_rng(seed);
+            let d = downsample(&traj, r1, &mut rng);
+            // Every output point must appear in the input, in order.
+            let mut it = traj.iter();
+            for p in &d {
+                prop_assert!(it.any(|q| q == p), "not a subsequence");
+            }
+            prop_assert_eq!(d.first(), traj.first());
+            prop_assert_eq!(d.last(), traj.last());
+        }
+
+        #[test]
+        fn distort_never_changes_length(
+            n in 0usize..40, r2 in 0.0..1.0f64, seed in 0u64..500
+        ) {
+            let traj = line(n);
+            let mut rng = det_rng(seed);
+            prop_assert_eq!(distort(&traj, r2, &mut rng).len(), n);
+        }
+
+        #[test]
+        fn split_partitions_points(n in 0usize..50) {
+            let traj = line(n);
+            let (a, b) = alternating_split(&traj);
+            prop_assert_eq!(a.len() + b.len(), n);
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! The hot-cell vocabulary.
+//!
+//! §IV-B of the paper: *"we only keep the cells which are hit by more than
+//! δ sample points. These cells are referred to as hot cells and form the
+//! final vocabulary V … Sample points are represented by their nearest hot
+//! cell."* δ = 50 with cell side 100 m yields 18,866 hot cells on Porto.
+//!
+//! Tokens `0..4` are reserved for `PAD`, `BOS`, `EOS`, `UNK` (the paper's
+//! model needs at least `EOS`; the rest support batching and robustness).
+
+use crate::grid::{CellId, Grid};
+use crate::kdtree::KdTree;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A vocabulary token: either one of the reserved special symbols or a
+/// hot cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Token(pub u32);
+
+impl Token {
+    /// Padding token for batched sequences.
+    pub const PAD: Token = Token(0);
+    /// Beginning-of-sequence token (fed to the decoder at step 1).
+    pub const BOS: Token = Token(1);
+    /// End-of-sequence token.
+    pub const EOS: Token = Token(2);
+    /// Unknown token (a point with no hot cell anywhere near).
+    pub const UNK: Token = Token(3);
+    /// Number of reserved special tokens.
+    pub const NUM_SPECIALS: u32 = 4;
+
+    /// `true` for one of the four reserved tokens.
+    pub fn is_special(&self) -> bool {
+        self.0 < Self::NUM_SPECIALS
+    }
+
+    /// The token's index as a `usize` (for embedding lookups).
+    pub fn idx(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The hot-cell vocabulary: grid + the surviving cells + a nearest-hot-cell
+/// index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "VocabData", into = "VocabData")]
+pub struct Vocab {
+    grid: Grid,
+    delta: usize,
+    /// `hot_cells[i]` is the grid cell of token `i + NUM_SPECIALS`.
+    hot_cells: Vec<CellId>,
+    cell_to_token: HashMap<CellId, Token>,
+    tree: KdTree,
+}
+
+/// Serializable core of a [`Vocab`] (the KD-tree is rebuilt on load).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct VocabData {
+    grid: Grid,
+    delta: usize,
+    hot_cells: Vec<CellId>,
+}
+
+impl From<VocabData> for Vocab {
+    fn from(d: VocabData) -> Self {
+        Vocab::from_parts(d.grid, d.delta, d.hot_cells)
+    }
+}
+
+impl From<Vocab> for VocabData {
+    fn from(v: Vocab) -> Self {
+        VocabData { grid: v.grid, delta: v.delta, hot_cells: v.hot_cells }
+    }
+}
+
+impl Vocab {
+    /// Builds the vocabulary from all sample points of a training corpus:
+    /// counts hits per grid cell and keeps cells with **more than** `delta`
+    /// hits, exactly as in the paper.
+    pub fn build<'a>(grid: Grid, points: impl Iterator<Item = &'a Point>, delta: usize) -> Self {
+        let mut counts: HashMap<CellId, usize> = HashMap::new();
+        for p in points {
+            *counts.entry(grid.cell_of(p)).or_insert(0) += 1;
+        }
+        let mut hot: Vec<CellId> =
+            counts.into_iter().filter(|&(_, c)| c > delta).map(|(cell, _)| cell).collect();
+        hot.sort_unstable();
+        Self::from_parts(grid, delta, hot)
+    }
+
+    fn from_parts(grid: Grid, delta: usize, hot_cells: Vec<CellId>) -> Self {
+        let cell_to_token: HashMap<CellId, Token> = hot_cells
+            .iter()
+            .enumerate()
+            .map(|(i, &cell)| (cell, Token(i as u32 + Token::NUM_SPECIALS)))
+            .collect();
+        let tree = KdTree::build(
+            hot_cells.iter().enumerate().map(|(i, &cell)| (grid.centroid(cell), i)).collect(),
+        );
+        Self { grid, delta, hot_cells, cell_to_token, tree }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The hot-cell threshold δ used at build time.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// Vocabulary size *including* the four special tokens; this is the
+    /// row count of the embedding and output-projection matrices.
+    pub fn size(&self) -> usize {
+        self.hot_cells.len() + Token::NUM_SPECIALS as usize
+    }
+
+    /// Number of hot cells (paper's |V|).
+    pub fn num_hot_cells(&self) -> usize {
+        self.hot_cells.len()
+    }
+
+    /// Maps a point to the token of its nearest hot cell ([`Token::UNK`]
+    /// when the vocabulary is empty).
+    pub fn tokenize_point(&self, p: &Point) -> Token {
+        // Fast path: the point's own cell is hot.
+        if let Some(&t) = self.cell_to_token.get(&self.grid.cell_of(p)) {
+            return t;
+        }
+        match self.tree.nearest(p) {
+            Some(i) => Token(i as u32 + Token::NUM_SPECIALS),
+            None => Token::UNK,
+        }
+    }
+
+    /// Maps a trajectory to its token sequence (no EOS appended).
+    pub fn tokenize(&self, traj: &[Point]) -> Vec<Token> {
+        traj.iter().map(|p| self.tokenize_point(p)).collect()
+    }
+
+    /// Centroid of a hot-cell token (`None` for special tokens).
+    pub fn centroid_of(&self, t: Token) -> Option<Point> {
+        if t.is_special() {
+            return None;
+        }
+        let i = (t.0 - Token::NUM_SPECIALS) as usize;
+        self.hot_cells.get(i).map(|&cell| self.grid.centroid(cell))
+    }
+
+    /// Euclidean distance in meters between two hot-cell tokens.
+    ///
+    /// # Panics
+    /// Panics if either token is special.
+    pub fn token_dist(&self, a: Token, b: Token) -> f64 {
+        let ca = self.centroid_of(a).expect("token_dist on special token");
+        let cb = self.centroid_of(b).expect("token_dist on special token");
+        ca.dist(&cb)
+    }
+
+    /// The `k` hot-cell tokens nearest to `t` (including `t` itself, which
+    /// is always first with distance 0), as `(token, meters)` pairs.
+    ///
+    /// # Panics
+    /// Panics if `t` is a special token.
+    pub fn k_nearest_tokens(&self, t: Token, k: usize) -> Vec<(Token, f64)> {
+        let c = self.centroid_of(t).expect("k_nearest_tokens on special token");
+        self.tree
+            .k_nearest(&c, k)
+            .into_iter()
+            .map(|(i, d)| (Token(i as u32 + Token::NUM_SPECIALS), d))
+            .collect()
+    }
+
+    /// Iterator over all hot-cell tokens.
+    pub fn hot_tokens(&self) -> impl Iterator<Item = Token> + '_ {
+        (0..self.hot_cells.len()).map(|i| Token(i as u32 + Token::NUM_SPECIALS))
+    }
+}
+
+/// A precomputed K-nearest-neighbour table over the vocabulary, with the
+/// spatial-proximity weights of paper Eq. 5/7 already normalised.
+///
+/// Row `i` corresponds to token `i + NUM_SPECIALS` and stores the K
+/// nearest hot cells (the first entry is the token itself) together with
+/// `w_u = exp(−d(u, y)/θ) / Σ_v exp(−d(v, y)/θ)` over that row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeighborTable {
+    k: usize,
+    theta: f64,
+    neighbors: Vec<Vec<Token>>,
+    weights: Vec<Vec<f32>>,
+}
+
+impl NeighborTable {
+    /// Builds the table for every hot cell. `k` is the paper's K (20) and
+    /// `theta` the spatial scale θ in meters (100).
+    ///
+    /// # Panics
+    /// Panics if `theta <= 0` or `k == 0`.
+    pub fn build(vocab: &Vocab, k: usize, theta: f64) -> Self {
+        assert!(theta > 0.0, "theta must be positive");
+        assert!(k > 0, "k must be positive");
+        let mut neighbors = Vec::with_capacity(vocab.num_hot_cells());
+        let mut weights = Vec::with_capacity(vocab.num_hot_cells());
+        for t in vocab.hot_tokens() {
+            let nn = vocab.k_nearest_tokens(t, k);
+            let raw: Vec<f64> = nn.iter().map(|&(_, d)| (-d / theta).exp()).collect();
+            let sum: f64 = raw.iter().sum();
+            neighbors.push(nn.iter().map(|&(tok, _)| tok).collect());
+            weights.push(raw.iter().map(|w| (w / sum) as f32).collect());
+        }
+        Self { k, theta, neighbors, weights }
+    }
+
+    /// The K used at build time.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The θ used at build time.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Neighbour tokens of `t` (self first).
+    ///
+    /// # Panics
+    /// Panics if `t` is special.
+    pub fn neighbors(&self, t: Token) -> &[Token] {
+        assert!(!t.is_special(), "no neighbours for special tokens");
+        &self.neighbors[(t.0 - Token::NUM_SPECIALS) as usize]
+    }
+
+    /// Normalised spatial-proximity weights aligned with
+    /// [`NeighborTable::neighbors`].
+    pub fn weights(&self, t: Token) -> &[f32] {
+        assert!(!t.is_special(), "no weights for special tokens");
+        &self.weights[(t.0 - Token::NUM_SPECIALS) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::BBox;
+
+    /// A 10×10 grid of 100 m cells with a hot cross-shaped region.
+    fn test_vocab() -> Vocab {
+        let grid = Grid::new(BBox::new(0.0, 0.0, 1000.0, 1000.0), 100.0);
+        // Hit cells in row 5 and column 5 heavily, everything else once.
+        let mut points = Vec::new();
+        for i in 0..10 {
+            for _ in 0..10 {
+                points.push(Point::new(i as f64 * 100.0 + 50.0, 550.0)); // row 5
+                points.push(Point::new(550.0, i as f64 * 100.0 + 50.0)); // col 5
+            }
+        }
+        points.push(Point::new(50.0, 50.0)); // a cold cell, hit once
+        Vocab::build(grid.clone(), points.iter(), 5)
+    }
+
+    #[test]
+    fn hot_cell_filtering() {
+        let v = test_vocab();
+        // Row 5 has 10 cells, column 5 has 10, intersection counted once.
+        assert_eq!(v.num_hot_cells(), 19);
+        assert_eq!(v.size(), 19 + 4);
+    }
+
+    #[test]
+    fn delta_is_strictly_greater() {
+        let grid = Grid::new(BBox::new(0.0, 0.0, 200.0, 200.0), 100.0);
+        let p = Point::new(50.0, 50.0);
+        // Exactly delta hits -> not hot ("more than δ").
+        let pts = [p; 5];
+        let v = Vocab::build(grid.clone(), pts.iter(), 5);
+        assert_eq!(v.num_hot_cells(), 0);
+        let pts = [p; 6];
+        let v = Vocab::build(grid, pts.iter(), 5);
+        assert_eq!(v.num_hot_cells(), 1);
+    }
+
+    #[test]
+    fn tokenize_snaps_to_nearest_hot_cell() {
+        let v = test_vocab();
+        // A point in a cold cell near the row-5 corridor snaps to row 5.
+        let t = v.tokenize_point(&Point::new(250.0, 420.0));
+        let c = v.centroid_of(t).unwrap();
+        assert_eq!(c, Point::new(250.0, 550.0));
+        // A point already in a hot cell maps to that cell.
+        let t2 = v.tokenize_point(&Point::new(253.0, 560.0));
+        assert_eq!(v.centroid_of(t2).unwrap(), Point::new(250.0, 550.0));
+    }
+
+    #[test]
+    fn empty_vocab_tokenizes_to_unk() {
+        let grid = Grid::new(BBox::new(0.0, 0.0, 100.0, 100.0), 50.0);
+        let v = Vocab::build(grid, [].iter(), 0);
+        assert_eq!(v.tokenize_point(&Point::new(10.0, 10.0)), Token::UNK);
+    }
+
+    #[test]
+    fn specials_have_no_centroid() {
+        let v = test_vocab();
+        assert!(v.centroid_of(Token::PAD).is_none());
+        assert!(v.centroid_of(Token::BOS).is_none());
+        assert!(v.centroid_of(Token::EOS).is_none());
+        assert!(v.centroid_of(Token::UNK).is_none());
+        assert!(Token::PAD.is_special() && !Token(4).is_special());
+    }
+
+    #[test]
+    fn tokenize_whole_trajectory() {
+        let v = test_vocab();
+        let traj = vec![Point::new(50.0, 550.0), Point::new(150.0, 550.0), Point::new(250.0, 550.0)];
+        let toks = v.tokenize(&traj);
+        assert_eq!(toks.len(), 3);
+        assert!(toks.iter().all(|t| !t.is_special()));
+        // all distinct cells along the corridor
+        assert_ne!(toks[0], toks[1]);
+        assert_ne!(toks[1], toks[2]);
+    }
+
+    #[test]
+    fn token_dist_matches_grid_geometry() {
+        let v = test_vocab();
+        let a = v.tokenize_point(&Point::new(50.0, 550.0));
+        let b = v.tokenize_point(&Point::new(150.0, 550.0));
+        assert!((v.token_dist(a, b) - 100.0).abs() < 1e-9);
+        assert_eq!(v.token_dist(a, a), 0.0);
+    }
+
+    #[test]
+    fn k_nearest_tokens_self_first() {
+        let v = test_vocab();
+        let t = v.tokenize_point(&Point::new(550.0, 550.0));
+        let nn = v.k_nearest_tokens(t, 5);
+        assert_eq!(nn[0].0, t);
+        assert_eq!(nn[0].1, 0.0);
+        assert_eq!(nn.len(), 5);
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn neighbor_table_weights_normalised_and_peaked_at_self() {
+        let v = test_vocab();
+        let table = NeighborTable::build(&v, 5, 100.0);
+        for t in v.hot_tokens() {
+            let w = table.weights(t);
+            let sum: f32 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "weights must normalise");
+            // Self weight (distance 0) dominates all others.
+            assert!(w[0] >= *w.iter().skip(1).fold(&0.0f32, |a, b| if b > a { b } else { a }));
+            assert_eq!(table.neighbors(t)[0], t);
+        }
+    }
+
+    #[test]
+    fn neighbor_weights_decay_with_distance() {
+        let v = test_vocab();
+        let table = NeighborTable::build(&v, 10, 100.0);
+        let t = v.tokenize_point(&Point::new(550.0, 50.0)); // corridor end
+        let nn = table.neighbors(t);
+        let w = table.weights(t);
+        // Weights must be non-increasing because neighbours are sorted by
+        // distance and the kernel is monotone.
+        for i in 1..w.len() {
+            assert!(w[i - 1] >= w[i] - 1e-7, "weight increased at {i}: {w:?} {nn:?}");
+        }
+    }
+
+    #[test]
+    fn smaller_theta_penalises_far_cells_harder() {
+        let v = test_vocab();
+        let sharp = NeighborTable::build(&v, 5, 10.0);
+        let smooth = NeighborTable::build(&v, 5, 1000.0);
+        let t = v.hot_tokens().next().unwrap();
+        // With tiny θ nearly all mass is on self; with huge θ it spreads.
+        assert!(sharp.weights(t)[0] > 0.99);
+        assert!(smooth.weights(t)[0] < 0.5);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_tokenization() {
+        let v = test_vocab();
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Vocab = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.size(), v.size());
+        for (x, y) in [(50.0, 550.0), (420.0, 130.0), (999.0, 1.0)] {
+            let p = Point::new(x, y);
+            assert_eq!(back.tokenize_point(&p), v.tokenize_point(&p));
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Dense f32 matrix kernels, reverse-mode automatic differentiation, and
+//! first-order optimizers.
+//!
+//! This crate is the neural substrate of the t2vec reproduction. The paper
+//! trains a GRU sequence-to-sequence model with PyTorch on a GPU; here we
+//! implement the same mathematics from scratch on the CPU:
+//!
+//! * [`Matrix`] — a row-major dense `f32` matrix with the kernels needed by
+//!   recurrent networks (matmul, broadcast add, element-wise maps, row
+//!   gather/scatter, softmax).
+//! * [`Tape`] / [`Var`] — a classic reverse-mode autodiff tape. Operations
+//!   record their inputs; [`Tape::backward`] walks the tape in reverse and
+//!   accumulates gradients. Every operator is validated against finite
+//!   differences in the test-suite (see [`gradcheck`]).
+//! * [`opt`] — SGD and Adam (the paper uses Adam, initial learning rate
+//!   `1e-3`) plus global-norm gradient clipping (the paper clips at norm 5).
+//! * [`init`] — Xavier/uniform parameter initialisation.
+//!
+//! # Example
+//!
+//! ```
+//! use t2vec_tensor::{Matrix, Tape};
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0]]));
+//! let w = tape.leaf(Matrix::from_rows(&[&[0.5], &[-0.5]]));
+//! let y = x.matmul(w).tanh().sum();
+//! let grads = tape.backward(y);
+//! // d/dw tanh(x·w) evaluated by reverse mode:
+//! assert_eq!(grads.get(w).unwrap().shape(), (2, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod matrix;
+pub mod opt;
+pub mod rng;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use tape::{Gradients, Tape, Var};

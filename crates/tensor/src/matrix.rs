@@ -1,0 +1,756 @@
+//! Row-major dense `f32` matrix with the kernels required by recurrent
+//! neural networks.
+//!
+//! The matrix is deliberately minimal: a shape plus a `Vec<f32>`. All hot
+//! kernels (matmul, element-wise zips) operate on slices with explicit
+//! indexing so the compiler can vectorise them; the matmul uses the `ikj`
+//! loop order, which is cache-friendly for row-major data.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dot product with eight independent accumulators, letting the compiler
+/// vectorise the reduction (a single-accumulator loop cannot be
+/// auto-vectorised because float addition is not associative).
+///
+/// # Panics
+/// Debug-asserts equal lengths; in release the shorter slice governs.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for i in 0..chunks {
+        let (x, y) = (&a[i * 8..i * 8 + 8], &b[i * 8..i * 8 + 8]);
+        for l in 0..8 {
+            acc[l] += x[l] * y[l];
+        }
+    }
+    let mut s = acc.iter().sum::<f32>();
+    for i in chunks * 8..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// A dense row-major `f32` matrix.
+///
+/// Shapes are `(rows, cols)`. A row vector is `(1, n)`, a column vector is
+/// `(n, 1)`, and a scalar result (e.g. a loss) is `(1, 1)`.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            let row = self.row(r);
+            let shown: Vec<String> = row.iter().take(8).map(|v| format!("{v:.4}")).collect();
+            let ellipsis = if self.cols > 8 { ", …" } else { "" };
+            writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match shape {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    /// Panics if the rows have unequal lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        assert!(!rows.is_empty(), "from_rows requires at least one row");
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "ragged rows in from_rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// A `(1, n)` row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// A `(1, 1)` scalar matrix.
+    pub fn scalar(value: f32) -> Self {
+        Self::from_vec(1, 1, vec![value])
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = value;
+    }
+
+    /// Immutable view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        let c = self.cols;
+        &mut self.data[r * c..(r + 1) * c]
+    }
+
+    /// The scalar value of a `(1, 1)` matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `1x1`.
+    pub fn item(&self) -> f32 {
+        assert_eq!((self.rows, self.cols), (1, 1), "item() requires a 1x1 matrix");
+        self.data[0]
+    }
+
+    /// Matrix multiplication `self (m×k) · other (k×n) -> (m×n)`.
+    ///
+    /// Uses the `ikj` loop order so the inner loop walks both output row and
+    /// `other` row contiguously.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self (m×k) · otherᵀ (n×k) -> (m×n)` without materialising the
+    /// transpose. Inner loop is a dot product of two contiguous rows.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                *o = dot(a_row, b_row);
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ (k×m) · other (k×n) -> (m×n)` without materialising the
+    /// transpose (used for weight gradients: `xᵀ · dy`).
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Materialised transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum; shapes must match.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference; shapes must match.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product; shapes must match.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Adds the `(1, cols)` row vector `bias` to every row.
+    pub fn add_row_broadcast(&self, bias: &Matrix) -> Matrix {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = &mut out.data[r * out.cols..(r + 1) * out.cols];
+            for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise zip into a new matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// `self += other` (shapes must match).
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `self += s * other` (axpy; shapes must match).
+    pub fn axpy(&mut self, s: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += s * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (`0.0` for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Sum over rows producing a `(1, cols)` row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Squared Euclidean distance between flattened matrices.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn sq_distance(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "sq_distance shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| {
+                let d = a - b;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Stacks the given rows of `self` (an embedding gather).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather index {idx} out of range {}", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Adds row `i` of `grad` into row `indices[i]` of `self`
+    /// (the adjoint of [`Matrix::gather_rows`]).
+    pub fn scatter_add_rows(&mut self, indices: &[usize], grad: &Matrix) {
+        assert_eq!(indices.len(), grad.rows, "scatter rows mismatch");
+        assert_eq!(self.cols, grad.cols, "scatter cols mismatch");
+        for (i, &idx) in indices.iter().enumerate() {
+            let src = grad.row(i);
+            let dst = self.row_mut(idx);
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Horizontally concatenates `self` and `other` (same row count).
+    pub fn concat_cols(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "concat_cols row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertically stacks matrices (all with identical column counts).
+    ///
+    /// # Panics
+    /// Panics if `mats` is empty or the column counts differ.
+    pub fn vstack(mats: &[&Matrix]) -> Matrix {
+        assert!(!mats.is_empty(), "vstack of nothing");
+        let cols = mats[0].cols;
+        let rows: usize = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols, "vstack col mismatch");
+            data.extend_from_slice(&m.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Copies columns `range` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "slice_cols out of range");
+        let width = end - start;
+        let mut out = Matrix::zeros(self.rows, width);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Row-wise softmax (numerically stabilised by max subtraction).
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-wise log-softmax.
+    pub fn log_softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= log_sum;
+            }
+        }
+        out
+    }
+
+    /// `true` if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Maximum absolute element-wise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape() && a.max_abs_diff(b) <= tol
+    }
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.25 - 3.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32 * 0.1).sin()).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-4);
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let f = Matrix::full(2, 2, 7.0);
+        assert_eq!(f.sum(), 28.0);
+    }
+
+    #[test]
+    fn matmul_small_example() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0, 3.5], &[0.0, 4.0, -1.0]]);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().shape(), (3, 2));
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn broadcast_bias() {
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let b = Matrix::row_vector(&[10.0, 20.0]);
+        let y = x.add_row_broadcast(&b);
+        assert_eq!(y, Matrix::from_rows(&[&[11.0, 21.0], &[12.0, 22.0]]));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let table = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 2.0]]);
+        let g = table.gather_rows(&[2, 0, 2]);
+        assert_eq!(g.row(0), &[2.0, 2.0]);
+        assert_eq!(g.row(1), &[1.0, 0.0]);
+        let mut grad = Matrix::zeros(3, 2);
+        grad.scatter_add_rows(&[2, 0, 2], &Matrix::full(3, 2, 1.0));
+        assert_eq!(grad.row(2), &[2.0, 2.0]); // index 2 hit twice
+        assert_eq!(grad.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let s = x.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // monotone: larger logit -> larger probability
+        assert!(s.get(0, 2) > s.get(0, 1) && s.get(0, 1) > s.get(0, 0));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let x = Matrix::from_rows(&[&[0.3, -1.2, 2.0, 0.0]]);
+        let ls = x.log_softmax_rows();
+        let s = x.softmax_rows();
+        for c in 0..4 {
+            assert!((ls.get(0, c) - s.get(0, c).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_extreme_values_stay_finite() {
+        let x = Matrix::from_rows(&[&[1e30, -1e30, 0.0]]);
+        let s = x.softmax_rows();
+        assert!(!s.has_non_finite());
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concat_and_slice_inverse() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0], &[6.0]]);
+        let c = a.concat_cols(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 3), b);
+    }
+
+    #[test]
+    fn vstack_shapes() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]);
+        let v = Matrix::vstack(&[&a, &b]);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn sum_rows_and_mean() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.sum_rows(), Matrix::row_vector(&[4.0, 6.0]));
+        assert!((a.mean() - 2.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn norm_of_unit_vectors() {
+        let a = Matrix::row_vector(&[3.0, 4.0]);
+        assert!((a.norm() - 5.0).abs() < 1e-6);
+        assert_eq!(Matrix::zeros(3, 3).norm(), 0.0);
+    }
+
+    #[test]
+    fn item_on_scalar() {
+        assert_eq!(Matrix::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "item() requires")]
+    fn item_on_non_scalar_panics() {
+        let _ = Matrix::zeros(2, 2).item();
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.5, -2.25], &[0.0, 3.0]]);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Matrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    proptest! {
+        #[test]
+        fn matmul_transpose_agrees_with_explicit(
+            m in 1usize..6, k in 1usize..6, n in 1usize..6,
+            seed in 0u64..1000
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(m, k, 1.0, &mut rng);
+            let b = crate::init::uniform(n, k, 1.0, &mut rng);
+            let fused = a.matmul_transpose(&b);
+            let explicit = a.matmul(&b.transpose());
+            prop_assert!(approx_eq(&fused, &explicit, 1e-4));
+        }
+
+        #[test]
+        fn transpose_matmul_agrees_with_explicit(
+            m in 1usize..6, k in 1usize..6, n in 1usize..6,
+            seed in 0u64..1000
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(k, m, 1.0, &mut rng);
+            let b = crate::init::uniform(k, n, 1.0, &mut rng);
+            let fused = a.transpose_matmul(&b);
+            let explicit = a.transpose().matmul(&b);
+            prop_assert!(approx_eq(&fused, &explicit, 1e-4));
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(
+            m in 1usize..5, k in 1usize..5, n in 1usize..5,
+            seed in 0u64..1000
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(m, k, 1.0, &mut rng);
+            let b = crate::init::uniform(k, n, 1.0, &mut rng);
+            let c = crate::init::uniform(k, n, 1.0, &mut rng);
+            let lhs = a.matmul(&b.add(&c));
+            let rhs = a.matmul(&b).add(&a.matmul(&c));
+            prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+        }
+
+        #[test]
+        fn add_commutes(seed in 0u64..1000, m in 1usize..6, n in 1usize..6) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(m, n, 1.0, &mut rng);
+            let b = crate::init::uniform(m, n, 1.0, &mut rng);
+            prop_assert!(approx_eq(&a.add(&b), &b.add(&a), 0.0));
+        }
+
+        #[test]
+        fn sq_distance_is_symmetric_and_zero_on_self(
+            seed in 0u64..1000, m in 1usize..6, n in 1usize..6
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(m, n, 1.0, &mut rng);
+            let b = crate::init::uniform(m, n, 1.0, &mut rng);
+            prop_assert!((a.sq_distance(&b) - b.sq_distance(&a)).abs() < 1e-4);
+            prop_assert_eq!(a.sq_distance(&a), 0.0);
+        }
+    }
+}

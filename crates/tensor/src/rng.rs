@@ -1,0 +1,133 @@
+//! Deterministic random-number helpers.
+//!
+//! Every stochastic component of the reproduction (initialisation, dropout
+//! of points, Gaussian distortion, NCE noise sampling, the synthetic city)
+//! accepts an explicit `&mut impl Rng` so that experiments are replayable
+//! from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// A deterministic RNG seeded from `seed`.
+pub fn det_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Samples from a standard Gaussian via [`rand_distr::StandardNormal`].
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    rng.sample::<f32, _>(rand_distr::StandardNormal)
+}
+
+/// Samples `k` distinct indices from `0..n` (floyd's algorithm for small
+/// `k`, full shuffle fallback otherwise).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_distinct(rng: &mut impl Rng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+    if k == 0 {
+        return Vec::new();
+    }
+    if k * 4 >= n {
+        // dense: partial Fisher–Yates
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.random_range(i..n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        return idx;
+    }
+    // sparse: rejection with a small set
+    let mut chosen = std::collections::HashSet::with_capacity(k);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let v = rng.random_range(0..n);
+        if chosen.insert(v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Samples an index from a discrete distribution given non-negative
+/// weights. Falls back to uniform when all weights are zero.
+pub fn weighted_choice(rng: &mut impl Rng, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_choice on empty weights");
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut target = rng.random_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_rng_is_reproducible() {
+        let mut a = det_rng(42);
+        let mut b = det_rng(42);
+        for _ in 0..16 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn distinct_samples_are_distinct_and_in_range() {
+        let mut rng = det_rng(7);
+        for (n, k) in [(10, 10), (100, 5), (100, 90), (1, 1), (5, 0)] {
+            let s = sample_distinct(&mut rng, n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), k, "duplicates in sample");
+            assert!(s.iter().all(|&v| v < n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn distinct_more_than_population_panics() {
+        let mut rng = det_rng(0);
+        let _ = sample_distinct(&mut rng, 3, 4);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = det_rng(3);
+        let weights = [0.0, 0.0, 1.0];
+        for _ in 0..50 {
+            assert_eq!(weighted_choice(&mut rng, &weights), 2);
+        }
+    }
+
+    #[test]
+    fn weighted_choice_zero_weights_is_uniformish() {
+        let mut rng = det_rng(5);
+        let weights = [0.0, 0.0];
+        let mut seen = [0usize; 2];
+        for _ in 0..200 {
+            seen[weighted_choice(&mut rng, &weights)] += 1;
+        }
+        assert!(seen[0] > 0 && seen[1] > 0);
+    }
+
+    #[test]
+    fn standard_normal_has_sane_moments() {
+        let mut rng = det_rng(11);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

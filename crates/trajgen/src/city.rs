@@ -1,0 +1,175 @@
+//! City presets bundling a road network with trip-generation parameters.
+//!
+//! [`City::porto_like`] and [`City::harbin_like`] mirror the two datasets
+//! of the paper (Table II) in their *relative* characteristics: Porto has
+//! shorter trips (mean length 60 points at 15 s sampling) and Harbin
+//! roughly twice as long (mean 121). Absolute corpus sizes are scaled
+//! down by the caller ([`crate::dataset::DatasetBuilder`]) so every
+//! experiment runs on one CPU.
+
+use crate::gps::{sample_gps, GpsConfig};
+use crate::network::{NetworkConfig, RoadNetwork};
+use crate::route::{RouteConfig, RouteSampler};
+use crate::Trajectory;
+use rand::Rng;
+use t2vec_spatial::point::BBox;
+
+/// A synthetic city: road network + route and GPS sampling parameters.
+#[derive(Debug)]
+pub struct City {
+    /// Human-readable preset name (used in experiment tables).
+    pub name: &'static str,
+    net: RoadNetwork,
+    route_config: RouteConfig,
+    gps_config: GpsConfig,
+}
+
+impl City {
+    /// A city from explicit parts.
+    pub fn new(
+        name: &'static str,
+        net: RoadNetwork,
+        route_config: RouteConfig,
+        gps_config: GpsConfig,
+    ) -> Self {
+        Self { name, net, route_config, gps_config }
+    }
+
+    /// A Porto-like city: a compact dense core where routes overlap
+    /// heavily (evaluation databases of a few hundred trips reach the
+    /// route-collision density the paper gets from 100 k trips over
+    /// Porto), trips of ~20–35 sample points at 15 s intervals.
+    pub fn porto_like(rng: &mut impl Rng) -> Self {
+        let net = RoadNetwork::grid(
+            NetworkConfig { cols: 16, rows: 16, spacing: 250.0, ..NetworkConfig::default() },
+            rng,
+        );
+        Self::new(
+            "porto-like",
+            net,
+            RouteConfig { min_trip_dist: 2_600.0, ..RouteConfig::default() },
+            GpsConfig { gps_noise_m: 20.0, outlier_prob: 0.1, ..GpsConfig::default() },
+        )
+    }
+
+    /// A Harbin-like city: larger extent and roughly twice the trip
+    /// length of the Porto preset (the paper's Harbin mean is 121 points
+    /// vs Porto's 60).
+    pub fn harbin_like(rng: &mut impl Rng) -> Self {
+        let net = RoadNetwork::grid(
+            NetworkConfig { cols: 20, rows: 20, spacing: 300.0, ..NetworkConfig::default() },
+            rng,
+        );
+        Self::new(
+            "harbin-like",
+            net,
+            RouteConfig { min_trip_dist: 3_800.0, ..RouteConfig::default() },
+            GpsConfig {
+                interval_s: 10.0,
+                gps_noise_m: 20.0,
+                outlier_prob: 0.1,
+                ..GpsConfig::default()
+            },
+        )
+    }
+
+    /// A tiny city for unit tests and the quickstart example: small
+    /// vocabulary, short trips, everything trains in seconds.
+    pub fn tiny(rng: &mut impl Rng) -> Self {
+        let net = RoadNetwork::grid(
+            NetworkConfig { cols: 10, rows: 10, spacing: 200.0, ..NetworkConfig::default() },
+            rng,
+        );
+        Self::new(
+            "tiny",
+            net,
+            RouteConfig { min_trip_dist: 800.0, ..RouteConfig::default() },
+            GpsConfig::default(),
+        )
+    }
+
+    /// The underlying road network.
+    pub fn network(&self) -> &RoadNetwork {
+        &self.net
+    }
+
+    /// The GPS sampling configuration.
+    pub fn gps_config(&self) -> &GpsConfig {
+        &self.gps_config
+    }
+
+    /// The bounding box of the city (for grid construction), expanded by
+    /// a safety margin for GPS noise and distortion.
+    pub fn bbox(&self) -> BBox {
+        self.net.bbox().expanded(200.0)
+    }
+
+    /// Generates one trip starting at time `start`.
+    pub fn generate_trip(&self, start: u64, rng: &mut impl Rng) -> Trajectory {
+        let sampler = RouteSampler::new(&self.net, self.route_config);
+        let route = sampler.sample_route_polyline(rng);
+        Trajectory { points: sample_gps(&route, &self.gps_config, rng), start }
+    }
+
+    /// Generates one trip and also returns its underlying route polyline
+    /// (the "ground truth" curve, useful for diagnostics and docs).
+    pub fn generate_trip_with_route(
+        &self,
+        start: u64,
+        rng: &mut impl Rng,
+    ) -> (Trajectory, Vec<t2vec_spatial::point::Point>) {
+        let sampler = RouteSampler::new(&self.net, self.route_config);
+        let route = sampler.sample_route_polyline(rng);
+        let traj = Trajectory { points: sample_gps(&route, &self.gps_config, rng), start };
+        (traj, route)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2vec_tensor::rng::det_rng;
+
+    #[test]
+    fn tiny_city_generates_valid_trips() {
+        let mut rng = det_rng(1);
+        let city = City::tiny(&mut rng);
+        for i in 0..10 {
+            let t = city.generate_trip(i, &mut rng);
+            assert!(t.len() >= 2, "trip too short: {}", t.len());
+            assert_eq!(t.start, i);
+            for p in &t.points {
+                assert!(city.bbox().contains(p), "point outside city bbox");
+            }
+        }
+    }
+
+    #[test]
+    fn harbin_trips_longer_than_porto() {
+        let mut rng = det_rng(2);
+        let porto = City::porto_like(&mut rng);
+        let harbin = City::harbin_like(&mut rng);
+        let mean = |city: &City, rng: &mut rand::rngs::StdRng| {
+            let total: usize = (0..15).map(|i| city.generate_trip(i, rng).len()).sum();
+            total as f64 / 15.0
+        };
+        let mp = mean(&porto, &mut rng);
+        let mh = mean(&harbin, &mut rng);
+        assert!(
+            mh > 1.5 * mp,
+            "harbin mean {mh} should be much longer than porto mean {mp}"
+        );
+    }
+
+    #[test]
+    fn route_polyline_is_returned() {
+        let mut rng = det_rng(3);
+        let city = City::tiny(&mut rng);
+        let (traj, route) = city.generate_trip_with_route(0, &mut rng);
+        assert!(route.len() >= 2);
+        assert!(traj.len() >= 2);
+        // Trajectory endpoints are near the route endpoints (GPS noise).
+        assert!(traj.points[0].dist(&route[0]) < 50.0);
+        assert!(traj.points.last().unwrap().dist(route.last().unwrap()) < 50.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dataset assembly: generation, chronological splits, and statistics.
+//!
+//! Mirrors §V-A of the paper: trips shorter than a minimum length are
+//! removed, and the corpus is split into train/validation/test **by trip
+//! start time** (the paper trains on the chronologically first 0.8 M
+//! trips and tests on the rest, drawing a 10 k validation set from the
+//! test portion).
+
+use crate::city::City;
+use crate::Trajectory;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A generated (or imported) corpus with chronological splits.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Training trajectories (chronologically first).
+    pub train: Vec<Trajectory>,
+    /// Validation trajectories (used for early stopping).
+    pub val: Vec<Trajectory>,
+    /// Test trajectories (all evaluation queries/databases come from
+    /// here).
+    pub test: Vec<Trajectory>,
+}
+
+/// Table II-style corpus statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total number of sample points.
+    pub num_points: usize,
+    /// Number of trips.
+    pub num_trips: usize,
+    /// Mean trip length in sample points.
+    pub mean_length: f64,
+}
+
+impl Dataset {
+    /// All trajectories in chronological order.
+    pub fn all(&self) -> impl Iterator<Item = &Trajectory> {
+        self.train.iter().chain(self.val.iter()).chain(self.test.iter())
+    }
+
+    /// Corpus statistics over all splits (the paper's Table II).
+    pub fn stats(&self) -> DatasetStats {
+        let num_trips = self.train.len() + self.val.len() + self.test.len();
+        let num_points: usize = self.all().map(Trajectory::len).sum();
+        DatasetStats {
+            num_points,
+            num_trips,
+            mean_length: if num_trips == 0 { 0.0 } else { num_points as f64 / num_trips as f64 },
+        }
+    }
+}
+
+/// Builds a [`Dataset`] from a [`City`].
+#[derive(Debug)]
+pub struct DatasetBuilder<'a> {
+    city: &'a City,
+    trips: usize,
+    min_len: usize,
+    train_frac: f64,
+    val_frac: f64,
+}
+
+impl<'a> DatasetBuilder<'a> {
+    /// A builder with defaults: 1 000 trips, minimum length 10, 70 %
+    /// train / 10 % validation / 20 % test.
+    pub fn new(city: &'a City) -> Self {
+        Self { city, trips: 1_000, min_len: 10, train_frac: 0.7, val_frac: 0.1 }
+    }
+
+    /// Sets the number of trips to generate (after length filtering).
+    pub fn trips(mut self, trips: usize) -> Self {
+        self.trips = trips;
+        self
+    }
+
+    /// Sets the minimum trip length in points; shorter trips are
+    /// discarded and regenerated (the paper removes trips shorter than
+    /// 30 points at full scale).
+    pub fn min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(2);
+        self
+    }
+
+    /// Sets the chronological split fractions.
+    ///
+    /// # Panics
+    /// Panics unless `0 < train`, `0 ≤ val`, and `train + val < 1`.
+    pub fn split(mut self, train_frac: f64, val_frac: f64) -> Self {
+        assert!(train_frac > 0.0 && val_frac >= 0.0 && train_frac + val_frac < 1.0);
+        self.train_frac = train_frac;
+        self.val_frac = val_frac;
+        self
+    }
+
+    /// Generates the dataset.
+    pub fn build(self, rng: &mut impl Rng) -> Dataset {
+        let mut trips = Vec::with_capacity(self.trips);
+        let mut start = 0u64;
+        let mut attempts = 0usize;
+        let max_attempts = self.trips * 50 + 1_000;
+        while trips.len() < self.trips {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "city cannot produce trips of length >= {} (got {}/{})",
+                self.min_len,
+                trips.len(),
+                self.trips
+            );
+            let t = self.city.generate_trip(start, rng);
+            if t.len() >= self.min_len {
+                trips.push(t);
+                start += 60; // one departure per simulated minute
+            }
+        }
+        let n = trips.len();
+        let train_end = (n as f64 * self.train_frac) as usize;
+        let val_end = train_end + (n as f64 * self.val_frac) as usize;
+        let test = trips.split_off(val_end);
+        let val = trips.split_off(train_end);
+        Dataset { train: trips, val, test }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2vec_tensor::rng::det_rng;
+
+    #[test]
+    fn build_respects_counts_and_split() {
+        let mut rng = det_rng(1);
+        let city = City::tiny(&mut rng);
+        let ds = DatasetBuilder::new(&city).trips(100).min_len(5).build(&mut rng);
+        assert_eq!(ds.train.len(), 70);
+        assert_eq!(ds.val.len(), 10);
+        assert_eq!(ds.test.len(), 20);
+        assert!(ds.all().all(|t| t.len() >= 5));
+    }
+
+    #[test]
+    fn split_is_chronological() {
+        let mut rng = det_rng(2);
+        let city = City::tiny(&mut rng);
+        let ds = DatasetBuilder::new(&city).trips(60).min_len(4).build(&mut rng);
+        let max_train = ds.train.iter().map(|t| t.start).max().unwrap();
+        let min_val = ds.val.iter().map(|t| t.start).min().unwrap();
+        let min_test = ds.test.iter().map(|t| t.start).min().unwrap();
+        assert!(max_train < min_val);
+        assert!(min_val < min_test);
+    }
+
+    #[test]
+    fn stats_table2_analogue() {
+        let mut rng = det_rng(3);
+        let city = City::tiny(&mut rng);
+        let ds = DatasetBuilder::new(&city).trips(50).min_len(4).build(&mut rng);
+        let s = ds.stats();
+        assert_eq!(s.num_trips, 50);
+        assert!(s.mean_length >= 4.0);
+        assert_eq!(s.num_points, ds.all().map(|t| t.len()).sum::<usize>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot produce trips")]
+    fn impossible_min_len_panics() {
+        let mut rng = det_rng(4);
+        let city = City::tiny(&mut rng);
+        // tiny city trips are ~10-25 points; demanding 10_000 must fail.
+        let _ = DatasetBuilder::new(&city).trips(5).min_len(10_000).build(&mut rng);
+    }
+
+    #[test]
+    fn custom_split_fractions() {
+        let mut rng = det_rng(5);
+        let city = City::tiny(&mut rng);
+        let ds =
+            DatasetBuilder::new(&city).trips(50).min_len(4).split(0.5, 0.2).build(&mut rng);
+        assert_eq!(ds.train.len(), 25);
+        assert_eq!(ds.val.len(), 10);
+        assert_eq!(ds.test.len(), 15);
+    }
+}

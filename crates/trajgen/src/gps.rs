@@ -1,0 +1,183 @@
+//! GPS sampling of a route polyline.
+//!
+//! A vehicle traverses the route at a (slightly noisy) constant speed and
+//! the receiver reports a position every `interval` seconds with Gaussian
+//! error — mirroring the Porto feed (one point every 15 s). The output is
+//! the raw trajectory; the low/non-uniform-rate variants studied in the
+//! paper are then produced by [`t2vec_spatial::transform::downsample`].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use t2vec_spatial::point::{point_along, polyline_length, Point};
+use t2vec_tensor::rng::standard_normal;
+
+/// GPS sampling parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GpsConfig {
+    /// Sampling interval in seconds (Porto: 15 s).
+    pub interval_s: f64,
+    /// Mean vehicle speed in m/s (urban taxi ≈ 8 m/s ≈ 29 km/h).
+    pub speed_mps: f64,
+    /// Relative speed variation per trip (0.2 = ±20 %).
+    pub speed_jitter: f64,
+    /// GPS receiver noise σ per axis, meters.
+    pub gps_noise_m: f64,
+    /// Probability that a sample point is an *outlier* (urban-canyon
+    /// multipath): its noise σ is multiplied by [`GpsConfig::outlier_scale`].
+    pub outlier_prob: f64,
+    /// Noise multiplier for outlier points.
+    pub outlier_scale: f64,
+}
+
+impl Default for GpsConfig {
+    fn default() -> Self {
+        Self {
+            interval_s: 15.0,
+            speed_mps: 8.0,
+            speed_jitter: 0.2,
+            gps_noise_m: 5.0,
+            outlier_prob: 0.0,
+            outlier_scale: 4.0,
+        }
+    }
+}
+
+/// Samples a GPS point sequence along `route`.
+///
+/// Returns at least two points (start and end) for non-degenerate routes;
+/// a one-point result only occurs for empty/single-point routes.
+pub fn sample_gps(route: &[Point], config: &GpsConfig, rng: &mut impl Rng) -> Vec<Point> {
+    if route.is_empty() {
+        return Vec::new();
+    }
+    let total = polyline_length(route);
+    if total == 0.0 {
+        return vec![route[0]];
+    }
+    let jitter = 1.0 + config.speed_jitter * f64::from(standard_normal(rng));
+    let speed = (config.speed_mps * jitter).max(0.5);
+    let step = speed * config.interval_s;
+    let mut out = Vec::with_capacity((total / step) as usize + 2);
+    let mut travelled = 0.0;
+    while travelled < total {
+        let p = point_along(route, travelled / total).expect("non-empty route");
+        out.push(noisy(p, config, rng));
+        travelled += step;
+    }
+    out.push(noisy(*route.last().unwrap(), config, rng));
+    out
+}
+
+fn noisy(p: Point, config: &GpsConfig, rng: &mut impl Rng) -> Point {
+    let mut sigma = config.gps_noise_m;
+    if sigma == 0.0 {
+        return p;
+    }
+    if config.outlier_prob > 0.0 {
+        use rand::RngExt;
+        if rng.random_range(0.0..1.0) < config.outlier_prob {
+            sigma *= config.outlier_scale;
+        }
+    }
+    Point::new(
+        p.x + sigma * f64::from(standard_normal(rng)),
+        p.y + sigma * f64::from(standard_normal(rng)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use t2vec_tensor::rng::det_rng;
+
+    fn straight_route(len_m: f64) -> Vec<Point> {
+        vec![Point::new(0.0, 0.0), Point::new(len_m, 0.0)]
+    }
+
+    #[test]
+    fn point_count_matches_speed_and_interval() {
+        let mut rng = det_rng(1);
+        let cfg = GpsConfig { speed_jitter: 0.0, gps_noise_m: 0.0, ..Default::default() };
+        // 8 m/s * 15 s = 120 m per sample; 1200 m route -> 10 samples + end.
+        let traj = sample_gps(&straight_route(1200.0), &cfg, &mut rng);
+        assert_eq!(traj.len(), 11);
+        assert_eq!(traj[0], Point::new(0.0, 0.0));
+        assert_eq!(*traj.last().unwrap(), Point::new(1200.0, 0.0));
+    }
+
+    #[test]
+    fn samples_are_evenly_spaced_without_noise() {
+        let mut rng = det_rng(2);
+        let cfg = GpsConfig { speed_jitter: 0.0, gps_noise_m: 0.0, ..Default::default() };
+        let traj = sample_gps(&straight_route(1200.0), &cfg, &mut rng);
+        for w in traj.windows(2).take(traj.len() - 2) {
+            assert!((w[1].x - w[0].x - 120.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outliers_produce_heavy_tails() {
+        let mut rng = det_rng(9);
+        let clean = GpsConfig {
+            speed_jitter: 0.0,
+            gps_noise_m: 10.0,
+            outlier_prob: 0.0,
+            ..Default::default()
+        };
+        let canyon = GpsConfig { outlier_prob: 0.3, outlier_scale: 5.0, ..clean };
+        let route = straight_route(100_000.0);
+        let count_far = |cfg: &GpsConfig, rng: &mut rand::rngs::StdRng| {
+            sample_gps(&route, cfg, rng).iter().filter(|p| p.y.abs() > 30.0).count()
+        };
+        let clean_far = count_far(&clean, &mut rng);
+        let canyon_far = count_far(&canyon, &mut rng);
+        assert!(
+            canyon_far > 3 * clean_far.max(1),
+            "canyon noise should add far outliers: {canyon_far} vs {clean_far}"
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_points() {
+        let mut rng = det_rng(3);
+        let cfg = GpsConfig { speed_jitter: 0.0, gps_noise_m: 10.0, ..Default::default() };
+        let traj = sample_gps(&straight_route(2400.0), &cfg, &mut rng);
+        let off_axis = traj.iter().filter(|p| p.y.abs() > 0.5).count();
+        assert!(off_axis > traj.len() / 2, "noise should move most points off axis");
+    }
+
+    #[test]
+    fn faster_interval_means_denser_sampling() {
+        let mut rng = det_rng(4);
+        let slow = GpsConfig { interval_s: 30.0, speed_jitter: 0.0, ..Default::default() };
+        let fast = GpsConfig { interval_s: 5.0, speed_jitter: 0.0, ..Default::default() };
+        let n_slow = sample_gps(&straight_route(3000.0), &slow, &mut rng).len();
+        let n_fast = sample_gps(&straight_route(3000.0), &fast, &mut rng).len();
+        assert!(n_fast > 3 * n_slow);
+    }
+
+    #[test]
+    fn degenerate_routes() {
+        let mut rng = det_rng(5);
+        let cfg = GpsConfig::default();
+        assert!(sample_gps(&[], &cfg, &mut rng).is_empty());
+        let single = vec![Point::new(5.0, 5.0)];
+        assert_eq!(sample_gps(&single, &cfg, &mut rng).len(), 1);
+        let stationary = vec![Point::new(5.0, 5.0); 3];
+        assert_eq!(sample_gps(&stationary, &cfg, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn multi_segment_route_followed_in_order() {
+        let mut rng = det_rng(6);
+        let cfg = GpsConfig { speed_jitter: 0.0, gps_noise_m: 0.0, ..Default::default() };
+        let route = vec![Point::new(0.0, 0.0), Point::new(600.0, 0.0), Point::new(600.0, 600.0)];
+        let traj = sample_gps(&route, &cfg, &mut rng);
+        // x must be monotone non-decreasing, then y monotone.
+        for w in traj.windows(2) {
+            assert!(w[1].x >= w[0].x - 1e-9);
+            assert!(w[1].y >= w[0].y - 1e-9);
+        }
+        assert_eq!(*traj.last().unwrap(), Point::new(600.0, 600.0));
+    }
+}

@@ -1,0 +1,149 @@
+//! CSV import/export of trajectories.
+//!
+//! The on-disk format is one sample point per line:
+//!
+//! ```text
+//! trip_id,start,x,y
+//! 0,0,125.5,-340.25
+//! 0,0,131.0,-352.75
+//! 1,60,980.0,411.5
+//! ```
+//!
+//! `x`/`y` are meters in the local plane. Real lon/lat data should be
+//! projected with [`t2vec_spatial::point::GeoPoint::project`] before
+//! export; this keeps the core pipeline unit-agnostic.
+
+use crate::Trajectory;
+use std::io::{self, BufRead, BufWriter, Write};
+use t2vec_spatial::point::Point;
+
+/// Writes trajectories as CSV (with header).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_csv<W: Write>(w: W, trajectories: &[Trajectory]) -> io::Result<()> {
+    let mut w = BufWriter::new(w);
+    writeln!(w, "trip_id,start,x,y")?;
+    for (id, t) in trajectories.iter().enumerate() {
+        for p in &t.points {
+            writeln!(w, "{id},{},{},{}", t.start, p.x, p.y)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads trajectories from CSV produced by [`write_csv`] (or any file in
+/// the same four-column format). Lines are grouped by `trip_id`; ids must
+/// be contiguous runs (sorted input), which `write_csv` guarantees.
+///
+/// # Errors
+/// Returns `InvalidData` for malformed rows.
+pub fn read_csv<R: io::Read>(r: R) -> io::Result<Vec<Trajectory>> {
+    let reader = io::BufReader::new(r);
+    let mut out: Vec<Trajectory> = Vec::new();
+    let mut current_id: Option<u64> = None;
+    let mut line_no = 0usize;
+    let mut line = String::new();
+    let mut reader = reader;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (line_no == 1 && trimmed.starts_with("trip_id")) {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let parse_err =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {what}"));
+        let id: u64 = fields
+            .next()
+            .ok_or_else(|| parse_err("missing trip_id"))?
+            .parse()
+            .map_err(|_| parse_err("bad trip_id"))?;
+        let start: u64 = fields
+            .next()
+            .ok_or_else(|| parse_err("missing start"))?
+            .parse()
+            .map_err(|_| parse_err("bad start"))?;
+        let x: f64 = fields
+            .next()
+            .ok_or_else(|| parse_err("missing x"))?
+            .parse()
+            .map_err(|_| parse_err("bad x"))?;
+        let y: f64 = fields
+            .next()
+            .ok_or_else(|| parse_err("missing y"))?
+            .parse()
+            .map_err(|_| parse_err("bad y"))?;
+        if current_id != Some(id) {
+            out.push(Trajectory { points: Vec::new(), start });
+            current_id = Some(id);
+        }
+        out.last_mut().expect("pushed above").points.push(Point::new(x, y));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Trajectory> {
+        vec![
+            Trajectory {
+                points: vec![Point::new(1.5, -2.0), Point::new(3.0, 4.0)],
+                start: 0,
+            },
+            Trajectory { points: vec![Point::new(-10.0, 0.25)], start: 60 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample()).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn header_written() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &sample()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("trip_id,start,x,y\n"));
+        assert_eq!(text.lines().count(), 1 + 3);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[]).unwrap();
+        assert!(read_csv(buf.as_slice()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "trip_id,start,x,y\n\n0,0,1.0,2.0\n\n";
+        let back = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].points, vec![Point::new(1.0, 2.0)]);
+    }
+
+    #[test]
+    fn malformed_row_is_invalid_data() {
+        let text = "trip_id,start,x,y\n0,0,not_a_number,2.0\n";
+        let err = read_csv(text.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn missing_column_is_invalid_data() {
+        let text = "0,0,1.0\n";
+        assert!(read_csv(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! Route sampling over the road network.
+//!
+//! A trip picks its origin and destination from the hub-biased endpoint
+//! distribution, then follows the cheapest path under edge costs
+//! `length / attractiveness`, with a per-trip multiplicative log-normal
+//! perturbation of each edge cost. The perturbation keeps individual
+//! routes diverse while the persistent attractiveness skew funnels most
+//! trips onto the same popular corridors — giving a trajectory corpus
+//! whose transition patterns are learnable, like the real taxi data.
+
+use crate::network::{NodeId, RoadNetwork};
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use t2vec_spatial::point::Point;
+use t2vec_tensor::rng::{standard_normal, weighted_choice};
+
+/// Per-trip route sampling parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteConfig {
+    /// σ of the per-trip log-normal edge-cost perturbation (0 = everyone
+    /// takes exactly the cheapest path).
+    pub detour_sigma: f64,
+    /// Minimum straight-line distance between endpoints, meters
+    /// (suppresses degenerate one-block trips).
+    pub min_trip_dist: f64,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        Self { detour_sigma: 0.25, min_trip_dist: 1_000.0 }
+    }
+}
+
+/// Samples routes (as intersection polylines) from a [`RoadNetwork`].
+#[derive(Debug)]
+pub struct RouteSampler<'a> {
+    net: &'a RoadNetwork,
+    config: RouteConfig,
+}
+
+#[derive(PartialEq)]
+struct QueueItem {
+    cost: f64,
+    node: NodeId,
+}
+impl Eq for QueueItem {}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // min-heap
+        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+    }
+}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> RouteSampler<'a> {
+    /// A sampler over `net` with the given config.
+    pub fn new(net: &'a RoadNetwork, config: RouteConfig) -> Self {
+        Self { net, config }
+    }
+
+    /// Samples a hub-biased endpoint pair at least `min_trip_dist` apart.
+    pub fn sample_endpoints(&self, rng: &mut impl Rng) -> (NodeId, NodeId) {
+        let weights = self.net.hub_weights();
+        loop {
+            let a = weighted_choice(rng, weights) as NodeId;
+            let b = weighted_choice(rng, weights) as NodeId;
+            if a != b
+                && self.net.position(a).dist(&self.net.position(b)) >= self.config.min_trip_dist
+            {
+                return (a, b);
+            }
+        }
+    }
+
+    /// The cheapest path from `from` to `to` under per-trip perturbed
+    /// costs. Returns the node sequence (inclusive of both endpoints).
+    ///
+    /// # Panics
+    /// Panics if the network is disconnected (cannot happen for grid
+    /// networks).
+    pub fn route(&self, from: NodeId, to: NodeId, rng: &mut impl Rng) -> Vec<NodeId> {
+        let n = self.net.num_nodes();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[from as usize] = 0.0;
+        heap.push(QueueItem { cost: 0.0, node: from });
+        while let Some(QueueItem { cost, node }) = heap.pop() {
+            if node == to {
+                break;
+            }
+            if cost > dist[node as usize] {
+                continue;
+            }
+            for e in self.net.edges(node) {
+                let perturb = if self.config.detour_sigma > 0.0 {
+                    (self.config.detour_sigma * f64::from(standard_normal(rng))).exp()
+                } else {
+                    1.0
+                };
+                let next_cost = cost + e.length / e.attractiveness * perturb;
+                if next_cost < dist[e.to as usize] {
+                    dist[e.to as usize] = next_cost;
+                    parent[e.to as usize] = Some(node);
+                    heap.push(QueueItem { cost: next_cost, node: e.to });
+                }
+            }
+        }
+        assert!(dist[to as usize].is_finite(), "network is disconnected");
+        let mut path = vec![to];
+        let mut cur = to;
+        while let Some(p) = parent[cur as usize] {
+            path.push(p);
+            cur = p;
+            if cur == from {
+                break;
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Samples a complete trip: endpoints plus route, as a polyline of
+    /// intersection positions.
+    pub fn sample_route_polyline(&self, rng: &mut impl Rng) -> Vec<Point> {
+        let (from, to) = self.sample_endpoints(rng);
+        self.route(from, to, rng).iter().map(|&n| self.net.position(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use std::collections::HashMap;
+    use t2vec_spatial::point::polyline_length;
+    use t2vec_tensor::rng::det_rng;
+
+    fn net() -> RoadNetwork {
+        let mut rng = det_rng(3);
+        RoadNetwork::grid(NetworkConfig::default(), &mut rng)
+    }
+
+    #[test]
+    fn route_connects_endpoints() {
+        let net = net();
+        let sampler = RouteSampler::new(&net, RouteConfig::default());
+        let mut rng = det_rng(11);
+        for _ in 0..20 {
+            let (a, b) = sampler.sample_endpoints(&mut rng);
+            let path = sampler.route(a, b, &mut rng);
+            assert_eq!(path[0], a);
+            assert_eq!(*path.last().unwrap(), b);
+            // consecutive nodes are adjacent in the graph
+            for w in path.windows(2) {
+                assert!(
+                    net.edges(w[0]).iter().any(|e| e.to == w[1]),
+                    "non-adjacent hop {w:?}"
+                );
+            }
+            // simple path (no repeated node)
+            let uniq: std::collections::HashSet<_> = path.iter().collect();
+            assert_eq!(uniq.len(), path.len(), "route revisits a node");
+        }
+    }
+
+    #[test]
+    fn endpoints_respect_min_distance() {
+        let net = net();
+        let sampler =
+            RouteSampler::new(&net, RouteConfig { min_trip_dist: 2_000.0, ..Default::default() });
+        let mut rng = det_rng(12);
+        for _ in 0..20 {
+            let (a, b) = sampler.sample_endpoints(&mut rng);
+            assert!(net.position(a).dist(&net.position(b)) >= 2_000.0);
+        }
+    }
+
+    #[test]
+    fn routes_are_not_absurdly_long() {
+        let net = net();
+        let sampler = RouteSampler::new(&net, RouteConfig::default());
+        let mut rng = det_rng(13);
+        for _ in 0..20 {
+            let (a, b) = sampler.sample_endpoints(&mut rng);
+            let path = sampler.route(a, b, &mut rng);
+            let poly: Vec<Point> = path.iter().map(|&n| net.position(n)).collect();
+            let straight = net.position(a).dist(&net.position(b));
+            let len = polyline_length(&poly);
+            assert!(len <= 3.0 * straight + 1_000.0, "detour factor too large: {len} vs {straight}");
+        }
+    }
+
+    #[test]
+    fn popular_corridors_emerge() {
+        // Traffic should concentrate: the most used edge should carry many
+        // times the traffic of the median used edge.
+        let net = net();
+        let sampler = RouteSampler::new(&net, RouteConfig::default());
+        let mut rng = det_rng(14);
+        let mut edge_count: HashMap<(NodeId, NodeId), usize> = HashMap::new();
+        for _ in 0..300 {
+            let (a, b) = sampler.sample_endpoints(&mut rng);
+            let path = sampler.route(a, b, &mut rng);
+            for w in path.windows(2) {
+                *edge_count.entry((w[0].min(w[1]), w[0].max(w[1]))).or_insert(0) += 1;
+            }
+        }
+        let mut counts: Vec<usize> = edge_count.values().copied().collect();
+        counts.sort_unstable();
+        let max = *counts.last().unwrap();
+        let median = counts[counts.len() / 2];
+        assert!(
+            max >= 5 * median.max(1),
+            "expected skewed usage, max {max} median {median}"
+        );
+    }
+
+    #[test]
+    fn zero_detour_sigma_is_deterministic() {
+        let net = net();
+        let sampler =
+            RouteSampler::new(&net, RouteConfig { detour_sigma: 0.0, ..Default::default() });
+        let mut r1 = det_rng(15);
+        let mut r2 = det_rng(16);
+        let p1 = sampler.route(0, 500, &mut r1);
+        let p2 = sampler.route(0, 500, &mut r2);
+        assert_eq!(p1, p2, "routes must not depend on rng when sigma = 0");
+    }
+
+    #[test]
+    fn detour_sigma_creates_route_diversity() {
+        let net = net();
+        let sampler = RouteSampler::new(&net, RouteConfig::default());
+        let mut rng = det_rng(17);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..20 {
+            distinct.insert(sampler.route(0, 500, &mut rng));
+        }
+        assert!(distinct.len() > 1, "perturbation should diversify routes");
+    }
+
+    #[test]
+    fn route_polyline_has_positions() {
+        let net = net();
+        let sampler = RouteSampler::new(&net, RouteConfig::default());
+        let mut rng = det_rng(18);
+        let poly = sampler.sample_route_polyline(&mut rng);
+        assert!(poly.len() >= 2);
+        assert!(polyline_length(&poly) >= 1_000.0);
+    }
+}

@@ -1,0 +1,227 @@
+//! SVG rendering of trajectories and routes.
+//!
+//! A small, dependency-free way to *look* at what the pipeline does:
+//! plot a city's trips, overlay a degraded trajectory on its original,
+//! or compare an inferred route against the ground truth. Used by the
+//! documentation and handy when debugging similarity results.
+//!
+//! ```
+//! use t2vec_trajgen::viz::SvgPlot;
+//! use t2vec_spatial::point::Point;
+//!
+//! let mut plot = SvgPlot::new(400, 400);
+//! plot.polyline(&[Point::new(0.0, 0.0), Point::new(100.0, 50.0)], "#3366cc", 2.0);
+//! plot.points(&[Point::new(50.0, 25.0)], "#cc3333", 3.0);
+//! let svg = plot.render();
+//! assert!(svg.starts_with("<svg"));
+//! ```
+
+use std::fmt::Write as _;
+use t2vec_spatial::point::{BBox, Point};
+
+/// A simple SVG scatter/polyline plot with automatic data-space →
+/// viewport fitting.
+#[derive(Debug, Clone)]
+pub struct SvgPlot {
+    width: u32,
+    height: u32,
+    shapes: Vec<Shape>,
+}
+
+#[derive(Debug, Clone)]
+enum Shape {
+    Polyline { points: Vec<Point>, color: String, stroke: f64 },
+    Points { points: Vec<Point>, color: String, radius: f64 },
+}
+
+impl SvgPlot {
+    /// An empty plot with the given pixel viewport.
+    ///
+    /// # Panics
+    /// Panics on a zero-sized viewport.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "viewport must be non-empty");
+        Self { width, height, shapes: Vec::new() }
+    }
+
+    /// Adds a polyline (e.g. a trajectory or route).
+    pub fn polyline(&mut self, points: &[Point], color: &str, stroke: f64) -> &mut Self {
+        if points.len() >= 2 {
+            self.shapes.push(Shape::Polyline {
+                points: points.to_vec(),
+                color: color.to_string(),
+                stroke,
+            });
+        }
+        self
+    }
+
+    /// Adds individual sample points.
+    pub fn points(&mut self, points: &[Point], color: &str, radius: f64) -> &mut Self {
+        if !points.is_empty() {
+            self.shapes.push(Shape::Points {
+                points: points.to_vec(),
+                color: color.to_string(),
+                radius,
+            });
+        }
+        self
+    }
+
+    fn data_bbox(&self) -> Option<BBox> {
+        let all: Vec<Point> = self
+            .shapes
+            .iter()
+            .flat_map(|s| match s {
+                Shape::Polyline { points, .. } | Shape::Points { points, .. } => points.clone(),
+            })
+            .collect();
+        BBox::of_points(&all)
+    }
+
+    /// Renders the SVG document. Data coordinates are fitted to the
+    /// viewport with a 5 % margin and the y-axis flipped (SVG y grows
+    /// downward; northing grows upward).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+             viewBox=\"0 0 {w} {h}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n",
+            w = self.width,
+            h = self.height
+        );
+        if let Some(bbox) = self.data_bbox() {
+            let margin = 0.05;
+            let span_x = bbox.width().max(1e-9);
+            let span_y = bbox.height().max(1e-9);
+            let sx = f64::from(self.width) * (1.0 - 2.0 * margin) / span_x;
+            let sy = f64::from(self.height) * (1.0 - 2.0 * margin) / span_y;
+            let s = sx.min(sy);
+            let tx = |p: &Point| f64::from(self.width) * margin + (p.x - bbox.min_x) * s;
+            let ty = |p: &Point| f64::from(self.height) * (1.0 - margin) - (p.y - bbox.min_y) * s;
+            for shape in &self.shapes {
+                match shape {
+                    Shape::Polyline { points, color, stroke } => {
+                        let coords: Vec<String> = points
+                            .iter()
+                            .map(|p| format!("{:.1},{:.1}", tx(p), ty(p)))
+                            .collect();
+                        let _ = write!(
+                            out,
+                            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" \
+                             stroke-width=\"{stroke}\" stroke-linejoin=\"round\"/>\n",
+                            coords.join(" ")
+                        );
+                    }
+                    Shape::Points { points, color, radius } => {
+                        for p in points {
+                            let _ = write!(
+                                out,
+                                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{radius}\" \
+                                 fill=\"{color}\"/>\n",
+                                tx(p),
+                                ty(p)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+
+    /// Writes the rendered SVG to a file.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Vec<Point> {
+        vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(100.0, 100.0)]
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let mut plot = SvgPlot::new(200, 100);
+        plot.polyline(&line(), "#112233", 2.0);
+        plot.points(&line(), "#445566", 1.5);
+        let svg = plot.render();
+        assert!(svg.starts_with("<svg xmlns"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("#112233"));
+    }
+
+    #[test]
+    fn empty_plot_still_valid() {
+        let svg = SvgPlot::new(50, 50).render();
+        assert!(svg.contains("<svg"));
+        assert!(!svg.contains("polyline"));
+    }
+
+    #[test]
+    fn single_point_polylines_are_skipped() {
+        let mut plot = SvgPlot::new(50, 50);
+        plot.polyline(&[Point::new(1.0, 1.0)], "#000", 1.0);
+        assert!(!plot.render().contains("polyline"));
+    }
+
+    #[test]
+    fn coordinates_fit_viewport() {
+        let mut plot = SvgPlot::new(100, 100);
+        plot.points(&[Point::new(-500.0, 300.0), Point::new(2_000.0, 900.0)], "#000", 1.0);
+        let svg = plot.render();
+        // Every rendered coordinate must stay inside the 100x100 box.
+        for cap in svg.split("cx=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=100.0).contains(&v), "cx {v} escaped viewport");
+        }
+        for cap in svg.split("cy=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=100.0).contains(&v), "cy {v} escaped viewport");
+        }
+    }
+
+    #[test]
+    fn y_axis_is_flipped() {
+        // The northern point must get the *smaller* SVG y.
+        let mut plot = SvgPlot::new(100, 100);
+        plot.points(&[Point::new(0.0, 0.0), Point::new(0.0, 100.0)], "#000", 1.0);
+        let svg = plot.render();
+        let ys: Vec<f64> = svg
+            .split("cy=\"")
+            .skip(1)
+            .map(|c| c.split('"').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(ys.len(), 2);
+        assert!(ys[1] < ys[0], "second (northern) point should render higher: {ys:?}");
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let mut plot = SvgPlot::new(40, 40);
+        plot.polyline(&line(), "#000", 1.0);
+        let mut path = std::env::temp_dir();
+        path.push(format!("t2vec-viz-{}.svg", std::process::id()));
+        plot.save(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(content.contains("<svg"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_viewport_panics() {
+        let _ = SvgPlot::new(0, 10);
+    }
+}

@@ -1,0 +1,65 @@
+//! Trajectory clustering on learned representations — future-work item 1
+//! of the paper's §VI, enabled by the O(n + |v|) similarity.
+//!
+//! We generate a handful of distinct routes, sample several degraded
+//! trajectories from each (different sampling rates and noise), cluster
+//! the *vectors* with k-means, and check that the clusters recover the
+//! routes.
+//!
+//! ```text
+//! cargo run --release --example clustering
+//! ```
+
+use t2vec::prelude::*;
+
+fn main() {
+    let mut rng = det_rng(13);
+    let city = City::tiny(&mut rng);
+    let data = DatasetBuilder::new(&city).trips(150).min_len(8).build(&mut rng);
+
+    let config = T2VecConfig::tiny();
+    let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
+
+    // Pick 4 distinct test trips as "routes" and derive 6 degraded
+    // variants of each.
+    let num_routes = 4;
+    let variants_per_route = 6;
+    let mut trajectories = Vec::new();
+    let mut truth = Vec::new();
+    for (route_id, trip) in data.test.iter().take(num_routes).enumerate() {
+        for v in 0..variants_per_route {
+            let r1 = 0.2 + 0.1 * f64::from(v as u32 % 3);
+            let degraded = distort(&downsample(&trip.points, r1, &mut rng), 0.3, &mut rng);
+            trajectories.push(degraded);
+            truth.push(route_id);
+        }
+    }
+
+    let vectors = model.encode_batch(&trajectories);
+    let result = kmeans(&vectors, num_routes, 100, &mut rng);
+    println!(
+        "clustered {} trajectories into {} clusters in {} iterations (inertia {:.3})",
+        trajectories.len(),
+        num_routes,
+        result.iterations,
+        result.inertia
+    );
+
+    // Purity: majority label per cluster.
+    let mut purity_hits = 0;
+    for c in 0..num_routes {
+        let members: Vec<usize> = (0..truth.len()).filter(|&i| result.assignments[i] == c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let mut counts = vec![0usize; num_routes];
+        for &m in &members {
+            counts[truth[m]] += 1;
+        }
+        let majority = counts.iter().max().copied().unwrap_or(0);
+        purity_hits += majority;
+        println!("cluster {c}: {} members, majority route share {majority}/{}", members.len(), members.len());
+    }
+    let purity = purity_hits as f64 / truth.len() as f64;
+    println!("\noverall cluster purity: {purity:.2} (1.00 = every cluster is one route)");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: train t2vec on a synthetic city and compute trajectory
+//! similarity in vector space.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use t2vec::prelude::*;
+use t2vec_core::model::vec_dist;
+
+fn main() {
+    // 1. A deterministic synthetic city stands in for the paper's taxi
+    //    data (see DESIGN.md for why the substitution is faithful).
+    let mut rng = det_rng(42);
+    let city = City::tiny(&mut rng);
+    let data = DatasetBuilder::new(&city).trips(120).min_len(6).build(&mut rng);
+    let stats = data.stats();
+    println!(
+        "generated {} trips / {} points (mean length {:.1})",
+        stats.num_trips, stats.num_points, stats.mean_length
+    );
+
+    // 2. Train. `tiny()` runs in seconds; `T2VecConfig::paper_default()`
+    //    is the full-size configuration of §V-B.
+    let config = T2VecConfig::tiny();
+    let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
+    println!("trained: |v| = {} dims over {} hot cells", model.repr_dim(), model.vocab().num_hot_cells());
+
+    // 3. Encode trajectories — O(n) each — and compare with Euclidean
+    //    distance — O(|v|).
+    let trip = &data.test[0].points;
+    let same_route_low_rate = downsample(trip, 0.5, &mut rng); // half the points
+    let noisy = distort(trip, 0.5, &mut rng); // GPS noise
+    let different_trip = &data.test[1].points;
+
+    let v_full = model.encode(trip);
+    let v_low = model.encode(&same_route_low_rate);
+    let v_noisy = model.encode(&noisy);
+    let v_other = model.encode(different_trip);
+
+    println!("\ndistance in representation space:");
+    println!("  same route, half the sample points : {:.4}", vec_dist(&v_full, &v_low));
+    println!("  same route, distorted points       : {:.4}", vec_dist(&v_full, &v_noisy));
+    println!("  a different trip                   : {:.4}", vec_dist(&v_full, &v_other));
+    println!("\nrobust similarity = small distances for the first two, large for the third.");
+}

@@ -1,0 +1,212 @@
+//! The `t2vec` command-line tool: generate data, train models, encode
+//! trajectories and run k-nearest-trajectory search from the shell.
+//!
+//! ```text
+//! t2vec generate --city porto --trips 500 --out trips.csv [--seed 7]
+//! t2vec train    --data trips.csv --preset tiny|small|paper --out model.json [--seed 7]
+//! t2vec encode   --model model.json --data trips.csv --out vectors.json
+//! t2vec knn      --model model.json --db trips.csv --query trips.csv --k 10 [--lsh]
+//! t2vec stats    --data trips.csv
+//! ```
+//!
+//! Trajectory CSV format: `trip_id,start,x,y` with one sample point per
+//! line, coordinates in meters in a local plane (project lon/lat with
+//! `GeoPoint::project` first).
+
+use std::fs::File;
+use std::process::ExitCode;
+use t2vec::prelude::*;
+use t2vec_trajgen::io::{read_csv, write_csv};
+use t2vec_trajgen::Trajectory;
+
+struct Opts {
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = std::collections::HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            if name == "lsh" {
+                flags.insert(name.to_string(), "true".to_string());
+                continue;
+            }
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            flags.insert(name.to_string(), value.clone());
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, name: &str) -> Result<&str, String> {
+        self.flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn get_or(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: t2vec <generate|train|encode|knn|stats> [--flags]\n\
+     \n  generate --city porto|harbin|tiny --trips N --out FILE [--seed N] [--min-len N]\
+     \n  train    --data FILE --out FILE [--preset tiny|small|paper] [--seed N]\
+     \n  encode   --model FILE --data FILE --out FILE\
+     \n  knn      --model FILE --db FILE --query FILE [--k N] [--lsh]\
+     \n  stats    --data FILE"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => generate(&opts),
+        "train" => train(&opts),
+        "encode" => encode(&opts),
+        "knn" => knn(&opts),
+        "stats" => stats(&opts),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_trajectories(path: &str) -> Result<Vec<Trajectory>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_csv(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn generate(opts: &Opts) -> Result<(), String> {
+    let seed: u64 = opts.get_or("seed", "7").parse().map_err(|_| "bad --seed")?;
+    let trips: usize = opts.get_or("trips", "200").parse().map_err(|_| "bad --trips")?;
+    let min_len: usize = opts.get_or("min-len", "8").parse().map_err(|_| "bad --min-len")?;
+    let out = opts.get("out")?;
+    let mut rng = det_rng(seed);
+    let city = match opts.get_or("city", "porto").as_str() {
+        "porto" => City::porto_like(&mut rng),
+        "harbin" => City::harbin_like(&mut rng),
+        "tiny" => City::tiny(&mut rng),
+        other => return Err(format!("unknown city '{other}'")),
+    };
+    let ds = DatasetBuilder::new(&city).trips(trips).min_len(min_len).build(&mut rng);
+    let all: Vec<Trajectory> = ds.all().cloned().collect();
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    write_csv(file, &all).map_err(|e| e.to_string())?;
+    let s = ds.stats();
+    println!(
+        "wrote {} trips / {} points (mean length {:.1}) to {out}",
+        s.num_trips, s.num_points, s.mean_length
+    );
+    Ok(())
+}
+
+fn train(opts: &Opts) -> Result<(), String> {
+    let seed: u64 = opts.get_or("seed", "7").parse().map_err(|_| "bad --seed")?;
+    let data = load_trajectories(opts.get("data")?)?;
+    let out = opts.get("out")?;
+    let config = match opts.get_or("preset", "small").as_str() {
+        "tiny" => T2VecConfig::tiny(),
+        "small" => T2VecConfig::small(),
+        "paper" => T2VecConfig::paper_default(),
+        other => return Err(format!("unknown preset '{other}'")),
+    };
+    let mut rng = det_rng(seed);
+    let split = data.len().saturating_sub((data.len() / 10).max(1)).max(1);
+    let (tr, val) = data.split_at(split.min(data.len()));
+    let (model, report) = t2vec_core::T2Vec::train_with_report(&config, tr, val, &mut rng)
+        .map_err(|e| e.to_string())?;
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    model.save(file).map_err(|e| e.to_string())?;
+    println!(
+        "trained on {} trips ({} pairs, {} hot cells) in {:.1}s over {} epochs; model -> {out}",
+        tr.len(),
+        report.num_pairs,
+        report.vocab_size,
+        report.train_seconds,
+        report.epochs
+    );
+    Ok(())
+}
+
+fn encode(opts: &Opts) -> Result<(), String> {
+    let model = T2Vec::load(
+        File::open(opts.get("model")?).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let data = load_trajectories(opts.get("data")?)?;
+    let out = opts.get("out")?;
+    let points: Vec<Vec<_>> = data.iter().map(|t| t.points.clone()).collect();
+    let t0 = std::time::Instant::now();
+    let vectors = model.encode_batch(&points);
+    let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    serde_json::to_writer(file, &vectors).map_err(|e| e.to_string())?;
+    println!(
+        "encoded {} trajectories ({} dims) in {:.1} ms -> {out}",
+        vectors.len(),
+        model.repr_dim(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+fn knn(opts: &Opts) -> Result<(), String> {
+    let model = T2Vec::load(
+        File::open(opts.get("model")?).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let db = load_trajectories(opts.get("db")?)?;
+    let queries = load_trajectories(opts.get("query")?)?;
+    let k: usize = opts.get_or("k", "10").parse().map_err(|_| "bad --k")?;
+    let use_lsh = opts.flags.contains_key("lsh");
+
+    let db_points: Vec<Vec<_>> = db.iter().map(|t| t.points.clone()).collect();
+    let vectors = model.encode_batch(&db_points);
+    let mut rng = det_rng(1);
+    let index: Box<dyn VectorIndex> = if use_lsh {
+        let mut idx = LshIndex::new(model.repr_dim(), 10, 8, &mut rng);
+        for v in vectors {
+            idx.add(v);
+        }
+        Box::new(idx)
+    } else {
+        let mut idx = BruteForceIndex::new();
+        for v in vectors {
+            idx.add(v);
+        }
+        Box::new(idx)
+    };
+    for (qi, q) in queries.iter().enumerate() {
+        let qv = model.encode(&q.points);
+        let hits = index.knn(&qv, k);
+        let rendered: Vec<String> =
+            hits.iter().map(|(id, d)| format!("{id}:{d:.3}")).collect();
+        println!("query {qi}: {}", rendered.join(" "));
+    }
+    Ok(())
+}
+
+fn stats(opts: &Opts) -> Result<(), String> {
+    let data = load_trajectories(opts.get("data")?)?;
+    let points: usize = data.iter().map(Trajectory::len).sum();
+    let mean = if data.is_empty() { 0.0 } else { points as f64 / data.len() as f64 };
+    println!("#trips: {}\n#points: {points}\nmean length: {mean:.2}", data.len());
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # t2vec — deep representation learning for trajectory similarity
+//!
+//! A pure-Rust reproduction of *Li et al., "Deep Representation Learning
+//! for Trajectory Similarity Computation", ICDE 2018*.
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! * [`tensor`] — dense matrices, reverse-mode autodiff, Adam.
+//! * [`spatial`] — grid cells, hot-cell vocabularies, trajectory transforms.
+//! * [`trajgen`] — a synthetic city simulator standing in for the paper's
+//!   Porto/Harbin taxi datasets.
+//! * [`distance`] — the pairwise point-matching baselines (DTW, ERP, EDR,
+//!   LCSS, EDwP, CMS, discrete Fréchet).
+//! * [`nn`] — GRU seq2seq, spatial-proximity losses L1/L2/L3, skip-gram
+//!   cell pre-training.
+//! * [`core`] — the t2vec model: training pipeline, encoder, vector
+//!   indexes (brute force and LSH), k-means clustering.
+//! * [`eval`] — metrics and the runners that regenerate every table and
+//!   figure of the paper.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; abridged:
+//!
+//! ```no_run
+//! use t2vec::prelude::*;
+//!
+//! let mut rng = det_rng(7);
+//! let city = City::porto_like(&mut rng);
+//! let data = DatasetBuilder::new(&city).trips(2_000).build(&mut rng);
+//! let config = T2VecConfig::tiny();
+//! let model = T2Vec::train(&config, &data.train, &mut rng).unwrap();
+//! let v = model.encode(&data.test[0].points);
+//! println!("embedding: {} dims", v.len());
+//! ```
+
+pub use t2vec_core as core;
+pub use t2vec_distance as distance;
+pub use t2vec_eval as eval;
+pub use t2vec_nn as nn;
+pub use t2vec_spatial as spatial;
+pub use t2vec_tensor as tensor;
+pub use t2vec_trajgen as trajgen;
+
+/// Convenience re-exports covering the common workflow: generate data,
+/// train, encode, search.
+pub mod prelude {
+    pub use t2vec_core::{
+        index::{BruteForceIndex, LshIndex, VectorIndex},
+        kmeans::{kmeans, KMeansResult},
+        T2Vec, T2VecConfig, TrainReport,
+    };
+    pub use t2vec_distance::{
+        cms::Cms, dtw::Dtw, edr::Edr, edwp::Edwp, erp::Erp, frechet::DiscreteFrechet,
+        lcss::Lcss, TrajDistance,
+    };
+    pub use t2vec_eval::metrics::{mean_rank, precision_at_k};
+    pub use t2vec_spatial::{
+        grid::Grid,
+        point::{BBox, Point},
+        transform::{distort, downsample},
+        vocab::Vocab,
+    };
+    pub use t2vec_tensor::rng::det_rng;
+    pub use t2vec_trajgen::{city::City, dataset::DatasetBuilder, Trajectory};
+}

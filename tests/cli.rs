@@ -1,0 +1,105 @@
+//! End-to-end test of the `t2vec` command-line tool: generate → stats →
+//! train → encode → knn, all through the real binary.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_t2vec")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("t2vec-cli-{}-{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin()).args(args).output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn full_cli_pipeline() {
+    let data = tmp("trips.csv");
+    let model = tmp("model.json");
+    let vectors = tmp("vectors.json");
+
+    // generate
+    let (ok, stdout, stderr) = run(&[
+        "generate", "--city", "tiny", "--trips", "60", "--min-len", "6", "--out", &data,
+        "--seed", "3",
+    ]);
+    assert!(ok, "generate failed: {stderr}");
+    assert!(stdout.contains("wrote 60 trips"), "{stdout}");
+
+    // stats
+    let (ok, stdout, _) = run(&["stats", "--data", &data]);
+    assert!(ok);
+    assert!(stdout.contains("#trips: 60"));
+
+    // train
+    let (ok, stdout, stderr) =
+        run(&["train", "--data", &data, "--preset", "tiny", "--out", &model, "--seed", "3"]);
+    assert!(ok, "train failed: {stderr}");
+    assert!(stdout.contains("trained on"), "{stdout}");
+    assert!(std::path::Path::new(&model).exists());
+
+    // encode
+    let (ok, stdout, stderr) =
+        run(&["encode", "--model", &model, "--data", &data, "--out", &vectors]);
+    assert!(ok, "encode failed: {stderr}");
+    assert!(stdout.contains("encoded 60 trajectories"));
+    let parsed: Vec<Vec<f32>> =
+        serde_json::from_reader(std::fs::File::open(&vectors).unwrap()).unwrap();
+    assert_eq!(parsed.len(), 60);
+
+    // knn (db == queries: every query's best hit is itself at distance ~0)
+    let (ok, stdout, stderr) =
+        run(&["knn", "--model", &model, "--db", &data, "--query", &data, "--k", "3"]);
+    assert!(ok, "knn failed: {stderr}");
+    let first_line = stdout.lines().next().unwrap();
+    assert!(first_line.starts_with("query 0: 0:0.000"), "self should rank first: {first_line}");
+
+    // knn with LSH
+    let (ok, stdout, _) =
+        run(&["knn", "--model", &model, "--db", &data, "--query", &data, "--k", "3", "--lsh"]);
+    assert!(ok);
+    assert!(stdout.lines().count() == 60);
+
+    for f in [&data, &model, &vectors] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn cli_reports_usage_on_no_args() {
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn cli_rejects_unknown_command_and_missing_flags() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = run(&["train", "--data"]);
+    assert!(!ok);
+    assert!(stderr.contains("--data needs a value"));
+
+    let (ok, _, stderr) = run(&["train"]);
+    assert!(!ok);
+    assert!(stderr.contains("missing --data"));
+}
+
+#[test]
+fn cli_reports_file_errors_cleanly() {
+    let (ok, _, stderr) = run(&["stats", "--data", "/nonexistent/file.csv"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot open"));
+}

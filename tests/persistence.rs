@@ -1,0 +1,78 @@
+//! Model and dataset persistence across the crate boundaries: save to
+//! disk, reload, and verify behavioural equivalence.
+
+use std::fs::File;
+use t2vec::prelude::*;
+use t2vec_trajgen::io::{read_csv, write_csv};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("t2vec-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn model_file_roundtrip() {
+    let mut rng = det_rng(91);
+    let city = City::tiny(&mut rng);
+    let data = DatasetBuilder::new(&city).trips(60).min_len(6).build(&mut rng);
+    let mut config = T2VecConfig::tiny();
+    config.max_epochs = 2;
+    let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
+
+    let path = temp_path("model.json");
+    model.save(File::create(&path).unwrap()).unwrap();
+    let loaded = T2Vec::load(File::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    for trip in data.test.iter().take(5) {
+        assert_eq!(model.encode(&trip.points), loaded.encode(&trip.points));
+    }
+    assert_eq!(model.repr_dim(), loaded.repr_dim());
+    assert_eq!(model.vocab().size(), loaded.vocab().size());
+}
+
+#[test]
+fn load_rejects_garbage() {
+    let err = T2Vec::load("not json at all".as_bytes()).unwrap_err();
+    assert!(matches!(err, t2vec_core::T2VecError::Serde(_)));
+}
+
+#[test]
+fn trajectory_csv_file_roundtrip() {
+    let mut rng = det_rng(92);
+    let city = City::tiny(&mut rng);
+    let data = DatasetBuilder::new(&city).trips(20).min_len(5).build(&mut rng);
+
+    let path = temp_path("trips.csv");
+    write_csv(File::create(&path).unwrap(), &data.train).unwrap();
+    let back = read_csv(File::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(back.len(), data.train.len());
+    for (a, b) in data.train.iter().zip(&back) {
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.points.len(), b.points.len());
+        for (p, q) in a.points.iter().zip(&b.points) {
+            assert!((p.x - q.x).abs() < 1e-9);
+            assert!((p.y - q.y).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn saved_model_is_valid_json_with_expected_structure() {
+    let mut rng = det_rng(93);
+    let city = City::tiny(&mut rng);
+    let data = DatasetBuilder::new(&city).trips(40).min_len(5).build(&mut rng);
+    let mut config = T2VecConfig::tiny();
+    config.max_epochs = 1;
+    let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
+
+    let mut buf = Vec::new();
+    model.save(&mut buf).unwrap();
+    let value: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+    assert!(value.get("config").is_some());
+    assert!(value.get("vocab").is_some());
+    assert!(value.get("model").is_some());
+}
