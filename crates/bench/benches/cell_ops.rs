@@ -51,7 +51,13 @@ fn bench_cell_ops(c: &mut Criterion) {
     });
 
     group.bench_function("neighbor_table_k20", |b| {
-        b.iter(|| black_box(NeighborTable::build(&vocab, 20.min(vocab.num_hot_cells()), 100.0)))
+        b.iter(|| {
+            black_box(NeighborTable::build(
+                &vocab,
+                20.min(vocab.num_hot_cells()),
+                100.0,
+            ))
+        })
     });
 
     let tree = KdTree::build(points.iter().enumerate().map(|(i, &p)| (p, i)).collect());

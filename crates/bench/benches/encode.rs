@@ -12,7 +12,10 @@ use t2vec_trajgen::dataset::DatasetBuilder;
 fn trained_model() -> (T2Vec, Vec<Vec<Point>>) {
     let mut rng = det_rng(5);
     let city = City::tiny(&mut rng);
-    let ds = DatasetBuilder::new(&city).trips(80).min_len(6).build(&mut rng);
+    let ds = DatasetBuilder::new(&city)
+        .trips(80)
+        .min_len(6)
+        .build(&mut rng);
     let mut config = T2VecConfig::tiny();
     config.max_epochs = 2;
     let model = T2Vec::train(&config, &ds.train, &mut rng).expect("training failed");
@@ -22,7 +25,9 @@ fn trained_model() -> (T2Vec, Vec<Vec<Point>>) {
 
 /// A straight trajectory of n points (length scaling).
 fn line(n: usize) -> Vec<Point> {
-    (0..n).map(|i| Point::new(i as f64 * 50.0, (i as f64 * 0.1).sin() * 100.0)).collect()
+    (0..n)
+        .map(|i| Point::new(i as f64 * 50.0, (i as f64 * 0.1).sin() * 100.0))
+        .collect()
 }
 
 fn bench_encode(c: &mut Criterion) {

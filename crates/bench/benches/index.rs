@@ -9,7 +9,9 @@ use t2vec_tensor::rng::det_rng;
 
 fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = det_rng(seed);
-    (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect()).collect()
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0f32..1.0)).collect())
+        .collect()
 }
 
 fn bench_index(c: &mut Criterion) {

@@ -21,12 +21,16 @@ struct Setup {
 fn setup(db_size: usize) -> Setup {
     let mut rng = det_rng(11);
     let city = City::tiny(&mut rng);
-    let ds = DatasetBuilder::new(&city).trips(120).min_len(6).build(&mut rng);
+    let ds = DatasetBuilder::new(&city)
+        .trips(120)
+        .min_len(6)
+        .build(&mut rng);
     let mut config = T2VecConfig::tiny();
     config.max_epochs = 2;
     let model = T2Vec::train(&config, &ds.train, &mut rng).expect("training failed");
-    let db: Vec<Vec<Point>> =
-        (0..db_size).map(|i| ds.test[i % ds.test.len()].points.clone()).collect();
+    let db: Vec<Vec<Point>> = (0..db_size)
+        .map(|i| ds.test[i % ds.test.len()].points.clone())
+        .collect();
     let query = ds.test[0].points.clone();
     Setup { model, db, query }
 }

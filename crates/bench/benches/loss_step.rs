@@ -21,8 +21,13 @@ struct Setup {
 
 /// A vocabulary of `side × side` hot cells and a model on top of it.
 fn setup(side: u64) -> Setup {
-    let grid = Grid::new(BBox::new(0.0, 0.0, side as f64 * 100.0, side as f64 * 100.0), 100.0);
-    let pts: Vec<Point> = (0..grid.num_cells()).flat_map(|c| vec![grid.centroid(c); 3]).collect();
+    let grid = Grid::new(
+        BBox::new(0.0, 0.0, side as f64 * 100.0, side as f64 * 100.0),
+        100.0,
+    );
+    let pts: Vec<Point> = (0..grid.num_cells())
+        .flat_map(|c| vec![grid.centroid(c); 3])
+        .collect();
     let vocab = Vocab::build(grid, pts.iter(), 2);
     let table = NeighborTable::build(&vocab, 20.min(vocab.num_hot_cells()), 100.0);
     let mut rng = det_rng(21);
@@ -39,7 +44,11 @@ fn setup(side: u64) -> Setup {
     let src: Vec<Token> = toks.iter().step_by(2).copied().collect();
     let pairs = vec![(src, toks); 16];
     let batch = make_batches(&pairs, 16, &mut rng).remove(0);
-    Setup { model, table, batch }
+    Setup {
+        model,
+        table,
+        batch,
+    }
 }
 
 fn bench_loss_step(c: &mut Criterion) {

@@ -7,17 +7,34 @@
 //!
 //! IDS: table2 table3 table4 table5 table6 fig5 fig6 table7 table8
 //!      table9 fig7 all      (default: all)
+//!      bench_pr1            (never implied by `all`: measures the
+//!                            matmul / encode / train-step throughput
+//!                            and writes BENCH_PR1.json to the CWD)
 //! ```
 //!
 //! Absolute numbers differ from the paper (synthetic data, CPU-scale
 //! models); the *orderings* — who wins, how methods degrade — are the
 //! reproduction target. See EXPERIMENTS.md for the recorded comparison.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+use std::hint::black_box;
+use std::time::Instant;
+use t2vec_core::model::generate_pairs;
+use t2vec_core::{T2Vec, T2VecConfig};
 use t2vec_eval::experiments::{self, Bench, CityKind, MethodRow, Scale};
 use t2vec_eval::paper;
 use t2vec_eval::tables::{f2, f3, headers, render};
-use t2vec_core::T2VecConfig;
+use t2vec_nn::batch::make_batches;
+use t2vec_nn::param::{apply_grad_mats, reduce_grad_sets};
+use t2vec_nn::{Seq2Seq, Seq2SeqConfig};
+use t2vec_spatial::vocab::NeighborTable;
+use t2vec_spatial::{BBox, Grid, Vocab};
+use t2vec_tensor::opt::Adam;
 use t2vec_tensor::rng::det_rng;
+use t2vec_tensor::{init, parallel};
+use t2vec_trajgen::city::City;
 use t2vec_trajgen::dataset::DatasetBuilder;
 
 struct Args {
@@ -59,7 +76,12 @@ fn parse_args() -> Args {
     if ids.is_empty() {
         ids.push("all".to_string());
     }
-    Args { scale, config, city, ids }
+    Args {
+        scale,
+        config,
+        city,
+        ids,
+    }
 }
 
 fn wants(ids: &[String], id: &str) -> bool {
@@ -103,7 +125,10 @@ fn main() {
         CityKind::Tiny => "tiny",
     };
     println!("== t2vec reproduction harness ==");
-    println!("city: {city_label}   trips: {}   queries: {}", args.scale.trips, args.scale.num_queries);
+    println!(
+        "city: {city_label}   trips: {}   queries: {}",
+        args.scale.trips, args.scale.num_queries
+    );
     println!();
 
     if wants(&args.ids, "table2") {
@@ -151,6 +176,220 @@ fn main() {
     if wants(&args.ids, "fig7") {
         fig7(&args);
     }
+    // Opt-in only: writes a file, so `all` does not imply it.
+    if args.ids.iter().any(|x| x == "bench_pr1") {
+        bench_pr1();
+    }
+}
+
+/// Mean wall-clock seconds of `f`, with enough repetitions to measure
+/// fast closures (~0.25 s of total measurement per call site).
+fn time_mean_secs(mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    let first = t0.elapsed().as_secs_f64();
+    if first >= 0.25 {
+        return first;
+    }
+    let reps = ((0.25 / first.max(1e-7)) as usize).clamp(2, 20_000);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Measures the three PR-1 performance surfaces — raw matmul kernels,
+/// trajectory encoding, and the data-parallel optimiser step — each with
+/// 1 worker and with 4, and records them in `BENCH_PR1.json`.
+fn bench_pr1() {
+    println!("---- BENCH_PR1: kernel / encode / train-step throughput ----");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let nt = 4usize;
+
+    // -- 1. Kernel GFLOP/s on the GRU shapes (see benches/matmul.rs) --
+    let mut kernel_rows = Vec::new();
+    for &(m, k, n) in &[
+        (1usize, 256usize, 768usize),
+        (64, 256, 768),
+        (64, 256, 18000),
+    ] {
+        let mut rng = det_rng(42);
+        let a = init::uniform(m, k, 1.0, &mut rng);
+        let b = init::uniform(k, n, 1.0, &mut rng);
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let naive = time_mean_secs(|| {
+            black_box(a.matmul_naive(&b));
+        });
+        parallel::set_threads(1);
+        let blocked_1t = time_mean_secs(|| {
+            black_box(a.matmul(&b));
+        });
+        parallel::set_threads(nt);
+        let blocked_nt = time_mean_secs(|| {
+            black_box(a.matmul(&b));
+        });
+        let g = |secs: f64| flops / secs / 1e9;
+        println!(
+            "matmul {m}x{k}x{n}: naive {:.2} GFLOP/s | blocked 1t {:.2} | blocked {nt}t {:.2}",
+            g(naive),
+            g(blocked_1t),
+            g(blocked_nt)
+        );
+        kernel_rows.push(obj(vec![
+            ("shape", Value::Str(format!("{m}x{k}x{n}"))),
+            ("naive_gflops", Value::Float(g(naive))),
+            ("blocked_1t_gflops", Value::Float(g(blocked_1t))),
+            ("blocked_4t_gflops", Value::Float(g(blocked_nt))),
+            (
+                "speedup_blocked_1t_vs_naive",
+                Value::Float(naive / blocked_1t),
+            ),
+            (
+                "speedup_blocked_4t_vs_naive",
+                Value::Float(naive / blocked_nt),
+            ),
+            ("speedup_4t_vs_1t", Value::Float(blocked_1t / blocked_nt)),
+        ]));
+    }
+
+    // -- shared tiny pipeline for the model-level measurements --
+    let mut rng = det_rng(510);
+    let city = City::tiny(&mut rng);
+    let ds = DatasetBuilder::new(&city)
+        .trips(60)
+        .min_len(8)
+        .build(&mut rng);
+    let mut config = T2VecConfig::tiny();
+    config.grad_accum = 4;
+    config.max_epochs = 2;
+
+    // -- 2. Encode throughput through the public T2Vec API --
+    parallel::set_threads(1);
+    let mut rng = det_rng(511);
+    let (model, _report) =
+        T2Vec::train_with_report(&config, &ds.train, &ds.val, &mut rng).expect("tiny training");
+    let mut trajs: Vec<Vec<_>> = Vec::new();
+    while trajs.len() < 256 {
+        trajs.extend(ds.test.iter().map(|t| t.points.clone()));
+    }
+    trajs.truncate(256);
+    parallel::set_threads(1);
+    let enc_1t = time_mean_secs(|| {
+        black_box(model.encode_batch(&trajs));
+    });
+    parallel::set_threads(nt);
+    let enc_nt = time_mean_secs(|| {
+        black_box(model.encode_batch(&trajs));
+    });
+    let per_s = |secs: f64| trajs.len() as f64 / secs;
+    println!(
+        "encode ({} trajs, hidden {}): 1t {:.0} traj/s | {nt}t {:.0} traj/s",
+        trajs.len(),
+        config.hidden,
+        per_s(enc_1t),
+        per_s(enc_nt)
+    );
+
+    // -- 3. Mean optimiser-step time of the data-parallel trainer --
+    // Rebuilt at the nn layer so the step can be timed in isolation:
+    // one step = grad_accum batches fanned out over workers, gradient
+    // sets reduced in batch order, one clipped Adam update.
+    let points: Vec<_> = ds
+        .train
+        .iter()
+        .flat_map(|t| t.points.iter().copied())
+        .collect();
+    let bbox = BBox::of_points(&points).expect("non-empty corpus");
+    let grid = Grid::new(bbox.expanded(4.0 * config.cell_side), config.cell_side);
+    let vocab = Vocab::build(grid, points.iter(), config.hot_cell_threshold);
+    let k = config.k_nearest.min(vocab.num_hot_cells());
+    let table = NeighborTable::build(&vocab, k, config.theta);
+    let mut rng = det_rng(512);
+    let pairs = generate_pairs(&config, &ds.train, &vocab, &mut rng);
+    let batches = make_batches(&pairs, config.batch_size, &mut rng);
+    let group: Vec<_> = batches.into_iter().take(config.grad_accum).collect();
+    assert_eq!(
+        group.len(),
+        config.grad_accum,
+        "tiny corpus must fill one group"
+    );
+    let seq_config = Seq2SeqConfig {
+        vocab: vocab.size(),
+        embed_dim: config.embed_dim,
+        hidden: config.hidden,
+        layers: config.layers,
+        bidirectional: config.bidirectional,
+    };
+    let mut model = Seq2Seq::new(seq_config, &mut rng);
+    let adam = Adam::with_lr(config.learning_rate);
+    let mut step = |threads: usize, seed_base: u64| {
+        parallel::set_threads(threads);
+        time_mean_secs(|| {
+            let sets = parallel::par_map(&group, |i, batch| {
+                let mut batch_rng = StdRng::seed_from_u64(seed_base + i as u64);
+                model.compute_grads(batch, config.loss, &table, &mut batch_rng)
+            });
+            let mut reduced = reduce_grad_sets(&sets);
+            let mut params = model.params_mut();
+            apply_grad_mats(&mut params, &mut reduced.grads, &adam, config.grad_clip);
+        })
+    };
+    let step_1t = step(1, 900);
+    let step_nt = step(nt, 900);
+    println!(
+        "train step (grad_accum {}, batch {}): 1t {:.1} ms | {nt}t {:.1} ms",
+        config.grad_accum,
+        config.batch_size,
+        step_1t * 1e3,
+        step_nt * 1e3
+    );
+
+    let report = obj(vec![
+        (
+            "source",
+            Value::Str("crates/bench/src/bin/experiments.rs bench_pr1".into()),
+        ),
+        (
+            "host",
+            obj(vec![
+                ("available_parallelism", Value::UInt(host_threads as u64)),
+                ("bench_threads", Value::UInt(nt as u64)),
+            ]),
+        ),
+        ("matmul", Value::Array(kernel_rows)),
+        (
+            "encode",
+            obj(vec![
+                ("trajectories", Value::UInt(trajs.len() as u64)),
+                ("hidden", Value::UInt(config.hidden as u64)),
+                ("traj_per_s_1t", Value::Float(per_s(enc_1t))),
+                ("traj_per_s_4t", Value::Float(per_s(enc_nt))),
+            ]),
+        ),
+        (
+            "train_step",
+            obj(vec![
+                ("grad_accum", Value::UInt(config.grad_accum as u64)),
+                ("batch_size", Value::UInt(config.batch_size as u64)),
+                ("hidden", Value::UInt(config.hidden as u64)),
+                ("mean_ms_1t", Value::Float(step_1t * 1e3)),
+                ("mean_ms_4t", Value::Float(step_nt * 1e3)),
+            ]),
+        ),
+    ]);
+    let json = serde_json::to_string(&report).expect("serialise report");
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("wrote BENCH_PR1.json");
 }
 
 fn table2(args: &Args) {
@@ -174,7 +413,11 @@ fn table2(args: &Args) {
     }
     println!(
         "{}",
-        render("ours (scaled)", &headers(&["dataset", "#points", "#trips", "mean length"]), &rows)
+        render(
+            "ours (scaled)",
+            &headers(&["dataset", "#points", "#trips", "mean length"]),
+            &rows
+        )
     );
     println!(
         "{}",
@@ -182,8 +425,18 @@ fn table2(args: &Args) {
             "paper",
             &headers(&["dataset", "#points", "#trips", "mean length"]),
             &[
-                vec!["Porto".into(), "74,269,739".into(), "1,233,766".into(), "60".into()],
-                vec!["Harbin".into(), "184,809,109".into(), "1,527,348".into(), "121".into()],
+                vec![
+                    "Porto".into(),
+                    "74,269,739".into(),
+                    "1,233,766".into(),
+                    "60".into()
+                ],
+                vec![
+                    "Harbin".into(),
+                    "184,809,109".into(),
+                    "1,527,348".into(),
+                    "121".into()
+                ],
             ],
         )
     );
@@ -199,7 +452,10 @@ fn table3(bench: &Bench) {
         "{}",
         paper_table(
             "paper (Porto)",
-            paper::TABLE3_DB_SIZES.iter().map(|s| format!("db={s}")).collect(),
+            paper::TABLE3_DB_SIZES
+                .iter()
+                .map(|s| format!("db={s}"))
+                .collect(),
             &paper::METHODS,
             &data
         )
@@ -217,7 +473,10 @@ fn table4(bench: &Bench) {
         "{}",
         paper_table(
             "paper (Porto)",
-            paper::TABLE4_RATES.iter().map(|r| format!("r1={r}")).collect(),
+            paper::TABLE4_RATES
+                .iter()
+                .map(|r| format!("r1={r}"))
+                .collect(),
             &paper::METHODS,
             &data
         )
@@ -235,7 +494,10 @@ fn table5(bench: &Bench) {
         "{}",
         paper_table(
             "paper (Porto)",
-            paper::TABLE5_RATES.iter().map(|r| format!("r2={r}")).collect(),
+            paper::TABLE5_RATES
+                .iter()
+                .map(|r| format!("r2={r}"))
+                .collect(),
             &paper::METHODS,
             &data
         )
@@ -249,14 +511,20 @@ fn table6(bench: &Bench) {
     for (dropping, label) in [(true, "dropping rate r1"), (false, "distorting rate r2")] {
         let rows = experiments::cross_similarity(bench, &rates, pairs, dropping);
         let cols: Vec<String> = rates.iter().map(|r| format!("r={r}")).collect();
-        println!("{}", method_table(&format!("ours — varying {label}"), &cols, &rows, true));
+        println!(
+            "{}",
+            method_table(&format!("ours — varying {label}"), &cols, &rows, true)
+        );
     }
     let drop_data: Vec<&[f64]> = paper::TABLE6_DROP.iter().map(|r| r.as_slice()).collect();
     println!(
         "{}",
         paper_table(
             "paper (dropping)",
-            paper::TABLE6_RATES.iter().map(|r| format!("r={r}")).collect(),
+            paper::TABLE6_RATES
+                .iter()
+                .map(|r| format!("r={r}"))
+                .collect(),
             &paper::TABLE6_METHODS,
             &drop_data
         )
@@ -266,7 +534,10 @@ fn table6(bench: &Bench) {
         "{}",
         paper_table(
             "paper (distorting)",
-            paper::TABLE6_RATES.iter().map(|r| format!("r={r}")).collect(),
+            paper::TABLE6_RATES
+                .iter()
+                .map(|r| format!("r={r}"))
+                .collect(),
             &paper::TABLE6_METHODS,
             &dist_data
         )
@@ -285,7 +556,12 @@ fn fig5(bench: &Bench) {
             let cols: Vec<String> = rates.iter().map(|r| format!("r={r}")).collect();
             println!(
                 "{}",
-                method_table(&format!("ours — precision@{k}, {label}"), &cols, &rows, true)
+                method_table(
+                    &format!("ours — precision@{k}, {label}"),
+                    &cols,
+                    &rows,
+                    true
+                )
             );
         }
     }
@@ -360,7 +636,13 @@ fn table7(args: &Args) {
         .iter()
         .zip(paper::TABLE7_PORTO.iter())
         .map(|(l, row)| {
-            vec![l.to_string(), f2(row[0]), f2(row[1]), f2(row[2]), format!("{}h", row[3])]
+            vec![
+                l.to_string(),
+                f2(row[0]),
+                f2(row[1]),
+                f2(row[2]),
+                format!("{}h", row[3]),
+            ]
         })
         .collect();
     println!(
@@ -428,7 +710,15 @@ fn table8(args: &Args) {
         "{}",
         render(
             "paper (Porto)",
-            &headers(&["cell m", "#cells", "MR@r1=0.5", "MR@r1=0.6", "MR@r2=0.5", "MR@r2=0.6", "train"]),
+            &headers(&[
+                "cell m",
+                "#cells",
+                "MR@r1=0.5",
+                "MR@r1=0.6",
+                "MR@r2=0.5",
+                "MR@r2=0.6",
+                "train"
+            ]),
             &body
         )
     );
@@ -445,7 +735,13 @@ fn table9(args: &Args) {
         .iter()
         .zip(paper::TABLE9_PORTO.iter())
         .map(|(h, row)| {
-            vec![h.to_string(), f2(row[0]), f2(row[1]), f2(row[2]), f2(row[3])]
+            vec![
+                h.to_string(),
+                f2(row[0]),
+                f2(row[1]),
+                f2(row[2]),
+                f2(row[3]),
+            ]
         })
         .collect();
     println!(
@@ -465,11 +761,21 @@ fn fig7(args: &Args) {
     let rows = experiments::training_size_sweep(args.city, &scale, &config, &fractions);
     let body: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![format!("{:.0}%", r.value * 100.0), f2(r.mr_r1_b), f2(r.train_seconds)])
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.value * 100.0),
+                f2(r.mr_r1_b),
+                f2(r.train_seconds),
+            ]
+        })
         .collect();
     println!(
         "{}",
-        render("ours", &headers(&["train fraction", "MR@r1=0.6", "train s"]), &body)
+        render(
+            "ours",
+            &headers(&["train fraction", "MR@r1=0.6", "train s"]),
+            &body
+        )
     );
     println!("paper: {}\n", paper::FIG7_CLAIM);
 }

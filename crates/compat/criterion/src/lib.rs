@@ -1,0 +1,318 @@
+//! Offline, std-only stand-in for the `criterion` benchmark harness.
+//!
+//! Behaviour mirrors the real crate's CLI contract: `cargo bench`
+//! passes `--bench`, which triggers full measurement (warm-up, then
+//! timed batches until the measurement window closes, reporting the
+//! mean with min/max over batches). When the binary runs *without*
+//! `--bench` (as `cargo test` does for bench targets), every benchmark
+//! closure executes exactly once as a smoke test — keeping the test
+//! suite fast while still compiling and exercising each benchmark.
+//!
+//! There is no statistical analysis, HTML report, or saved baseline;
+//! results print to stdout, one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An identifier for one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Things acceptable as a benchmark id: a [`BenchmarkId`] or any string.
+pub trait IntoBenchmarkId {
+    /// Converts into a [`BenchmarkId`].
+    fn into_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    /// Mean/min/max nanoseconds per iteration, filled by [`Bencher::iter`].
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Clone, Copy)]
+struct Mode {
+    measure: bool,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+/// One benchmark's timing summary (nanoseconds per iteration).
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean over all measured batches.
+    pub mean_ns: f64,
+    /// Fastest batch.
+    pub min_ns: f64,
+    /// Slowest batch.
+    pub max_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+impl Bencher<'_> {
+    /// Calls `f` repeatedly and records how long each call takes.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.mode.measure {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up: run until the warm-up window closes, measuring a
+        // rough per-iteration cost to size the measurement batches.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.mode.warm_up || warm_iters == 0 {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Aim for ~20 batches over the measurement window, at least one
+        // iteration per batch.
+        let target_batches = 20u64;
+        let batch_iters = ((self.mode.measurement.as_secs_f64()
+            / target_batches as f64
+            / per_iter.max(1e-9)) as u64)
+            .max(1);
+
+        let mut total_ns = 0.0f64;
+        let mut total_iters = 0u64;
+        let mut min_ns = f64::INFINITY;
+        let mut max_ns = 0.0f64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.mode.measurement || total_iters == 0 {
+            let batch_start = Instant::now();
+            for _ in 0..batch_iters {
+                std::hint::black_box(f());
+            }
+            let ns = batch_start.elapsed().as_nanos() as f64 / batch_iters as f64;
+            total_ns += ns * batch_iters as f64;
+            total_iters += batch_iters;
+            min_ns = min_ns.min(ns);
+            max_ns = max_ns.max(ns);
+        }
+        *self.result = Some(Sample {
+            mean_ns: total_ns / total_iters as f64,
+            min_ns,
+            max_ns,
+            iterations: total_iters,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark driver. Groups share its measurement configuration.
+pub struct Criterion {
+    measure: bool,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measure,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measure: self.measure,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    measure: bool,
+    warm_up: Duration,
+    measurement: Duration,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up window (full-measurement mode only).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window (full-measurement mode only).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches by time,
+    /// not by a fixed sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{id}", self.name)
+        };
+        let mut result = None;
+        let mut bencher = Bencher {
+            mode: Mode {
+                measure: self.measure,
+                warm_up: self.warm_up,
+                measurement: self.measurement,
+            },
+            result: &mut result,
+        };
+        f(&mut bencher);
+        match result {
+            Some(s) => println!(
+                "{label:<56} time: [{} {} {}]  ({} iters)",
+                format_ns(s.min_ns),
+                format_ns(s.mean_ns),
+                format_ns(s.max_ns),
+                s.iterations
+            ),
+            None if !self.measure => println!("{label:<56} ok (smoke test)"),
+            None => println!("{label:<56} (no measurement: closure never called iter)"),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run(&id.id, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export matching `criterion::black_box` (std's since 1.66).
+pub use std::hint::black_box;
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_closure_once() {
+        // Unit tests see no `--bench` arg, so Criterion::default() is in
+        // smoke mode and `iter` must call the closure exactly once.
+        let mut criterion = Criterion::default();
+        assert!(!criterion.measure);
+        let mut calls = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("case", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_function_and_parameter() {
+        let id = BenchmarkId::new("matmul", "64x256");
+        assert_eq!(id.id, "matmul/64x256");
+    }
+}

@@ -1,0 +1,58 @@
+//! Offline, std-only stand-in for the `rand_distr` crate: just the
+//! [`StandardNormal`] distribution the workspace uses for Gaussian
+//! parameter initialisation.
+
+pub use rand::Distribution;
+use rand::{Rng, Standard};
+
+/// The standard normal distribution `N(0, 1)`, sampled via Box–Muller.
+///
+/// Each sample consumes two uniform draws; the second Box–Muller output
+/// is discarded to keep the distribution stateless (matching the real
+/// crate's ziggurat sampler, which also draws per call).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+fn box_muller<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite; u2 in [0, 1).
+    let u1 = 1.0 - <f64 as Standard>::sample_standard(rng);
+    let u2 = <f64 as Standard>::sample_standard(rng);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        box_muller(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        box_muller(rng) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.sample(StandardNormal)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn f32_sampling_compiles_with_turbofish() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = rng.sample::<f32, _>(StandardNormal);
+        assert!(x.is_finite());
+    }
+}

@@ -1,0 +1,468 @@
+//! Offline, std-only stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors a minimal serialization framework with the same surface the
+//! code actually uses: `#[derive(Serialize, Deserialize)]` (provided by
+//! the sibling `serde_derive` shim), the `#[serde(default)]` and
+//! `#[serde(from = "...", into = "...")]` attributes, and a JSON-shaped
+//! [`Value`] data model consumed by the `serde_json` shim.
+//!
+//! Unlike real serde there is no `Serializer`/`Deserializer` visitor
+//! machinery: [`Serialize`] renders directly into a [`Value`] tree and
+//! [`Deserialize`] reads back out of one. That is exactly enough for a
+//! single self-describing format (JSON), which is all this workspace
+//! needs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (JSON data model).
+///
+/// Integers keep their sign split (`UInt`/`Int`) so `u64` round-trips
+/// losslessly; floats are `f64` (an `f32` widens exactly, so it also
+/// round-trips bit-for-bit).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object — insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` when `self` is an object, else `None`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object fields, if `self` is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The array items, if `self` is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error: a human-readable path-free description.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// "expected X, found Y" while deserializing `ty`.
+    pub fn expected(what: &str, ty: &str, found: &Value) -> Self {
+        Error(format!("{ty}: expected {what}, found {}", found.kind()))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Error(format!("{ty}: missing field `{field}`"))
+    }
+
+    /// An enum tag matched no variant.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        Error(format!("{ty}: unknown variant `{tag}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    ///
+    /// # Errors
+    /// Returns [`Error`] when the value's shape does not match.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Field lookup used by derived `Deserialize` impls.
+#[doc(hidden)]
+pub fn __find<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+// ---- primitive impls ----
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool", v)),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::UInt(n) => *n,
+                    Value::Int(n) if *n >= 0 => *n as u64,
+                    _ => return Err(Error::expected("unsigned integer", stringify!($t), v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let n = *self as i64;
+                if n < 0 { Value::Int(n) } else { Value::UInt(n as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom(format!("{n} out of range for i64")))?,
+                    _ => return Err(Error::expected("integer", stringify!($t), v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    _ => Err(Error::expected("number", stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::expected("array", "Vec", v)),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", "tuple", v))?;
+                let expect = [$($n),+].len();
+                if items.len() != expect {
+                    return Err(Error::custom(format!(
+                        "tuple: expected {expect} elements, found {}", items.len()
+                    )));
+                }
+                Ok(($($t::deserialize(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Hash-map keys encodable as JSON object keys (strings).
+pub trait MapKey: Sized {
+    /// The string form of the key.
+    fn to_key(&self) -> String;
+    /// Parses a key back.
+    ///
+    /// # Errors
+    /// Returns [`Error`] when the string is not a valid key.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::custom(format!(
+                    "invalid {} map key `{s}`", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        // Sort keys so serialization is deterministic across runs
+        // (HashMap iteration order is randomized by the hasher seed).
+        let mut fields: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize()))
+            .collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(fields)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let fields = v
+            .as_object()
+            .ok_or_else(|| Error::expected("object", "HashMap", v))?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_roundtrip() {
+        let none: Option<u32> = None;
+        assert_eq!(none.serialize(), Value::Null);
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize(&Value::UInt(3)).unwrap(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn f32_widens_and_narrows_exactly() {
+        let x = 0.1f32;
+        let v = x.serialize();
+        assert_eq!(f32::deserialize(&v).unwrap().to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn negative_integers_roundtrip() {
+        let v = (-42i64).serialize();
+        assert_eq!(v, Value::Int(-42));
+        assert_eq!(i64::deserialize(&v).unwrap(), -42);
+        assert!(u32::deserialize(&v).is_err());
+    }
+
+    #[test]
+    fn uint_keyed_map_roundtrips() {
+        let mut m: HashMap<u64, Vec<usize>> = HashMap::new();
+        m.insert(10, vec![1, 2]);
+        m.insert(3, vec![]);
+        let v = m.serialize();
+        let back: HashMap<u64, Vec<usize>> = Deserialize::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn value_get_walks_objects() {
+        let v = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert!(v.get("a").is_some());
+        assert!(v.get("b").is_none());
+    }
+}

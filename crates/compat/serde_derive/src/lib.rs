@@ -1,0 +1,521 @@
+//! Offline `#[derive(Serialize, Deserialize)]` for the serde shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`
+//! — the build environment has no registry access). Supports exactly
+//! the shapes this workspace derives:
+//!
+//! - structs with named fields, tuple structs (newtype and n-ary),
+//!   unit structs;
+//! - enums with unit, newtype/tuple, and struct variants, encoded
+//!   externally tagged like real serde (`"Unit"`,
+//!   `{"Variant": payload}`);
+//! - the container attribute `#[serde(from = "T", into = "T")]` and the
+//!   field attribute `#[serde(default)]`.
+//!
+//! Generics, lifetimes, and renaming attributes are intentionally
+//! unsupported and fail with a compile-time panic naming the offender.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim's `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives the shim's `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+    /// `#[serde(from = "T")]` — deserialize via `T` then `From<T>`.
+    from: Option<String>,
+    /// `#[serde(into = "T")]` — serialize by converting into `T`.
+    into: Option<String>,
+}
+
+/// Attribute facts gathered while skipping `#[...]` tokens.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let attrs = parse_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive shim: unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: unexpected enum body for `{name}`: {other:?}"),
+        },
+        kw => panic!("serde_derive shim: expected struct or enum, found `{kw}`"),
+    };
+
+    Item {
+        name,
+        kind,
+        from: attrs.from,
+        into: attrs.into,
+    }
+}
+
+/// Consumes leading `#[...]` attributes, extracting serde facts.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*pos) else {
+            panic!("serde_derive shim: `#` not followed by attribute brackets");
+        };
+        parse_one_attr(g.stream(), &mut attrs);
+        *pos += 1;
+    }
+    attrs
+}
+
+fn parse_one_attr(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {}
+        _ => return, // doc comment or unrelated attribute
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        match &args[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                let has_value =
+                    matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                match (key.as_str(), has_value) {
+                    ("default", false) => {
+                        attrs.default = true;
+                        i += 1;
+                    }
+                    ("from", true) | ("into", true) => {
+                        let Some(TokenTree::Literal(lit)) = args.get(i + 2) else {
+                            panic!("serde_derive shim: #[serde({key} = ...)] expects a string");
+                        };
+                        let ty = unquote(&lit.to_string());
+                        if key == "from" {
+                            attrs.from = Some(ty);
+                        } else {
+                            attrs.into = Some(ty);
+                        }
+                        i += 3;
+                    }
+                    _ => panic!("serde_derive shim: unsupported attribute #[serde({key})]"),
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("serde_derive shim: unexpected token in #[serde(...)]: {other}"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        // `pub(crate)` and friends.
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips a type expression up to a top-level `,` (exclusive), tracking
+/// angle-bracket depth so commas inside generic arguments don't split.
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        skip_type(&tokens, &mut pos);
+        pos += 1; // the `,` (or past the end)
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let mut sink = SerdeAttrs::default();
+        // Field attributes are legal on tuple fields too; skip them.
+        while matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                parse_one_attr(g.stream(), &mut sink);
+            }
+            pos += 1;
+        }
+        skip_visibility(&tokens, &mut pos);
+        skip_type(&tokens, &mut pos);
+        pos += 1;
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        parse_attrs(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        let shape = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(via) = &item.into {
+        format!(
+            "let via: {via} = ::std::convert::Into::into(::std::clone::Clone::clone(self));\n\
+             ::serde::Serialize::serialize(&via)"
+        )
+    } else {
+        match &item.kind {
+            Kind::UnitStruct => "::serde::Value::Null".to_string(),
+            Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
+            }
+            Kind::NamedStruct(fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let fname = &f.name;
+                        format!(
+                            "(::std::string::String::from(\"{fname}\"), \
+                             ::serde::Serialize::serialize(&self.{fname}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+                    pairs.join(", ")
+                )
+            }
+            Kind::Enum(variants) => gen_serialize_enum(name, variants),
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => arms.push_str(&format!(
+                "{name}::{vname} => \
+                 ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::serialize(x0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::serialize({b})"))
+                        .collect();
+                    format!(
+                        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                        items.join(", ")
+                    )
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => ::serde::Value::Object(\
+                     ::std::vec::Vec::from([\
+                     (::std::string::String::from(\"{vname}\"), {payload})])),\n",
+                    binds = binders.join(", ")
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        let fname = &f.name;
+                        format!(
+                            "(::std::string::String::from(\"{fname}\"), \
+                             ::serde::Serialize::serialize({fname}))"
+                        )
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                     ::std::vec::Vec::from([\
+                     (::std::string::String::from(\"{vname}\"), \
+                     ::serde::Value::Object(::std::vec::Vec::from([{pairs}])))])),\n",
+                    binds = binders.join(", "),
+                    pairs = pairs.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}\n")
+}
+
+/// Generates the field initialisers of a struct literal from an object's
+/// field list bound to `fields`.
+fn gen_named_field_inits(ty_label: &str, fields: &[Field]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let missing = if f.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(\
+                 ::serde::Error::missing_field(\"{ty_label}\", \"{fname}\"))"
+            )
+        };
+        s.push_str(&format!(
+            "{fname}: match ::serde::__find(fields, \"{fname}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+             ::std::option::Option::None => {missing},\n}},\n"
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(via) = &item.from {
+        format!(
+            "let via: {via} = <{via} as ::serde::Deserialize>::deserialize(v)?;\n\
+             ::std::result::Result::Ok(::std::convert::From::from(via))"
+        )
+    } else {
+        match &item.kind {
+            Kind::UnitStruct => format!(
+                "match v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(\
+                 ::serde::Error::expected(\"null\", \"{name}\", other)),\n}}"
+            ),
+            Kind::TupleStruct(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(v)?))")
+            }
+            Kind::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = match v {{\n\
+                     ::serde::Value::Array(items) => items,\n\
+                     other => return ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"array\", \"{name}\", other)),\n}};\n\
+                     if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"{name}: expected {n} elements, found {{}}\", items.len())));\n}}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Kind::NamedStruct(fields) => {
+                let inits = gen_named_field_inits(name, fields);
+                format!(
+                    "let fields = match v {{\n\
+                     ::serde::Value::Object(fields) => fields,\n\
+                     other => return ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"object\", \"{name}\", other)),\n}};\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}}})"
+                )
+            }
+            Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.shape {
+            VariantShape::Unit => unit_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            VariantShape::Tuple(1) => payload_arms.push_str(&format!(
+                "\"{vname}\" => ::std::result::Result::Ok(\
+                 {name}::{vname}(::serde::Deserialize::deserialize(payload)?)),\n"
+            )),
+            VariantShape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                payload_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                     let items = match payload {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => items,\n\
+                     other => return ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"{n}-element array\", \"{name}::{vname}\", other)),\n}};\n\
+                     ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                    items.join(", ")
+                ));
+            }
+            VariantShape::Named(fields) => {
+                let inits = gen_named_field_inits(&format!("{name}::{vname}"), fields);
+                payload_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                     let fields = match payload {{\n\
+                     ::serde::Value::Object(fields) => fields,\n\
+                     other => return ::std::result::Result::Err(\
+                     ::serde::Error::expected(\"object\", \"{name}::{vname}\", other)),\n}};\n\
+                     ::std::result::Result::Ok({name}::{vname} {{\n{inits}}})\n}}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+         ::serde::Value::Str(tag) => match tag.as_str() {{\n{unit_arms}\
+         tag => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", tag)),\n}},\n\
+         ::serde::Value::Object(outer) if outer.len() == 1 => {{\n\
+         let (tag, payload) = &outer[0];\n\
+         let _ = payload;\n\
+         match tag.as_str() {{\n{payload_arms}\
+         tag => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", tag)),\n}}\n}}\n\
+         other => ::std::result::Result::Err(::serde::Error::expected(\
+         \"variant tag\", \"{name}\", other)),\n}}"
+    )
+}

@@ -45,6 +45,15 @@ pub struct T2VecConfig {
     pub distorting_rates: Vec<f64>,
     /// Minibatch size.
     pub batch_size: usize,
+    /// Number of minibatches whose gradients are combined
+    /// (token-weighted) into each optimiser step. Batches within a group
+    /// are computed in parallel across worker threads, but the group
+    /// size is part of the training *semantics* — like `batch_size`, it
+    /// is deliberately independent of the worker count, so a run's loss
+    /// trajectory is identical under any `T2VEC_THREADS`. `0` is treated
+    /// as `1` (one batch per step, the paper's setting).
+    #[serde(default)]
+    pub grad_accum: usize,
     /// Maximum number of optimisation steps (safety cap).
     pub max_iterations: usize,
     /// Training epochs over the pair corpus (upper bound; early stopping
@@ -81,6 +90,7 @@ impl Default for T2VecConfig {
             dropping_rates: vec![0.0, 0.2, 0.4, 0.6],
             distorting_rates: vec![0.0, 0.2, 0.4, 0.6],
             batch_size: 64,
+            grad_accum: 1,
             max_iterations: usize::MAX,
             max_epochs: 50,
             patience: 5,
@@ -116,7 +126,10 @@ impl T2VecConfig {
             max_epochs: 8,
             patience: 3,
             learning_rate: 2e-3,
-            skipgram: SkipGramConfig { epochs: 5, ..SkipGramConfig::default() },
+            skipgram: SkipGramConfig {
+                epochs: 5,
+                ..SkipGramConfig::default()
+            },
             ..Self::default()
         }
     }
@@ -135,9 +148,13 @@ impl T2VecConfig {
             dropping_rates: vec![0.0, 0.3, 0.6],
             distorting_rates: vec![0.0, 0.3],
             batch_size: 64,
+            grad_accum: 4,
             max_epochs: 16,
             patience: 4,
-            skipgram: SkipGramConfig { epochs: 8, ..SkipGramConfig::default() },
+            skipgram: SkipGramConfig {
+                epochs: 8,
+                ..SkipGramConfig::default()
+            },
             ..Self::default()
         }
     }
@@ -170,7 +187,11 @@ impl T2VecConfig {
         if self.dropping_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
             return bad("dropping rates must be in [0,1]");
         }
-        if self.distorting_rates.iter().any(|r| !(0.0..=1.0).contains(r)) {
+        if self
+            .distorting_rates
+            .iter()
+            .any(|r| !(0.0..=1.0).contains(r))
+        {
             return bad("distorting rates must be in [0,1]");
         }
         if self.dropping_rates.is_empty() || self.distorting_rates.is_empty() {
@@ -236,9 +257,21 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let c = T2VecConfig::small();
-        let back: T2VecConfig =
-            serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        let back: T2VecConfig = serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
         assert_eq!(back.hidden, c.hidden);
         assert_eq!(back.loss, c.loss);
+        assert_eq!(back.grad_accum, 4);
+    }
+
+    #[test]
+    fn grad_accum_absent_in_old_checkpoints_defaults_to_zero() {
+        // Configs serialised before the field existed must still load;
+        // the trainer treats 0 as "no accumulation".
+        let json = serde_json::to_string(&T2VecConfig::small()).unwrap();
+        let stripped = json.replace("\"grad_accum\":4,", "");
+        assert_ne!(json, stripped, "test must actually remove the field");
+        let back: T2VecConfig = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.grad_accum, 0);
+        back.validate().unwrap();
     }
 }

@@ -39,8 +39,9 @@ fn top_k(
     query: &[f32],
     k: usize,
 ) -> Vec<(usize, f32)> {
-    let mut scored: Vec<(usize, f32)> =
-        candidates.map(|id| (id, sq_dist(&vectors[id], query))).collect();
+    let mut scored: Vec<(usize, f32)> = candidates
+        .map(|id| (id, sq_dist(&vectors[id], query)))
+        .collect();
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     scored.truncate(k);
     for s in &mut scored {
@@ -188,7 +189,9 @@ mod tests {
 
     fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
         let mut rng = det_rng(seed);
-        (0..n).map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect()).collect()
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect()
     }
 
     #[test]

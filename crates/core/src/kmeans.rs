@@ -25,7 +25,10 @@ pub struct KMeansResult {
 }
 
 fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b.iter()).map(|(x, y)| (f64::from(x - y)) * f64::from(x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (f64::from(x - y)) * f64::from(x - y))
+        .sum()
 }
 
 /// Runs k-means++ / Lloyd on `vectors`.
@@ -35,17 +38,15 @@ fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
 /// # Panics
 /// Panics if `k == 0`, `vectors` is empty, `k > vectors.len()`, or the
 /// vectors have inconsistent dimensions.
-pub fn kmeans(
-    vectors: &[Vec<f32>],
-    k: usize,
-    max_iter: usize,
-    rng: &mut impl Rng,
-) -> KMeansResult {
+pub fn kmeans(vectors: &[Vec<f32>], k: usize, max_iter: usize, rng: &mut impl Rng) -> KMeansResult {
     assert!(k > 0, "k must be positive");
     assert!(!vectors.is_empty(), "cannot cluster an empty set");
     assert!(k <= vectors.len(), "k exceeds the number of vectors");
     let dim = vectors[0].len();
-    assert!(vectors.iter().all(|v| v.len() == dim), "inconsistent vector dimensions");
+    assert!(
+        vectors.iter().all(|v| v.len() == dim),
+        "inconsistent vector dimensions"
+    );
 
     // k-means++ seeding.
     let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
@@ -53,7 +54,12 @@ pub fn kmeans(
     while centroids.len() < k {
         let weights: Vec<f64> = vectors
             .iter()
-            .map(|v| centroids.iter().map(|c| sq_dist(v, c)).fold(f64::INFINITY, f64::min))
+            .map(|v| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(v, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
             .collect();
         centroids.push(vectors[weighted_choice(rng, &weights)].clone());
     }
@@ -111,9 +117,17 @@ pub fn kmeans(
         }
     }
 
-    let inertia =
-        vectors.iter().zip(assignments.iter()).map(|(v, &a)| sq_dist(v, &centroids[a])).sum();
-    KMeansResult { centroids, assignments, inertia, iterations }
+    let inertia = vectors
+        .iter()
+        .zip(assignments.iter())
+        .map(|(v, &a)| sq_dist(v, &centroids[a]))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -151,8 +165,18 @@ mod tests {
             let e = mapping.entry(truth).or_insert(*got);
             assert_eq!(e, got, "blob split across clusters");
         }
-        assert_eq!(mapping.values().collect::<std::collections::HashSet<_>>().len(), 3);
-        assert!(result.inertia < 100.0, "inertia too high: {}", result.inertia);
+        assert_eq!(
+            mapping
+                .values()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
+        assert!(
+            result.inertia < 100.0,
+            "inertia too high: {}",
+            result.inertia
+        );
     }
 
     #[test]

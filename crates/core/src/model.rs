@@ -2,11 +2,12 @@
 
 use crate::config::T2VecConfig;
 use crate::error::T2VecError;
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use t2vec_nn::batch::make_batches;
-use t2vec_nn::param::{apply_grads, Param};
+use t2vec_nn::batch::{make_batches, Batch};
+use t2vec_nn::param::{apply_grad_mats, reduce_grad_sets, GradSet};
 use t2vec_nn::skipgram::{pretrain_cells, SkipGramConfig};
 use t2vec_nn::{Seq2Seq, Seq2SeqConfig};
 use t2vec_spatial::grid::Grid;
@@ -14,7 +15,8 @@ use t2vec_spatial::point::{BBox, Point};
 use t2vec_spatial::transform::{distort, downsample};
 use t2vec_spatial::vocab::{NeighborTable, Token, Vocab};
 use t2vec_tensor::opt::Adam;
-use t2vec_tensor::{Tape, Var};
+use t2vec_tensor::parallel;
+use t2vec_tensor::Tape;
 use t2vec_trajgen::Trajectory;
 
 /// Per-epoch training statistics.
@@ -139,7 +141,9 @@ impl T2Vec {
         // 3. Pair generation.
         let pairs = generate_pairs(config, train, &vocab, rng);
         if pairs.is_empty() {
-            return Err(T2VecError::InsufficientData("no training pairs generated".into()));
+            return Err(T2VecError::InsufficientData(
+                "no training pairs generated".into(),
+            ));
         }
         let val_pairs = generate_val_pairs(config, val, &vocab, rng);
 
@@ -151,25 +155,29 @@ impl T2Vec {
         let mut stagnant = 0usize;
         let mut history = Vec::new();
         let mut epochs = 0usize;
+        let accum = config.grad_accum.max(1);
         'training: for epoch in 0..config.max_epochs {
             epochs = epoch + 1;
             let batches = make_batches(&pairs, config.batch_size, rng);
             let mut epoch_loss = 0.0f64;
             let mut epoch_tokens = 0usize;
-            for batch in &batches {
-                let tape = Tape::new();
-                let bound = model.bind(&tape);
-                let vars = bound.vars();
-                let loss = bound.loss(&tape, batch, config.loss, &table, rng);
-                let loss_value = loss.value().item();
-                epoch_loss += f64::from(loss_value) * batch.num_target_tokens as f64;
-                epoch_tokens += batch.num_target_tokens;
-                let mut grads = tape.backward(loss);
-                drop(bound);
+            // Data-parallel steps: each group of `accum` batches fans out
+            // across worker threads — every worker runs a private tape
+            // against the shared read-only parameters — and the gradient
+            // sets are reduced in batch order into one optimiser step.
+            // Per-batch RNGs are seeded from `rng` *before* the fan-out,
+            // so the loss trajectory is identical for any worker count.
+            for group in batches.chunks(accum) {
+                let seeds: Vec<u64> = group.iter().map(|_| rng.random()).collect();
+                let sets = compute_group_grads(&model, group, config, &table, &seeds);
+                epoch_tokens += sets.iter().map(|s| s.target_tokens).sum::<usize>();
+                epoch_loss += sets
+                    .iter()
+                    .map(|s| f64::from(s.loss) * s.target_tokens as f64)
+                    .sum::<f64>();
+                let mut reduced = reduce_grad_sets(&sets);
                 let mut params = model.params_mut();
-                let mut bindings: Vec<(&mut Param, Var<'_>)> =
-                    params.iter_mut().map(|p| &mut **p).zip(vars.iter().copied()).collect();
-                apply_grads(&mut bindings, &mut grads, &adam, config.grad_clip);
+                apply_grad_mats(&mut params, &mut reduced.grads, &adam, config.grad_clip);
                 iterations += 1;
                 if iterations >= config.max_iterations {
                     break;
@@ -181,7 +189,11 @@ impl T2Vec {
             } else {
                 validation_loss(&model, config, &table, &val_pairs, rng)
             };
-            history.push(EpochStats { epoch, train_loss, val_loss });
+            history.push(EpochStats {
+                epoch,
+                train_loss,
+                val_loss,
+            });
             if val_loss < best_val {
                 best_val = val_loss;
                 best_model = Some(model.clone());
@@ -208,7 +220,15 @@ impl T2Vec {
             vocab_size: vocab.size(),
             history,
         };
-        Ok((Self { config: config.clone(), vocab, table, model }, report))
+        Ok((
+            Self {
+                config: config.clone(),
+                vocab,
+                table,
+                model,
+            },
+            report,
+        ))
     }
 
     /// The configuration the model was trained with.
@@ -236,61 +256,31 @@ impl T2Vec {
     /// length through the encoder and fanning work across threads.
     /// Output order matches input order.
     pub fn encode_batch(&self, trajectories: &[Vec<Point>]) -> Vec<Vec<f32>> {
-        let tokenised: Vec<Vec<Token>> =
-            trajectories.iter().map(|t| self.vocab.tokenize(t)).collect();
-        // Bucket indexes by length.
+        let tokenised: Vec<Vec<Token>> = trajectories
+            .iter()
+            .map(|t| self.vocab.tokenize(t))
+            .collect();
+        // Bucket indexes by token length so each bucket encodes as one
+        // rectangular batch, then shard buckets across workers.
         let mut buckets: std::collections::HashMap<usize, Vec<usize>> =
             std::collections::HashMap::new();
         for (i, toks) in tokenised.iter().enumerate() {
             buckets.entry(toks.len()).or_default().push(i);
         }
-        let mut out: Vec<Vec<f32>> = vec![Vec::new(); trajectories.len()];
         let buckets: Vec<Vec<usize>> = buckets.into_values().collect();
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if threads <= 1 || buckets.len() <= 1 {
-            for bucket in &buckets {
-                self.encode_bucket(&tokenised, bucket, &mut out);
-            }
-        } else {
-            let chunks: Vec<&[Vec<usize>]> =
-                buckets.chunks(buckets.len().div_ceil(threads)).collect();
-            let results: Vec<Vec<(usize, Vec<f32>)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        let tokenised = &tokenised;
-                        scope.spawn(move || {
-                            let mut local = Vec::new();
-                            for bucket in chunk {
-                                let seqs: Vec<&[Token]> =
-                                    bucket.iter().map(|&i| tokenised[i].as_slice()).collect();
-                                let vecs = self.model.encode_tokens_batch(&seqs);
-                                local.extend(bucket.iter().copied().zip(vecs));
-                            }
-                            local
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("encoder thread panicked")).collect()
-            });
-            for (i, v) in results.into_iter().flatten() {
-                out[i] = v;
-            }
-        }
-        out
-    }
-
-    fn encode_bucket(
-        &self,
-        tokenised: &[Vec<Token>],
-        bucket: &[usize],
-        out: &mut [Vec<f32>],
-    ) {
-        let seqs: Vec<&[Token]> = bucket.iter().map(|&i| tokenised[i].as_slice()).collect();
-        let vecs = self.model.encode_tokens_batch(&seqs);
-        for (&i, v) in bucket.iter().zip(vecs) {
+        let encoded: Vec<Vec<(usize, Vec<f32>)>> = parallel::par_map(&buckets, |_, bucket| {
+            let seqs: Vec<&[Token]> = bucket.iter().map(|&i| tokenised[i].as_slice()).collect();
+            bucket
+                .iter()
+                .copied()
+                .zip(self.model.encode_tokens_batch(&seqs))
+                .collect()
+        });
+        let mut out: Vec<Vec<f32>> = vec![Vec::new(); trajectories.len()];
+        for (i, v) in encoded.into_iter().flatten() {
             out[i] = v;
         }
+        out
     }
 
     /// Decodes the most likely route for a (possibly sparse) trajectory
@@ -323,6 +313,24 @@ impl T2Vec {
     }
 }
 
+/// Computes gradients for one accumulation group of batches, sharded
+/// across worker threads. Each batch gets its own RNG (seeded from the
+/// pre-drawn `seeds`, one per batch, in batch order) and its own tape;
+/// results come back in batch order regardless of scheduling.
+fn compute_group_grads(
+    model: &Seq2Seq,
+    group: &[Batch],
+    config: &T2VecConfig,
+    table: &NeighborTable,
+    seeds: &[u64],
+) -> Vec<GradSet> {
+    debug_assert_eq!(group.len(), seeds.len());
+    parallel::par_map(group, |i, batch| {
+        let mut batch_rng = StdRng::seed_from_u64(seeds[i]);
+        model.compute_grads(batch, config.loss, table, &mut batch_rng)
+    })
+}
+
 /// Euclidean distance between two representation vectors — the `O(|v|)`
 /// online similarity of §IV-D.
 ///
@@ -330,7 +338,11 @@ impl T2Vec {
 /// Panics if the vectors differ in dimension.
 pub fn vec_dist(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "representation dimension mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// Generates the training pairs of §V-A: every trajectory `Tb` spawns
@@ -342,8 +354,7 @@ pub fn generate_pairs(
     vocab: &Vocab,
     rng: &mut impl Rng,
 ) -> Vec<(Vec<Token>, Vec<Token>)> {
-    let mut pairs =
-        Vec::with_capacity(trajectories.len() * config.variants_per_trajectory());
+    let mut pairs = Vec::with_capacity(trajectories.len() * config.variants_per_trajectory());
     for traj in trajectories {
         if traj.points.len() < 2 {
             continue;
@@ -368,7 +379,11 @@ fn generate_val_pairs(
     rng: &mut impl Rng,
 ) -> Vec<(Vec<Token>, Vec<Token>)> {
     let r1 = config.dropping_rates.iter().copied().fold(0.0f64, f64::max);
-    let r2 = config.distorting_rates.iter().copied().fold(0.0f64, f64::max);
+    let r2 = config
+        .distorting_rates
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max);
     val.iter()
         .filter(|t| t.points.len() >= 2)
         .map(|t| {
@@ -408,7 +423,10 @@ mod tests {
     fn tiny_dataset(seed: u64) -> (City, t2vec_trajgen::dataset::Dataset) {
         let mut rng = det_rng(seed);
         let city = City::tiny(&mut rng);
-        let ds = DatasetBuilder::new(&city).trips(60).min_len(6).build(&mut rng);
+        let ds = DatasetBuilder::new(&city)
+            .trips(60)
+            .min_len(6)
+            .build(&mut rng);
         (city, ds)
     }
 
@@ -443,8 +461,7 @@ mod tests {
     #[test]
     fn encode_batch_matches_single() {
         let (model, _, ds) = trained();
-        let trajs: Vec<Vec<Point>> =
-            ds.test.iter().take(5).map(|t| t.points.clone()).collect();
+        let trajs: Vec<Vec<Point>> = ds.test.iter().take(5).map(|t| t.points.clone()).collect();
         let batch = model.encode_batch(&trajs);
         for (t, bv) in trajs.iter().zip(batch.iter()) {
             let sv = model.encode(t);
@@ -473,7 +490,10 @@ mod tests {
                 wins += 1;
             }
         }
-        assert!(wins * 10 >= n * 7, "self-variant closer in only {wins}/{n} cases");
+        assert!(
+            wins * 10 >= n * 7,
+            "self-variant closer in only {wins}/{n} cases"
+        );
     }
 
     #[test]
@@ -525,10 +545,16 @@ mod tests {
         let mut rng = det_rng(16);
         let config = T2VecConfig::tiny();
         let pts: Vec<Point> = ds.train.iter().flat_map(|t| t.points.clone()).collect();
-        let grid = Grid::new(BBox::of_points(&pts).unwrap().expanded(400.0), config.cell_side);
+        let grid = Grid::new(
+            BBox::of_points(&pts).unwrap().expanded(400.0),
+            config.cell_side,
+        );
         let vocab = Vocab::build(grid, pts.iter(), config.hot_cell_threshold);
         let pairs = generate_pairs(&config, &ds.train, &vocab, &mut rng);
-        assert_eq!(pairs.len(), ds.train.len() * config.variants_per_trajectory());
+        assert_eq!(
+            pairs.len(),
+            ds.train.len() * config.variants_per_trajectory()
+        );
         for (src, tgt) in &pairs {
             assert!(!src.is_empty() && !tgt.is_empty());
             // Variants keep endpoints, so after tokenisation the first and

@@ -90,8 +90,17 @@ impl VRnn {
             config: *config,
             vocab: vocab.clone(),
             embedding: Embedding::new("vrnn.emb", vocab.size(), config.embed_dim, rng),
-            gru: GruStack::new("vrnn.gru", config.embed_dim, config.hidden, config.layers, rng),
-            w_out: Param::new("vrnn.w_out", init::xavier_uniform(vocab.size(), config.hidden, rng)),
+            gru: GruStack::new(
+                "vrnn.gru",
+                config.embed_dim,
+                config.hidden,
+                config.layers,
+                rng,
+            ),
+            w_out: Param::new(
+                "vrnn.w_out",
+                init::xavier_uniform(vocab.size(), config.hidden, rng),
+            ),
         };
         let adam = Adam::with_lr(config.learning_rate);
 
@@ -130,8 +139,12 @@ impl VRnn {
         vars.extend(gru.vars());
         vars.push(w_out);
 
-        let mut states: Vec<Var<'_>> =
-            self.gru.zero_state(batch).into_iter().map(|m| tape.leaf(m)).collect();
+        let mut states: Vec<Var<'_>> = self
+            .gru
+            .zero_state(batch)
+            .into_iter()
+            .map(|m| tape.leaf(m))
+            .collect();
         let mut total: Option<Var<'_>> = None;
         let mut tokens = 0usize;
         for t in 0..len - 1 {
@@ -141,7 +154,9 @@ impl VRnn {
             let x = self.embedding.lookup(emb, &inputs);
             states = gru.step(x, &states);
             let h = *states.last().expect("non-empty stack");
-            let loss = h.matmul_t(w_out).weighted_ce_dense(dense_targets(&targets, None));
+            let loss = h
+                .matmul_t(w_out)
+                .weighted_ce_dense(dense_targets(&targets, None));
             tokens += targets.len();
             total = Some(match total {
                 Some(acc) => acc.add(loss),
@@ -195,7 +210,10 @@ mod tests {
     fn setup() -> (Vocab, Vec<Trajectory>) {
         let mut rng = det_rng(1);
         let city = City::tiny(&mut rng);
-        let ds = DatasetBuilder::new(&city).trips(30).min_len(5).build(&mut rng);
+        let ds = DatasetBuilder::new(&city)
+            .trips(30)
+            .min_len(5)
+            .build(&mut rng);
         let pts: Vec<Point> = ds.train.iter().flat_map(|t| t.points.clone()).collect();
         let grid = Grid::new(BBox::of_points(&pts).unwrap().expanded(200.0), 100.0);
         let vocab = Vocab::build(grid, pts.iter(), 3);
@@ -206,7 +224,10 @@ mod tests {
     fn trains_and_encodes() {
         let (vocab, trajs) = setup();
         let mut rng = det_rng(2);
-        let config = VRnnConfig { epochs: 2, ..Default::default() };
+        let config = VRnnConfig {
+            epochs: 2,
+            ..Default::default()
+        };
         let model = VRnn::train(&config, &vocab, &trajs, &mut rng).unwrap();
         let v = model.encode(&trajs[0].points);
         assert_eq!(v.len(), model.repr_dim());
@@ -219,7 +240,10 @@ mod tests {
     fn order_sensitive_unlike_cms() {
         let (vocab, trajs) = setup();
         let mut rng = det_rng(3);
-        let config = VRnnConfig { epochs: 1, ..Default::default() };
+        let config = VRnnConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let model = VRnn::train(&config, &vocab, &trajs, &mut rng).unwrap();
         let fwd = model.encode(&trajs[0].points);
         let mut rev_points = trajs[0].points.clone();
@@ -240,7 +264,10 @@ mod tests {
     fn encode_batch_matches_single() {
         let (vocab, trajs) = setup();
         let mut rng = det_rng(5);
-        let config = VRnnConfig { epochs: 1, ..Default::default() };
+        let config = VRnnConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let model = VRnn::train(&config, &vocab, &trajs, &mut rng).unwrap();
         let pts: Vec<Vec<Point>> = trajs.iter().take(3).map(|t| t.points.clone()).collect();
         let batch = model.encode_batch(&pts);

@@ -1,0 +1,73 @@
+//! Data-parallel training determinism: training with 1 worker thread
+//! and with 4 must produce *identical* loss trajectories and final
+//! parameters for the same seed.
+//!
+//! This holds because (a) the blocked matrix kernels fix each output
+//! element's reduction order independently of the worker count, (b)
+//! per-batch RNG seeds are pre-drawn in batch order before any fan-out,
+//! and (c) per-batch gradient sets are reduced in batch order. The test
+//! would catch a regression in any of the three.
+
+use t2vec_core::{T2Vec, T2VecConfig, TrainReport};
+use t2vec_tensor::parallel;
+use t2vec_tensor::rng::det_rng;
+use t2vec_trajgen::city::City;
+use t2vec_trajgen::dataset::{Dataset, DatasetBuilder};
+
+fn tiny_dataset() -> Dataset {
+    let mut rng = det_rng(510);
+    let city = City::tiny(&mut rng);
+    DatasetBuilder::new(&city)
+        .trips(40)
+        .min_len(6)
+        .build(&mut rng)
+}
+
+fn train_once(ds: &Dataset, threads: usize) -> (T2Vec, TrainReport) {
+    parallel::set_threads(threads);
+    let mut config = T2VecConfig::tiny();
+    // Odd group size: exercises uneven sharding across 4 workers and
+    // a ragged final group.
+    config.grad_accum = 3;
+    config.max_epochs = 3;
+    let mut rng = det_rng(511);
+    T2Vec::train_with_report(&config, &ds.train, &ds.val, &mut rng)
+        .expect("training should succeed on the tiny dataset")
+}
+
+#[test]
+fn one_thread_and_four_threads_train_identically() {
+    let ds = tiny_dataset();
+    let (model_1t, report_1t) = train_once(&ds, 1);
+    let (model_4t, report_4t) = train_once(&ds, 4);
+
+    // Identical loss curves — bitwise, not approximately.
+    assert_eq!(report_1t.iterations, report_4t.iterations);
+    assert_eq!(report_1t.epochs, report_4t.epochs);
+    assert_eq!(report_1t.history.len(), report_4t.history.len());
+    for (a, b) in report_1t.history.iter().zip(report_4t.history.iter()) {
+        assert_eq!(
+            a.train_loss.to_bits(),
+            b.train_loss.to_bits(),
+            "epoch {} train loss diverged: {} vs {}",
+            a.epoch,
+            a.train_loss,
+            b.train_loss
+        );
+        assert_eq!(
+            a.val_loss.to_bits(),
+            b.val_loss.to_bits(),
+            "epoch {} val loss diverged: {} vs {}",
+            a.epoch,
+            a.val_loss,
+            b.val_loss
+        );
+    }
+
+    // Identical final parameters, observed through the encoder.
+    for traj in ds.test.iter().take(5) {
+        let va = model_1t.encode(&traj.points);
+        let vb = model_4t.encode(&traj.points);
+        assert_eq!(va, vb, "encodings diverged between thread counts");
+    }
+}

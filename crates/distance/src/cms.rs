@@ -33,7 +33,12 @@ impl Cms {
 
     fn cells(&self, traj: &[Point]) -> HashSet<(i64, i64)> {
         traj.iter()
-            .map(|p| ((p.x / self.cell_side).floor() as i64, (p.y / self.cell_side).floor() as i64))
+            .map(|p| {
+                (
+                    (p.x / self.cell_side).floor() as i64,
+                    (p.y / self.cell_side).floor() as i64,
+                )
+            })
             .collect()
     }
 }

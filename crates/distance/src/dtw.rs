@@ -42,15 +42,26 @@ impl TrajDistance for Dtw {
         }
         let (n, m) = (a.len(), b.len());
         // Effective band: at least |n - m| so a path exists.
-        let band = self.band.map(|w| w.max(n.abs_diff(m))).unwrap_or(usize::MAX);
+        let band = self
+            .band
+            .map(|w| w.max(n.abs_diff(m)))
+            .unwrap_or(usize::MAX);
         // Rolling rows of the DP matrix.
         let mut prev = vec![f64::INFINITY; m + 1];
         let mut curr = vec![f64::INFINITY; m + 1];
         prev[0] = 0.0;
         for i in 1..=n {
             curr.fill(f64::INFINITY);
-            let lo = if band == usize::MAX { 1 } else { i.saturating_sub(band).max(1) };
-            let hi = if band == usize::MAX { m } else { (i + band).min(m) };
+            let lo = if band == usize::MAX {
+                1
+            } else {
+                i.saturating_sub(band).max(1)
+            };
+            let hi = if band == usize::MAX {
+                m
+            } else {
+                (i + band).min(m)
+            };
             for j in lo..=hi {
                 let cost = a[i - 1].dist(&b[j - 1]);
                 let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
@@ -121,7 +132,10 @@ mod tests {
         let b = random_walk(40, &mut rng);
         let full = Dtw::new().dist(&a, &b);
         let banded = Dtw::with_band(2).dist(&a, &b);
-        assert!(banded >= full - 1e-9, "band must constrain: {banded} < {full}");
+        assert!(
+            banded >= full - 1e-9,
+            "band must constrain: {banded} < {full}"
+        );
         assert!(banded.is_finite());
     }
 

@@ -57,8 +57,14 @@ impl TrajDistance for Edr {
         for i in 1..=n {
             curr[0] = i as u32;
             for j in 1..=m {
-                let subcost = if self.matches(&a[i - 1], &b[j - 1]) { 0 } else { 1 };
-                curr[j] = (prev[j - 1] + subcost).min(prev[j] + 1).min(curr[j - 1] + 1);
+                let subcost = if self.matches(&a[i - 1], &b[j - 1]) {
+                    0
+                } else {
+                    1
+                };
+                curr[j] = (prev[j - 1] + subcost)
+                    .min(prev[j] + 1)
+                    .min(curr[j - 1] + 1);
             }
             std::mem::swap(&mut prev, &mut curr);
         }
@@ -129,12 +135,21 @@ mod tests {
     fn per_dimension_matching_rule() {
         let edr = Edr::new(1.0);
         // Within ε on both axes -> match.
-        assert_eq!(edr.dist(&[Point::new(0.0, 0.0)], &[Point::new(0.9, 0.9)]), 0.0);
+        assert_eq!(
+            edr.dist(&[Point::new(0.0, 0.0)], &[Point::new(0.9, 0.9)]),
+            0.0
+        );
         // Euclidean distance 1.27 > 1 but per-dimension <= 1: still a match
         // (this is what distinguishes the original rule from L2 matching).
-        assert_eq!(edr.dist(&[Point::new(0.0, 0.0)], &[Point::new(1.0, 0.8)]), 0.0);
+        assert_eq!(
+            edr.dist(&[Point::new(0.0, 0.0)], &[Point::new(1.0, 0.8)]),
+            0.0
+        );
         // One axis exceeding epsilon -> mismatch (substitution).
-        assert_eq!(edr.dist(&[Point::new(0.0, 0.0)], &[Point::new(1.1, 0.0)]), 1.0);
+        assert_eq!(
+            edr.dist(&[Point::new(0.0, 0.0)], &[Point::new(1.1, 0.0)]),
+            1.0
+        );
     }
 
     #[test]

@@ -255,7 +255,9 @@ mod tests {
         // A downsampled variant of route A must stay closer to A than a
         // parallel but distinct route — the core claim EDwP was built for.
         let mut rng = det_rng(60);
-        let a: Vec<Point> = (0..40).map(|i| Point::new(i as f64 * 25.0, (i as f64 * 0.3).sin() * 40.0)).collect();
+        let a: Vec<Point> = (0..40)
+            .map(|i| Point::new(i as f64 * 25.0, (i as f64 * 0.3).sin() * 40.0))
+            .collect();
         let offset: Vec<Point> = a.iter().map(|p| Point::new(p.x, p.y + 300.0)).collect();
         let edwp = Edwp::new();
         for _ in 0..5 {

@@ -18,7 +18,9 @@ pub struct Erp {
 
 impl Default for Erp {
     fn default() -> Self {
-        Self { gap: Point::new(0.0, 0.0) }
+        Self {
+            gap: Point::new(0.0, 0.0),
+        }
     }
 }
 
@@ -116,7 +118,10 @@ mod tests {
             let ab = erp.dist(&a, &b);
             let bc = erp.dist(&b, &c);
             let ac = erp.dist(&a, &c);
-            assert!(ac <= ab + bc + 1e-6, "triangle violated: {ac} > {ab} + {bc}");
+            assert!(
+                ac <= ab + bc + 1e-6,
+                "triangle violated: {ac} > {ab} + {bc}"
+            );
         }
     }
 

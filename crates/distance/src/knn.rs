@@ -51,7 +51,12 @@ pub struct DtwEndpointBound;
 
 impl LowerBound<Dtw> for DtwEndpointBound {
     fn bound(&self, query: &[Point], candidate: &[Point]) -> f64 {
-        match (query.first(), candidate.first(), query.last(), candidate.last()) {
+        match (
+            query.first(),
+            candidate.first(),
+            query.last(),
+            candidate.last(),
+        ) {
             (Some(qf), Some(cf), Some(ql), Some(cl)) => qf.dist(cf) + ql.dist(cl),
             _ => 0.0,
         }
@@ -80,14 +85,24 @@ pub fn knn_pruned<D: TrajDistance>(
     k: usize,
 ) -> (Vec<(usize, f64)>, KnnStats) {
     let mut top: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
-    let mut stats = KnnStats { evaluated: 0, pruned: 0 };
+    let mut stats = KnnStats {
+        evaluated: 0,
+        pruned: 0,
+    };
     // Visit candidates in ascending bound order so good candidates are
     // found early and the pruning threshold tightens fast.
-    let mut order: Vec<(usize, f64)> =
-        db.iter().enumerate().map(|(i, t)| (i, bound.bound(query, t))).collect();
+    let mut order: Vec<(usize, f64)> = db
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, bound.bound(query, t)))
+        .collect();
     order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
     for (i, lb) in order {
-        let kth = if top.len() >= k { top[k - 1].1 } else { f64::INFINITY };
+        let kth = if top.len() >= k {
+            top[k - 1].1
+        } else {
+            f64::INFINITY
+        };
         if top.len() >= k && lb >= kth {
             stats.pruned += 1;
             continue;
@@ -111,7 +126,9 @@ mod tests {
 
     fn db(n: usize, seed: u64) -> Vec<Vec<Point>> {
         let mut rng = det_rng(seed);
-        (0..n).map(|i| random_walk(5 + (i * 7) % 30, &mut rng)).collect()
+        (0..n)
+            .map(|i| random_walk(5 + (i * 7) % 30, &mut rng))
+            .collect()
     }
 
     #[test]
@@ -119,8 +136,9 @@ mod tests {
         // Lengths spread 5..85 so the |n - m| bound exceeds the k-th best
         // distance for the extreme lengths.
         let mut rng = det_rng(1);
-        let db: Vec<Vec<Point>> =
-            (0..60).map(|i| random_walk(5 + (i * 13) % 80, &mut rng)).collect();
+        let db: Vec<Vec<Point>> = (0..60)
+            .map(|i| random_walk(5 + (i * 13) % 80, &mut rng))
+            .collect();
         let edr = Edr::new(20.0);
         let query = random_walk(18, &mut rng);
         let (pruned, stats) = knn_pruned(&edr, &EdrLengthBound, &query, &db, 3);
@@ -152,7 +170,10 @@ mod tests {
             pruned.iter().map(|&(_, d)| d).collect::<Vec<_>>(),
             full.iter().map(|&(_, d)| d).collect::<Vec<_>>()
         );
-        assert!(stats.pruned >= 20, "the far cluster should be pruned: {stats:?}");
+        assert!(
+            stats.pruned >= 20,
+            "the far cluster should be pruned: {stats:?}"
+        );
     }
 
     #[test]
@@ -188,7 +209,13 @@ mod tests {
         let query = random_walk(5, &mut rng);
         let (res, stats) = knn_pruned(&Edr::new(20.0), &NoBound, &query, &[], 3);
         assert!(res.is_empty());
-        assert_eq!(stats, KnnStats { evaluated: 0, pruned: 0 });
+        assert_eq!(
+            stats,
+            KnnStats {
+                evaluated: 0,
+                pruned: 0
+            }
+        );
     }
 
     #[test]

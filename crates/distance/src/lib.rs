@@ -59,11 +59,17 @@ pub(crate) mod testutil {
 
     /// A jagged random walk for property tests.
     pub fn random_walk(n: usize, rng: &mut impl Rng) -> Vec<Point> {
-        let mut p = Point::new(rng.random_range(-100.0..100.0), rng.random_range(-100.0..100.0));
+        let mut p = Point::new(
+            rng.random_range(-100.0..100.0),
+            rng.random_range(-100.0..100.0),
+        );
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(p);
-            p = Point::new(p.x + rng.random_range(-20.0..20.0), p.y + rng.random_range(-20.0..20.0));
+            p = Point::new(
+                p.x + rng.random_range(-20.0..20.0),
+                p.y + rng.random_range(-20.0..20.0),
+            );
         }
         out
     }

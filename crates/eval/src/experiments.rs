@@ -153,7 +153,13 @@ impl Bench {
         };
         let vrnn = VRnn::train(&vrnn_config, t2vec.vocab(), &dataset.train, &mut rng)
             .expect("vRNN training failed");
-        Self { dataset, t2vec, vrnn, cell_side: config.cell_side, scale }
+        Self {
+            dataset,
+            t2vec,
+            vrnn,
+            cell_side: config.cell_side,
+            scale,
+        }
     }
 
     /// The six methods of the paper's comparison, in table order.
@@ -278,10 +284,14 @@ pub fn exp3_distortion(bench: &Bench, rates: &[f64]) -> Vec<MethodRow> {
 
 fn split_query_extra(bench: &Bench) -> (Vec<&[Point]>, Vec<&[Point]>) {
     let nq = bench.scale.num_queries.min(bench.dataset.test.len() / 2);
-    let q: Vec<&[Point]> =
-        bench.dataset.test[..nq].iter().map(|t| t.points.as_slice()).collect();
-    let p: Vec<&[Point]> =
-        bench.dataset.test[nq..].iter().map(|t| t.points.as_slice()).collect();
+    let q: Vec<&[Point]> = bench.dataset.test[..nq]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
+    let p: Vec<&[Point]> = bench.dataset.test[nq..]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
     (q, p)
 }
 
@@ -293,13 +303,18 @@ fn run_sweep(
     let mut rows: Vec<MethodRow> = bench
         .methods()
         .iter()
-        .map(|m| MethodRow { method: m.name(), values: Vec::with_capacity(n) })
+        .map(|m| MethodRow {
+            method: m.name(),
+            values: Vec::with_capacity(n),
+        })
         .collect();
     for idx in 0..n {
         let mut rng = det_rng(bench.scale.seed + idx as u64 + 1);
         let workload = make_workload(bench, idx, &mut rng);
         for (mi, method) in bench.methods().iter().enumerate() {
-            rows[mi].values.push(mean_rank_of(method.as_ref(), &workload));
+            rows[mi]
+                .values
+                .push(mean_rank_of(method.as_ref(), &workload));
         }
     }
     rows
@@ -311,14 +326,19 @@ fn sweep_rates(bench: &Bench, rates: &[f64], dropping: bool) -> Vec<MethodRow> {
     let mut rows: Vec<MethodRow> = bench
         .methods()
         .iter()
-        .map(|m| MethodRow { method: m.name(), values: Vec::with_capacity(rates.len()) })
+        .map(|m| MethodRow {
+            method: m.name(),
+            values: Vec::with_capacity(rates.len()),
+        })
         .collect();
     for (ri, &rate) in rates.iter().enumerate() {
         let mut rng = det_rng(bench.scale.seed + 100 + ri as u64);
         let (r1, r2) = if dropping { (rate, 0.0) } else { (0.0, rate) };
         let workload = most_similar_workload(&q, &p[..extras], r1, r2, &mut rng);
         for (mi, method) in bench.methods().iter().enumerate() {
-            rows[mi].values.push(mean_rank_of(method.as_ref(), &workload));
+            rows[mi]
+                .values
+                .push(mean_rank_of(method.as_ref(), &workload));
         }
     }
     rows
@@ -342,7 +362,10 @@ pub fn cross_similarity(
     let methods = bench.table6_methods();
     let mut rows: Vec<MethodRow> = methods
         .iter()
-        .map(|m| MethodRow { method: m.name(), values: Vec::with_capacity(rates.len()) })
+        .map(|m| MethodRow {
+            method: m.name(),
+            values: Vec::with_capacity(rates.len()),
+        })
         .collect();
     for (ri, &rate) in rates.iter().enumerate() {
         let mut rng = det_rng(bench.scale.seed + 200 + ri as u64);
@@ -398,7 +421,10 @@ pub fn knn_precision_multi(
     let nq = num_queries.min(test.len() / 3);
     let db_size = db_size.min(test.len() - nq);
     let queries: Vec<Vec<Point>> = test[..nq].iter().map(|t| t.points.clone()).collect();
-    let db: Vec<Vec<Point>> = test[nq..nq + db_size].iter().map(|t| t.points.clone()).collect();
+    let db: Vec<Vec<Point>> = test[nq..nq + db_size]
+        .iter()
+        .map(|t| t.points.clone())
+        .collect();
 
     let methods = bench.methods();
     // Distance matrices on the clean data, one per method.
@@ -433,12 +459,13 @@ pub fn knn_precision_multi(
             .iter()
             .map(|q| distort(&downsample(q, r1, &mut rng), r2, &mut rng))
             .collect();
-        let deg_db: Vec<Vec<Point>> =
-            db.iter().map(|t| distort(&downsample(t, r1, &mut rng), r2, &mut rng)).collect();
+        let deg_db: Vec<Vec<Point>> = db
+            .iter()
+            .map(|t| distort(&downsample(t, r1, &mut rng), r2, &mut rng))
+            .collect();
         for (mi, method) in methods.iter().enumerate() {
             let scorer = method.build(&deg_db);
-            let degraded: Vec<Vec<f64>> =
-                deg_queries.iter().map(|q| scorer.distances(q)).collect();
+            let degraded: Vec<Vec<f64>> = deg_queries.iter().map(|q| scorer.distances(q)).collect();
             for (ki, &k) in ks.iter().enumerate() {
                 let precision = mean((0..nq).map(|qi| {
                     let truth = knn_ids(&clean[mi][qi], k);
@@ -507,8 +534,9 @@ pub fn scalability(
     let mut out = Vec::new();
     for &size in db_sizes {
         // Cycle test trajectories to reach the requested size.
-        let db: Vec<Vec<Point>> =
-            (0..size).map(|i| test[nq + i % (test.len() - nq)].points.clone()).collect();
+        let db: Vec<Vec<Point>> = (0..size)
+            .map(|i| test[nq + i % (test.len() - nq)].points.clone())
+            .collect();
         for method in &methods {
             let t_build = std::time::Instant::now();
             let scorer = method.build(&db);
@@ -585,15 +613,20 @@ pub fn loss_ablation(
             .split(scale.train_frac, scale.val_frac)
             .build(&mut rng);
         let t0 = std::time::Instant::now();
-        let (model, _) =
-            T2Vec::train_with_report(&config, &dataset.train, &dataset.val, &mut rng)
-                .expect("ablation training failed");
+        let (model, _) = T2Vec::train_with_report(&config, &dataset.train, &dataset.val, &mut rng)
+            .expect("ablation training failed");
         let train_seconds = t0.elapsed().as_secs_f64();
 
         // Evaluate mean rank at each dropping rate.
         let nq = scale.num_queries.min(dataset.test.len() / 2);
-        let q: Vec<&[Point]> = dataset.test[..nq].iter().map(|t| t.points.as_slice()).collect();
-        let p: Vec<&[Point]> = dataset.test[nq..].iter().map(|t| t.points.as_slice()).collect();
+        let q: Vec<&[Point]> = dataset.test[..nq]
+            .iter()
+            .map(|t| t.points.as_slice())
+            .collect();
+        let p: Vec<&[Point]> = dataset.test[nq..]
+            .iter()
+            .map(|t| t.points.as_slice())
+            .collect();
         let extras = scale.extras.min(p.len());
         let mean_ranks = rates
             .iter()
@@ -605,7 +638,11 @@ pub fn loss_ablation(
                 mean_rank_of(&method, &workload)
             })
             .collect();
-        rows.push(AblationRow { loss: label, mean_ranks, train_seconds });
+        rows.push(AblationRow {
+            loss: label,
+            mean_ranks,
+            train_seconds,
+        });
     }
     rows
 }
@@ -656,8 +693,14 @@ fn evaluate_config(
     let train_seconds = t0.elapsed().as_secs_f64();
 
     let nq = scale.num_queries.min(dataset.test.len() / 2);
-    let q: Vec<&[Point]> = dataset.test[..nq].iter().map(|t| t.points.as_slice()).collect();
-    let p: Vec<&[Point]> = dataset.test[nq..].iter().map(|t| t.points.as_slice()).collect();
+    let q: Vec<&[Point]> = dataset.test[..nq]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
+    let p: Vec<&[Point]> = dataset.test[nq..]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
     let extras = scale.extras.min(p.len());
     let mr = |r1: f64, r2: f64, salt: u64| {
         let mut rng = det_rng(scale.seed + 500 + salt);
@@ -739,9 +782,8 @@ mod tests {
 
     fn tiny_bench() -> &'static Bench {
         static SHARED: std::sync::OnceLock<Bench> = std::sync::OnceLock::new();
-        SHARED.get_or_init(|| {
-            Bench::prepare(CityKind::Tiny, Scale::tiny(), &T2VecConfig::tiny(), 3)
-        })
+        SHARED
+            .get_or_init(|| Bench::prepare(CityKind::Tiny, Scale::tiny(), &T2VecConfig::tiny(), 3))
     }
 
     #[test]
@@ -772,9 +814,7 @@ mod tests {
             }
         }
         // t2vec must beat the order-blind CMS baseline.
-        let val = |name: &str| {
-            rows.iter().find(|r| r.method == name).unwrap().values[0]
-        };
+        let val = |name: &str| rows.iter().find(|r| r.method == name).unwrap().values[0];
         assert!(
             val("t2vec") < val("CMS"),
             "t2vec {} should beat CMS {}",
@@ -792,7 +832,10 @@ mod tests {
         let t2v = get("t2vec");
         // EDR degrades with dropping; t2vec stays at least as good as EDR
         // at the heavy rate (the paper's headline finding).
-        assert!(t2v.values[1] <= edr.values[1], "t2vec should beat EDR at r1=0.6");
+        assert!(
+            t2v.values[1] <= edr.values[1],
+            "t2vec should beat EDR at r1=0.6"
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl<D: TrajDistance> Method for DpMethod<D> {
     }
 
     fn build<'a>(&'a self, db: &'a [Vec<Point>]) -> Box<dyn Scorer + 'a> {
-        Box::new(DpScorer { dist: &self.dist, db })
+        Box::new(DpScorer {
+            dist: &self.dist,
+            db,
+        })
     }
 }
 
@@ -101,7 +104,10 @@ struct VecScorer<'m> {
 impl<'m> Scorer for VecScorer<'m> {
     fn distances(&self, query: &[Point]) -> Vec<f64> {
         let q = (self.encode)(query);
-        self.vectors.iter().map(|v| f64::from(vec_dist(&q, v))).collect()
+        self.vectors
+            .iter()
+            .map(|v| f64::from(vec_dist(&q, v)))
+            .collect()
     }
 }
 
@@ -113,7 +119,10 @@ impl<'m> Method for T2VecMethod<'m> {
     fn build<'a>(&'a self, db: &'a [Vec<Point>]) -> Box<dyn Scorer + 'a> {
         let vectors = self.model.encode_batch(db);
         let model = self.model;
-        Box::new(VecScorer { encode: Box::new(move |q| model.encode(q)), vectors })
+        Box::new(VecScorer {
+            encode: Box::new(move |q| model.encode(q)),
+            vectors,
+        })
     }
 }
 
@@ -137,7 +146,10 @@ impl<'m> Method for VRnnMethod<'m> {
     fn build<'a>(&'a self, db: &'a [Vec<Point>]) -> Box<dyn Scorer + 'a> {
         let vectors = self.model.encode_batch(db);
         let model = self.model;
-        Box::new(VecScorer { encode: Box::new(move |q| model.encode(q)), vectors })
+        Box::new(VecScorer {
+            encode: Box::new(move |q| model.encode(q)),
+            vectors,
+        })
     }
 }
 

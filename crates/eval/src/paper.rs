@@ -12,12 +12,12 @@ pub const METHODS: [&str; 6] = ["EDR", "LCSS", "CMS", "vRNN", "EDwP", "t2vec"];
 pub const TABLE3_DB_SIZES: [usize; 5] = [20_000, 40_000, 60_000, 80_000, 100_000];
 /// Table III rows, aligned with [`METHODS`] and [`TABLE3_DB_SIZES`].
 pub const TABLE3_PORTO: [[f64; 5]; 6] = [
-    [25.73, 50.70, 76.07, 104.01, 130.98], // EDR
-    [31.95, 59.20, 95.85, 130.40, 150.67], // LCSS
+    [25.73, 50.70, 76.07, 104.01, 130.98],   // EDR
+    [31.95, 59.20, 95.85, 130.40, 150.67],   // LCSS
     [62.18, 112.84, 173.34, 231.55, 291.26], // CMS
-    [32.73, 61.24, 100.20, 135.22, 163.10], // vRNN
-    [6.78, 11.48, 16.08, 23.02, 28.90],    // EDwP
-    [2.30, 3.45, 4.73, 6.35, 7.67],        // t2vec
+    [32.73, 61.24, 100.20, 135.22, 163.10],  // vRNN
+    [6.78, 11.48, 16.08, 23.02, 28.90],      // EDwP
+    [2.30, 3.45, 4.73, 6.35, 7.67],          // t2vec
 ];
 
 /// Table IV (Porto): mean rank versus dropping rate r1.

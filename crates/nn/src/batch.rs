@@ -41,7 +41,8 @@ pub fn make_batches(
     rng: &mut impl Rng,
 ) -> Vec<Batch> {
     assert!(max_batch > 0, "max_batch must be positive");
-    let mut buckets: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    let mut buckets: std::collections::HashMap<usize, Vec<usize>> =
+        std::collections::HashMap::new();
     for (i, (src, tgt)) in pairs.iter().enumerate() {
         if src.is_empty() || tgt.is_empty() {
             continue;
@@ -65,7 +66,11 @@ pub fn make_batches(
 fn build_batch(pairs: &[(Vec<Token>, Vec<Token>)], idxs: &[usize]) -> Batch {
     let batch_size = idxs.len();
     let src_len = pairs[idxs[0]].0.len();
-    let max_tgt = idxs.iter().map(|&i| pairs[i].1.len()).max().expect("non-empty chunk");
+    let max_tgt = idxs
+        .iter()
+        .map(|&i| pairs[i].1.len())
+        .max()
+        .expect("non-empty chunk");
     // +1 for EOS.
     let steps = max_tgt + 1;
 
@@ -100,7 +105,13 @@ fn build_batch(pairs: &[(Vec<Token>, Vec<Token>)], idxs: &[usize]) -> Batch {
             dec_targets[step].push(target);
         }
     }
-    Batch { src, dec_inputs, dec_targets, batch_size, num_target_tokens }
+    Batch {
+        src,
+        dec_inputs,
+        dec_targets,
+        batch_size,
+        num_target_tokens,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +124,10 @@ mod tests {
     }
 
     fn pair(src: &[u32], tgt: &[u32]) -> (Vec<Token>, Vec<Token>) {
-        (src.iter().map(|&v| tok(v)).collect(), tgt.iter().map(|&v| tok(v)).collect())
+        (
+            src.iter().map(|&v| tok(v)).collect(),
+            tgt.iter().map(|&v| tok(v)).collect(),
+        )
     }
 
     #[test]
@@ -171,7 +185,7 @@ mod tests {
         assert_eq!(batches.len(), 1);
         let b = &batches[0];
         assert_eq!(b.dec_targets.len(), 4); // max_tgt 3 + EOS
-        // Short sequence: tokens [5, EOS, None, None].
+                                            // Short sequence: tokens [5, EOS, None, None].
         let col: Vec<Option<Token>> = (0..4)
             .map(|t| {
                 let idx = (0..b.batch_size)
@@ -184,7 +198,9 @@ mod tests {
         // live targets: (1+1) + (3+1) = 6
         assert_eq!(b.num_target_tokens, 6);
         // padded decoder inputs are PAD
-        let idx = (0..b.batch_size).find(|&bi| b.dec_targets[0][bi] == Some(tok(5))).unwrap();
+        let idx = (0..b.batch_size)
+            .find(|&bi| b.dec_targets[0][bi] == Some(tok(5)))
+            .unwrap();
         assert_eq!(b.dec_inputs[3][idx], Token::PAD);
     }
 
@@ -220,8 +236,7 @@ mod tests {
                 seen.push((first_src, first_tgt));
             }
         }
-        let mut expected: Vec<(Token, Token)> =
-            pairs.iter().map(|(s, t)| (s[0], t[0])).collect();
+        let mut expected: Vec<(Token, Token)> = pairs.iter().map(|(s, t)| (s[0], t[0])).collect();
         seen.sort();
         expected.sort();
         assert_eq!(seen, expected);

@@ -24,7 +24,10 @@ impl Embedding {
     /// A randomly initialised table (`U(±0.1)`, the usual scale for
     /// embeddings).
     pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut impl Rng) -> Self {
-        Self { table: Param::new(name, init::uniform(vocab, dim, 0.1, rng)), dim }
+        Self {
+            table: Param::new(name, init::uniform(vocab, dim, 0.1, rng)),
+            dim,
+        }
     }
 
     /// A table initialised from pre-trained vectors (Algorithm 1).
@@ -32,9 +35,15 @@ impl Embedding {
     /// # Panics
     /// Panics if `table` is empty.
     pub fn from_pretrained(name: &str, table: Matrix) -> Self {
-        assert!(table.rows() > 0 && table.cols() > 0, "empty embedding table");
+        assert!(
+            table.rows() > 0 && table.cols() > 0,
+            "empty embedding table"
+        );
         let dim = table.cols();
-        Self { table: Param::new(name, table), dim }
+        Self {
+            table: Param::new(name, table),
+            dim,
+        }
     }
 
     /// Embedding dimension.

@@ -50,8 +50,14 @@ impl GruCell {
     /// A new cell with Xavier-initialised projections.
     pub fn new(name: &str, input_dim: usize, hidden: usize, rng: &mut impl Rng) -> Self {
         Self {
-            wx: Param::new(format!("{name}.wx"), init::xavier_uniform(input_dim, 3 * hidden, rng)),
-            wh: Param::new(format!("{name}.wh"), init::xavier_uniform(hidden, 3 * hidden, rng)),
+            wx: Param::new(
+                format!("{name}.wx"),
+                init::xavier_uniform(input_dim, 3 * hidden, rng),
+            ),
+            wh: Param::new(
+                format!("{name}.wh"),
+                init::xavier_uniform(hidden, 3 * hidden, rng),
+            ),
             b: Param::new(format!("{name}.b"), Matrix::zeros(1, 3 * hidden)),
             input_dim,
             hidden,
@@ -130,8 +136,14 @@ impl<'t> BoundGruCell<'t> {
         let gx = x.matmul(self.wx).add_broadcast(self.b); // (B × 3H)
         let gh = h.matmul(self.wh); // (B × 3H)
         let z = gx.slice_cols(0, hd).add(gh.slice_cols(0, hd)).sigmoid();
-        let r = gx.slice_cols(hd, 2 * hd).add(gh.slice_cols(hd, 2 * hd)).sigmoid();
-        let n = gx.slice_cols(2 * hd, 3 * hd).add(r.hadamard(gh.slice_cols(2 * hd, 3 * hd))).tanh();
+        let r = gx
+            .slice_cols(hd, 2 * hd)
+            .add(gh.slice_cols(hd, 2 * hd))
+            .sigmoid();
+        let n = gx
+            .slice_cols(2 * hd, 3 * hd)
+            .add(r.hadamard(gh.slice_cols(2 * hd, 3 * hd)))
+            .tanh();
         // h' = (1 - z)∘n + z∘h = n + z∘(h - n)
         n.add(z.hadamard(h.sub(n)))
     }
@@ -183,12 +195,17 @@ impl GruStack {
 
     /// Binds all layers on `tape`.
     pub fn bind<'t>(&self, tape: &'t Tape) -> BoundGruStack<'t> {
-        BoundGruStack { layers: self.layers.iter().map(|l| l.bind(tape)).collect() }
+        BoundGruStack {
+            layers: self.layers.iter().map(|l| l.bind(tape)).collect(),
+        }
     }
 
     /// Mutable parameter references, in binding order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(GruCell::params_mut).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(GruCell::params_mut)
+            .collect()
     }
 
     /// Immutable parameter references, in binding order.
@@ -198,7 +215,10 @@ impl GruStack {
 
     /// Zero initial states, one `(batch × hidden)` matrix per layer.
     pub fn zero_state(&self, batch: usize) -> Vec<Matrix> {
-        self.layers.iter().map(|l| Matrix::zeros(batch, l.hidden())).collect()
+        self.layers
+            .iter()
+            .map(|l| Matrix::zeros(batch, l.hidden()))
+            .collect()
     }
 
     /// Inference step: updates `states` in place, returns a reference to
@@ -268,8 +288,11 @@ mod tests {
 
         let tape = Tape::new();
         let bound = stack.bind(&tape);
-        let state_vars: Vec<Var<'_>> =
-            stack.zero_state(2).into_iter().map(|m| tape.leaf(m)).collect();
+        let state_vars: Vec<Var<'_>> = stack
+            .zero_state(2)
+            .into_iter()
+            .map(|m| tape.leaf(m))
+            .collect();
         let new_states = bound.step(tape.leaf(x), &state_vars);
         let taped_top = new_states.last().unwrap().value();
         assert!(raw_top.max_abs_diff(&taped_top) < 1e-5);
@@ -292,7 +315,12 @@ mod tests {
         let x2 = init::uniform(2, in_dim, 1.0, &mut rng);
         check_scalar_fn(&[wx, wh, b, x1, x2], |tape, vars| {
             let (wx, wh, b, x1, x2) = (vars[0], vars[1], vars[2], vars[3], vars[4]);
-            let cell = BoundGruCell { wx, wh, b, hidden: 3 };
+            let cell = BoundGruCell {
+                wx,
+                wh,
+                b,
+                hidden: 3,
+            };
             let h0 = tape.leaf(Matrix::zeros(2, 3));
             let h1 = cell.step(x1, h0);
             let h2 = cell.step(x2, h1);

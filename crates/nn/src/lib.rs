@@ -30,5 +30,5 @@ pub mod seq2seq;
 pub mod skipgram;
 
 pub use loss::LossKind;
-pub use param::Param;
+pub use param::{GradSet, Param};
 pub use seq2seq::{Seq2Seq, Seq2SeqConfig};

@@ -123,8 +123,7 @@ pub fn sampled_targets(
                 let mut guard = 0;
                 while drawn < want && guard < want * 200 + 1000 {
                     guard += 1;
-                    let idx =
-                        rng.random_range(Token::NUM_SPECIALS as usize..vocab_size);
+                    let idx = rng.random_range(Token::NUM_SPECIALS as usize..vocab_size);
                     if seen.insert(idx) {
                         cand.push(idx);
                         drawn += 1;
@@ -154,10 +153,12 @@ pub fn step_loss<'t>(
     rng: &mut impl Rng,
 ) -> Var<'t> {
     match kind {
-        LossKind::Nll => h.matmul_t(w_out).weighted_ce_dense(dense_targets(targets, None)),
-        LossKind::Spatial => {
-            h.matmul_t(w_out).weighted_ce_dense(dense_targets(targets, Some(table)))
-        }
+        LossKind::Nll => h
+            .matmul_t(w_out)
+            .weighted_ce_dense(dense_targets(targets, None)),
+        LossKind::Spatial => h
+            .matmul_t(w_out)
+            .weighted_ce_dense(dense_targets(targets, Some(table))),
         LossKind::SpatialNce { noise } => {
             let (cand, w) = sampled_targets(targets, table, noise, vocab_size, rng);
             h.sampled_weighted_ce(w_out, cand, w)
@@ -254,24 +255,34 @@ mod tests {
         let hidden = 8;
         let h = init::uniform(2, hidden, 0.5, &mut rng);
         let w = init::uniform(vocab.size(), hidden, 0.5, &mut rng);
-        let toks: Vec<Option<Token>> =
-            vec![Some(vocab.hot_tokens().nth(6).unwrap()), Some(vocab.hot_tokens().nth(18).unwrap())];
+        let toks: Vec<Option<Token>> = vec![
+            Some(vocab.hot_tokens().nth(6).unwrap()),
+            Some(vocab.hot_tokens().nth(18).unwrap()),
+        ];
 
         let eval = |kind: LossKind, seed: u64| -> f32 {
             let tape = Tape::new();
             let hv = tape.leaf(h.clone());
             let wv = tape.leaf(w.clone());
             let mut rng = det_rng(seed);
-            step_loss(kind, hv, wv, &toks, &table, vocab.size(), &mut rng).value().item()
+            step_loss(kind, hv, wv, &toks, &table, vocab.size(), &mut rng)
+                .value()
+                .item()
         };
         let l1 = eval(LossKind::Nll, 0);
         let l2 = eval(LossKind::Spatial, 0);
-        assert!((l1 - l2).abs() > 1e-4, "L1 and L2 should differ: {l1} vs {l2}");
+        assert!(
+            (l1 - l2).abs() > 1e-4,
+            "L1 and L2 should differ: {l1} vs {l2}"
+        );
         // With noise covering the entire vocabulary, L3's partition
         // function equals L2's restricted to... the same set, so values
         // are close (weights differ only by the K-truncation).
         let l3 = eval(LossKind::SpatialNce { noise: 100 }, 1);
-        assert!((l3 - l2).abs() / l2 < 0.25, "L3 {l3} should approximate L2 {l2}");
+        assert!(
+            (l3 - l2).abs() / l2 < 0.25,
+            "L3 {l3} should approximate L2 {l2}"
+        );
     }
 
     #[test]

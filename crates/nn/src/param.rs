@@ -19,7 +19,11 @@ impl Param {
     /// A parameter from an initial value.
     pub fn new(name: impl Into<String>, value: Matrix) -> Self {
         let (r, c) = value.shape();
-        Self { name: name.into(), value, adam: AdamState::new(r, c) }
+        Self {
+            name: name.into(),
+            value,
+            adam: AdamState::new(r, c),
+        }
     }
 
     /// Records the current value as a leaf on `tape`.
@@ -38,9 +42,96 @@ impl Param {
     }
 }
 
-/// Applies one optimisation step: extracts the gradient of every bound
-/// parameter, clips the *global* norm to `max_norm` (paper: 5), then
-/// Adam-updates each parameter. Returns the pre-clip gradient norm.
+/// The gradients of one training batch, detached from any tape.
+///
+/// Produced by `Seq2Seq::compute_grads` on a worker thread against
+/// shared read-only parameters; consumed by [`reduce_grad_sets`] and
+/// [`apply_grad_mats`] on the coordinating thread. `grads` is aligned
+/// with the model's parameter order; `None` marks parameters the batch
+/// never touched.
+#[derive(Debug, Clone)]
+pub struct GradSet {
+    /// Mean per-token loss of the batch.
+    pub loss: f32,
+    /// Target-token count the mean was taken over.
+    pub target_tokens: usize,
+    /// Per-parameter gradients of the mean per-token loss.
+    pub grads: Vec<Option<Matrix>>,
+}
+
+/// Token-weighted combination of per-batch gradient sets, reduced in
+/// input order.
+///
+/// The result is the gradient (and loss) the group would have produced
+/// as one large batch: each set is weighted by its share of the group's
+/// target tokens. The reduction order — and the order of every
+/// floating-point addition inside it — depends only on the input order,
+/// never on which threads computed the sets, which is what makes
+/// data-parallel training reproduce the serial loss trajectory exactly.
+///
+/// # Panics
+/// Panics if `sets` is empty or the sets disagree on parameter count.
+pub fn reduce_grad_sets(sets: &[GradSet]) -> GradSet {
+    let first = sets.first().expect("cannot reduce zero gradient sets");
+    let total_tokens: usize = sets.iter().map(|s| s.target_tokens).sum();
+    let mut acc: Vec<Option<Matrix>> = vec![None; first.grads.len()];
+    let mut loss = 0.0f64;
+    for set in sets {
+        assert_eq!(
+            set.grads.len(),
+            acc.len(),
+            "gradient sets disagree on parameter count"
+        );
+        let w = set.target_tokens as f32 / total_tokens.max(1) as f32;
+        loss += f64::from(set.loss) * set.target_tokens as f64;
+        for (slot, grad) in acc.iter_mut().zip(set.grads.iter()) {
+            if let Some(g) = grad {
+                let scaled = g.scale(w);
+                *slot = Some(match slot.take() {
+                    Some(sum) => sum.add(&scaled),
+                    None => scaled,
+                });
+            }
+        }
+    }
+    GradSet {
+        loss: (loss / total_tokens.max(1) as f64) as f32,
+        target_tokens: total_tokens,
+        grads: acc,
+    }
+}
+
+/// Applies one optimisation step from detached gradient matrices: clips
+/// the *global* norm to `max_norm` (paper: 5), then Adam-updates each
+/// parameter. `grads` must be aligned with `params`; absent gradients
+/// are skipped. Returns the pre-clip gradient norm.
+///
+/// # Panics
+/// Panics if a gradient shape disagrees with its parameter.
+pub fn apply_grad_mats(
+    params: &mut [&mut Param],
+    grads: &mut [Option<Matrix>],
+    adam: &Adam,
+    max_norm: f32,
+) -> f32 {
+    assert_eq!(
+        params.len(),
+        grads.len(),
+        "parameter/gradient count mismatch"
+    );
+    let mut refs: Vec<&mut Matrix> = grads.iter_mut().flatten().collect();
+    let norm = clip_global_norm(&mut refs, max_norm);
+    for (param, grad) in params.iter_mut().zip(grads.iter()) {
+        if let Some(g) = grad {
+            adam.step(&mut param.adam, &mut param.value, g);
+        }
+    }
+    norm
+}
+
+/// Applies one optimisation step straight off a tape: extracts the
+/// gradient of every bound parameter, then clips and updates via
+/// [`apply_grad_mats`]. Returns the pre-clip gradient norm.
 ///
 /// `bindings` pairs each parameter with the [`Var`] it was bound to this
 /// step; parameters whose gradient is absent (unused in the graph) are
@@ -55,14 +146,8 @@ pub fn apply_grads(
     max_norm: f32,
 ) -> f32 {
     let mut gmats: Vec<Option<Matrix>> = bindings.iter().map(|(_, v)| grads.take(*v)).collect();
-    let mut refs: Vec<&mut Matrix> = gmats.iter_mut().flatten().collect();
-    let norm = clip_global_norm(&mut refs, max_norm);
-    for ((param, _), grad) in bindings.iter_mut().zip(gmats.iter()) {
-        if let Some(g) = grad {
-            adam.step(&mut param.adam, &mut param.value, g);
-        }
-    }
-    norm
+    let mut params: Vec<&mut Param> = bindings.iter_mut().map(|(p, _)| &mut **p).collect();
+    apply_grad_mats(&mut params, &mut gmats, adam, max_norm)
 }
 
 #[cfg(test)]
@@ -85,7 +170,11 @@ mod tests {
             let norm = apply_grads(&mut bindings, &mut grads, &adam, 100.0);
             assert!(norm > 0.0);
         }
-        assert!(p.value.norm() < 0.2 * start_norm, "did not descend: {:?}", p.value);
+        assert!(
+            p.value.norm() < 0.2 * start_norm,
+            "did not descend: {:?}",
+            p.value
+        );
     }
 
     #[test]
@@ -120,6 +209,47 @@ mod tests {
         let mut bindings = [(&mut a, va), (&mut b, vb)];
         let norm = apply_grads(&mut bindings, &mut grads, &adam, 1.0);
         assert!((norm - 5.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn reduce_grad_sets_is_token_weighted() {
+        // Two "batches": 1 token with grad 3, 3 tokens with grad 7.
+        // Combined gradient must be (1·3 + 3·7)/4 = 6, loss likewise.
+        let a = GradSet {
+            loss: 3.0,
+            target_tokens: 1,
+            grads: vec![Some(Matrix::scalar(3.0)), None],
+        };
+        let b = GradSet {
+            loss: 7.0,
+            target_tokens: 3,
+            grads: vec![Some(Matrix::scalar(7.0)), Some(Matrix::scalar(4.0))],
+        };
+        let red = reduce_grad_sets(&[a, b]);
+        assert_eq!(red.target_tokens, 4);
+        assert!((red.loss - 6.0).abs() < 1e-6);
+        assert!((red.grads[0].as_ref().unwrap().item() - 6.0).abs() < 1e-6);
+        // Param only touched by batch b: weighted by b's token share.
+        assert!((red.grads[1].as_ref().unwrap().item() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_grad_mats_matches_tape_path() {
+        // The detached-matrix path must take the same step as the
+        // tape-extraction path for the same gradient.
+        let mut via_tape = Param::new("w", Matrix::scalar(2.0));
+        let mut via_mats = via_tape.clone();
+        let adam = Adam::with_lr(0.1);
+        let tape = Tape::new();
+        let v = via_tape.bind(&tape);
+        let loss = v.hadamard(v).sum();
+        let mut grads = tape.backward(loss);
+        let mut grads_again = tape.backward(loss);
+        let g = grads_again.take(v).unwrap();
+        let n1 = apply_grads(&mut [(&mut via_tape, v)], &mut grads, &adam, 5.0);
+        let n2 = apply_grad_mats(&mut [&mut via_mats], &mut [Some(g)], &adam, 5.0);
+        assert_eq!(n1, n2);
+        assert_eq!(via_tape.value, via_mats.value);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! The paper reports that this pre-training both improves the mean rank
 //! and cuts training time by about a third (Table VII).
 
-use rand::{Rng, RngExt};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
 use t2vec_spatial::vocab::{Token, Vocab};
+use t2vec_tensor::parallel;
 use t2vec_tensor::rng::weighted_choice;
 use t2vec_tensor::{init, Matrix};
 
@@ -40,7 +42,15 @@ pub struct SkipGramConfig {
 
 impl Default for SkipGramConfig {
     fn default() -> Self {
-        Self { dim: 64, context_window: 10, k: 20, theta: 100.0, negatives: 5, epochs: 12, lr: 0.05 }
+        Self {
+            dim: 64,
+            context_window: 10,
+            k: 20,
+            theta: 100.0,
+            negatives: 5,
+            epochs: 12,
+            lr: 0.05,
+        }
     }
 }
 
@@ -54,12 +64,18 @@ pub fn sample_context(
     rng: &mut impl Rng,
 ) -> Vec<Token> {
     let nn = vocab.k_nearest_tokens(u, config.k + 1);
-    let neighbours: Vec<(Token, f64)> =
-        nn.into_iter().filter(|&(t, _)| t != u).take(config.k).collect();
+    let neighbours: Vec<(Token, f64)> = nn
+        .into_iter()
+        .filter(|&(t, _)| t != u)
+        .take(config.k)
+        .collect();
     if neighbours.is_empty() {
         return Vec::new();
     }
-    let weights: Vec<f64> = neighbours.iter().map(|&(_, d)| (-d / config.theta).exp()).collect();
+    let weights: Vec<f64> = neighbours
+        .iter()
+        .map(|&(_, d)| (-d / config.theta).exp())
+        .collect();
     (0..config.context_window)
         .map(|_| neighbours[weighted_choice(rng, &weights)].0)
         .collect()
@@ -71,7 +87,10 @@ pub fn sample_context(
 /// # Panics
 /// Panics if the vocabulary has no hot cells.
 pub fn pretrain_cells(vocab: &Vocab, config: &SkipGramConfig, rng: &mut impl Rng) -> Matrix {
-    assert!(vocab.num_hot_cells() > 0, "cannot pre-train an empty vocabulary");
+    assert!(
+        vocab.num_hot_cells() > 0,
+        "cannot pre-train an empty vocabulary"
+    );
     let v = vocab.size();
     let mut w_in = init::uniform(v, config.dim, 0.5 / config.dim as f32, rng);
     let mut w_ctx = Matrix::zeros(v, config.dim);
@@ -82,9 +101,24 @@ pub fn pretrain_cells(vocab: &Vocab, config: &SkipGramConfig, rng: &mut impl Rng
         // fresh contexts each epoch (Algorithm 1 line 3-5)
         use rand::seq::SliceRandom;
         order.shuffle(rng);
-        for &ui in &order {
+        // Context sampling (the K-NN query + weighted draws) dominates
+        // an epoch and touches nothing mutable, so it fans out across
+        // workers. One seed per cell is pre-drawn *in order* from the
+        // epoch RNG, so both the stream consumed from `rng` and every
+        // sampled context are independent of the worker count.
+        let seeds: Vec<u64> = order.iter().map(|_| rng.random()).collect();
+        let contexts: Vec<Vec<Token>> = parallel::par_map(&seeds, |i, &seed| {
+            sample_context(
+                vocab,
+                hot[order[i]],
+                config,
+                &mut StdRng::seed_from_u64(seed),
+            )
+        });
+        // The SGNS updates themselves stay serial: every step reads and
+        // writes shared rows of w_in/w_ctx.
+        for (&ui, context) in order.iter().zip(contexts) {
             let u = hot[ui];
-            let context = sample_context(vocab, u, config, rng);
             for ctx in context {
                 sgns_update(&mut w_in, &mut w_ctx, u.idx(), ctx.idx(), true, config.lr);
                 for _ in 0..config.negatives {
@@ -102,7 +136,14 @@ pub fn pretrain_cells(vocab: &Vocab, config: &SkipGramConfig, rng: &mut impl Rng
 
 /// One negative-sampling gradient step on a (center, context) pair:
 /// maximise `log σ(w·c)` for positives, `log σ(−w·c)` for negatives.
-fn sgns_update(w_in: &mut Matrix, w_ctx: &mut Matrix, center: usize, other: usize, positive: bool, lr: f32) {
+fn sgns_update(
+    w_in: &mut Matrix,
+    w_ctx: &mut Matrix,
+    center: usize,
+    other: usize,
+    positive: bool,
+    lr: f32,
+) {
     let dim = w_in.cols();
     let mut dot = 0.0f32;
     for k in 0..dim {
@@ -146,20 +187,28 @@ mod tests {
 
     fn full_vocab(n: u64, side: f64) -> Vocab {
         let grid = Grid::new(BBox::new(0.0, 0.0, n as f64 * side, n as f64 * side), side);
-        let pts: Vec<Point> =
-            (0..grid.num_cells()).flat_map(|c| vec![grid.centroid(c); 3]).collect();
+        let pts: Vec<Point> = (0..grid.num_cells())
+            .flat_map(|c| vec![grid.centroid(c); 3])
+            .collect();
         Vocab::build(grid, pts.iter(), 2)
     }
 
     #[test]
     fn context_sampled_from_near_cells() {
         let vocab = full_vocab(6, 100.0);
-        let config = SkipGramConfig { k: 8, context_window: 50, ..Default::default() };
+        let config = SkipGramConfig {
+            k: 8,
+            context_window: 50,
+            ..Default::default()
+        };
         let mut rng = det_rng(1);
         let u = vocab.hot_tokens().nth(14).unwrap(); // interior cell
         let ctx = sample_context(&vocab, u, &config, &mut rng);
         assert_eq!(ctx.len(), 50);
-        assert!(ctx.iter().all(|&c| c != u), "context must exclude the cell itself");
+        assert!(
+            ctx.iter().all(|&c| c != u),
+            "context must exclude the cell itself"
+        );
         // All sampled contexts are within the K-nearest set, hence close.
         for c in ctx {
             assert!(vocab.token_dist(u, c) <= 300.0, "context too far");
@@ -169,14 +218,27 @@ mod tests {
     #[test]
     fn nearer_cells_sampled_more_often() {
         let vocab = full_vocab(6, 100.0);
-        let config =
-            SkipGramConfig { k: 12, context_window: 3000, theta: 100.0, ..Default::default() };
+        let config = SkipGramConfig {
+            k: 12,
+            context_window: 3000,
+            theta: 100.0,
+            ..Default::default()
+        };
         let mut rng = det_rng(2);
         let u = vocab.hot_tokens().nth(14).unwrap();
         let ctx = sample_context(&vocab, u, &config, &mut rng);
-        let near = ctx.iter().filter(|&&c| vocab.token_dist(u, c) <= 110.0).count();
-        let far = ctx.iter().filter(|&&c| vocab.token_dist(u, c) > 150.0).count();
-        assert!(near > 2 * far, "kernel should prefer near cells: near {near}, far {far}");
+        let near = ctx
+            .iter()
+            .filter(|&&c| vocab.token_dist(u, c) <= 110.0)
+            .count();
+        let far = ctx
+            .iter()
+            .filter(|&&c| vocab.token_dist(u, c) > 150.0)
+            .count();
+        assert!(
+            near > 2 * far,
+            "kernel should prefer near cells: near {near}, far {far}"
+        );
     }
 
     #[test]
@@ -232,8 +294,14 @@ mod tests {
         let ctx = sample_context(&vocab, u, &SkipGramConfig::default(), &mut rng);
         assert!(ctx.is_empty());
         // Pre-training must still not panic or hang.
-        let table =
-            pretrain_cells(&vocab, &SkipGramConfig { epochs: 1, ..Default::default() }, &mut rng);
+        let table = pretrain_cells(
+            &vocab,
+            &SkipGramConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(table.rows(), vocab.size());
     }
 

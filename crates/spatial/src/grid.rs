@@ -31,10 +31,18 @@ impl Grid {
     /// Panics if `cell_side <= 0` or the box is degenerate.
     pub fn new(bbox: BBox, cell_side: f64) -> Self {
         assert!(cell_side > 0.0, "cell side must be positive");
-        assert!(bbox.width() > 0.0 && bbox.height() > 0.0, "degenerate bounding box");
+        assert!(
+            bbox.width() > 0.0 && bbox.height() > 0.0,
+            "degenerate bounding box"
+        );
         let width = (bbox.width() / cell_side).ceil().max(1.0) as u64;
         let height = (bbox.height() / cell_side).ceil().max(1.0) as u64;
-        Self { bbox, cell_side, width, height }
+        Self {
+            bbox,
+            cell_side,
+            width,
+            height,
+        }
     }
 
     /// Cell side in meters.

@@ -28,7 +28,9 @@ struct HeapItem {
 impl Eq for HeapItem {}
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist.partial_cmp(&other.dist).unwrap_or(Ordering::Equal)
+        self.dist
+            .partial_cmp(&other.dist)
+            .unwrap_or(Ordering::Equal)
     }
 }
 impl PartialOrd for HeapItem {
@@ -64,7 +66,11 @@ impl KdTree {
             order.sort_by(|&a, &b| {
                 let pa = nodes[a as usize].0;
                 let pb = nodes[b as usize].0;
-                let (ka, kb) = if axis == 0 { (pa.x, pb.x) } else { (pa.y, pb.y) };
+                let (ka, kb) = if axis == 0 {
+                    (pa.x, pb.x)
+                } else {
+                    (pa.y, pb.y)
+                };
                 ka.partial_cmp(&kb).unwrap_or(Ordering::Equal)
             });
             tree[slot] = Some(order[mid]);
@@ -99,8 +105,10 @@ impl KdTree {
         }
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new(); // max-heap by dist
         self.search(0, 0, query, k, &mut heap);
-        let mut out: Vec<(usize, f64)> =
-            heap.into_iter().map(|h| (h.payload, h.dist.sqrt())).collect();
+        let mut out: Vec<(usize, f64)> = heap
+            .into_iter()
+            .map(|h| (h.payload, h.dist.sqrt()))
+            .collect();
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
         out
     }
@@ -113,7 +121,9 @@ impl KdTree {
         k: usize,
         heap: &mut BinaryHeap<HeapItem>,
     ) {
-        let Some(Some(node_idx)) = self.tree.get(slot).copied() else { return };
+        let Some(Some(node_idx)) = self.tree.get(slot).copied() else {
+            return;
+        };
         let (p, payload) = self.nodes[node_idx as usize];
         let d2 = p.sq_dist(query);
         if heap.len() < k {
@@ -122,9 +132,16 @@ impl KdTree {
             heap.pop();
             heap.push(HeapItem { dist: d2, payload });
         }
-        let delta = if axis == 0 { query.x - p.x } else { query.y - p.y };
-        let (near, far) =
-            if delta < 0.0 { (2 * slot + 1, 2 * slot + 2) } else { (2 * slot + 2, 2 * slot + 1) };
+        let delta = if axis == 0 {
+            query.x - p.x
+        } else {
+            query.y - p.y
+        };
+        let (near, far) = if delta < 0.0 {
+            (2 * slot + 1, 2 * slot + 2)
+        } else {
+            (2 * slot + 2, 2 * slot + 1)
+        };
         self.search(near, 1 - axis, query, k, heap);
         let worst = heap.peek().map_or(f64::INFINITY, |h| h.dist);
         if heap.len() < k || delta * delta < worst {
@@ -166,7 +183,12 @@ mod tests {
     #[test]
     fn nearest_on_grid() {
         let pts: Vec<(Point, usize)> = (0..100)
-            .map(|i| (Point::new((i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0), i))
+            .map(|i| {
+                (
+                    Point::new((i % 10) as f64 * 10.0, (i / 10) as f64 * 10.0),
+                    i,
+                )
+            })
             .collect();
         let t = KdTree::build(pts);
         // Query near the center of point 55 = (50, 50).
@@ -177,11 +199,13 @@ mod tests {
 
     #[test]
     fn k_nearest_sorted_and_correct() {
-        let pts: Vec<(Point, usize)> =
-            (0..50).map(|i| (Point::new(i as f64, 0.0), i)).collect();
+        let pts: Vec<(Point, usize)> = (0..50).map(|i| (Point::new(i as f64, 0.0), i)).collect();
         let t = KdTree::build(pts.clone());
-        let got: Vec<usize> =
-            t.k_nearest(&Point::new(10.2, 0.0), 4).into_iter().map(|(p, _)| p).collect();
+        let got: Vec<usize> = t
+            .k_nearest(&Point::new(10.2, 0.0), 4)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
         assert_eq!(got, vec![10, 11, 9, 12]);
         // distances are non-decreasing
         let res = t.k_nearest(&Point::new(7.7, 3.0), 10);
@@ -216,13 +240,15 @@ mod tests {
                 })
                 .collect();
             let t = KdTree::build(pts.clone());
-            let q = Point::new(rng.random_range(-120.0..120.0), rng.random_range(-120.0..120.0));
+            let q = Point::new(
+                rng.random_range(-120.0..120.0),
+                rng.random_range(-120.0..120.0),
+            );
             let k = 1 + trial % 10;
             let got: Vec<usize> = t.k_nearest(&q, k).into_iter().map(|(p, _)| p).collect();
             let want = brute_knn(&pts, &q, k.min(n));
             // Ties may permute; compare distances instead of ids.
-            let gd: Vec<f64> =
-                got.iter().map(|&id| pts[id].0.dist(&q)).collect();
+            let gd: Vec<f64> = got.iter().map(|&id| pts[id].0.dist(&q)).collect();
             let wd: Vec<f64> = want.iter().map(|&id| pts[id].0.dist(&q)).collect();
             for (a, b) in gd.iter().zip(wd.iter()) {
                 assert!((a - b).abs() < 1e-9, "trial {trial}: {gd:?} vs {wd:?}");

@@ -41,7 +41,10 @@ impl Point {
 
     /// Linear interpolation: `self + t · (other − self)`.
     pub fn lerp(&self, other: &Point, t: f64) -> Point {
-        Point::new(self.x + t * (other.x - self.x), self.y + t * (other.y - self.y))
+        Point::new(
+            self.x + t * (other.x - self.x),
+            self.y + t * (other.y - self.y),
+        )
     }
 
     /// The nearest point to `self` on segment `[a, b]`.
@@ -207,7 +210,10 @@ mod tests {
     fn projection_onto_segment_clamps() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(10.0, 0.0);
-        assert_eq!(Point::new(5.0, 3.0).project_onto_segment(&a, &b), Point::new(5.0, 0.0));
+        assert_eq!(
+            Point::new(5.0, 3.0).project_onto_segment(&a, &b),
+            Point::new(5.0, 0.0)
+        );
         assert_eq!(Point::new(-5.0, 3.0).project_onto_segment(&a, &b), a);
         assert_eq!(Point::new(25.0, 3.0).project_onto_segment(&a, &b), b);
     }
@@ -233,7 +239,11 @@ mod tests {
 
     #[test]
     fn bbox_of_points() {
-        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 3.0), Point::new(4.0, -1.0)];
+        let pts = [
+            Point::new(1.0, 5.0),
+            Point::new(-2.0, 3.0),
+            Point::new(4.0, -1.0),
+        ];
         let b = BBox::of_points(&pts).unwrap();
         assert_eq!((b.min_x, b.min_y, b.max_x, b.max_y), (-2.0, -1.0, 4.0, 5.0));
         assert!(BBox::of_points(&[]).is_none());
@@ -251,15 +261,23 @@ mod tests {
 
     #[test]
     fn polyline_length_simple() {
-        let pts =
-            [Point::new(0.0, 0.0), Point::new(3.0, 4.0), Point::new(3.0, 4.0), Point::new(6.0, 8.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+            Point::new(3.0, 4.0),
+            Point::new(6.0, 8.0),
+        ];
         assert!((polyline_length(&pts) - 10.0).abs() < 1e-12);
         assert_eq!(polyline_length(&pts[..1]), 0.0);
     }
 
     #[test]
     fn point_along_samples_arc_length() {
-        let pts = [Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)];
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+        ];
         assert_eq!(point_along(&pts, 0.0).unwrap(), pts[0]);
         assert_eq!(point_along(&pts, 1.0).unwrap(), pts[2]);
         assert_eq!(point_along(&pts, 0.5).unwrap(), Point::new(10.0, 0.0));

@@ -49,13 +49,11 @@ pub fn distort(traj: &[Point], r2: f64, rng: &mut impl Rng) -> Vec<Point> {
 }
 
 /// [`distort`] with an explicit noise radius (used by ablations).
-pub fn distort_with_radius(
-    traj: &[Point],
-    r2: f64,
-    radius: f64,
-    rng: &mut impl Rng,
-) -> Vec<Point> {
-    assert!((0.0..=1.0).contains(&r2), "distorting rate must be in [0,1]");
+pub fn distort_with_radius(traj: &[Point], r2: f64, radius: f64, rng: &mut impl Rng) -> Vec<Point> {
+    assert!(
+        (0.0..=1.0).contains(&r2),
+        "distorting rate must be in [0,1]"
+    );
     traj.iter()
         .map(|p| {
             if r2 > 0.0 && rng.random_range(0.0..1.0) < r2 {

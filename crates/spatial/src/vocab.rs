@@ -71,7 +71,11 @@ impl From<VocabData> for Vocab {
 
 impl From<Vocab> for VocabData {
     fn from(v: Vocab) -> Self {
-        VocabData { grid: v.grid, delta: v.delta, hot_cells: v.hot_cells }
+        VocabData {
+            grid: v.grid,
+            delta: v.delta,
+            hot_cells: v.hot_cells,
+        }
     }
 }
 
@@ -84,8 +88,11 @@ impl Vocab {
         for p in points {
             *counts.entry(grid.cell_of(p)).or_insert(0) += 1;
         }
-        let mut hot: Vec<CellId> =
-            counts.into_iter().filter(|&(_, c)| c > delta).map(|(cell, _)| cell).collect();
+        let mut hot: Vec<CellId> = counts
+            .into_iter()
+            .filter(|&(_, c)| c > delta)
+            .map(|(cell, _)| cell)
+            .collect();
         hot.sort_unstable();
         Self::from_parts(grid, delta, hot)
     }
@@ -97,9 +104,19 @@ impl Vocab {
             .map(|(i, &cell)| (cell, Token(i as u32 + Token::NUM_SPECIALS)))
             .collect();
         let tree = KdTree::build(
-            hot_cells.iter().enumerate().map(|(i, &cell)| (grid.centroid(cell), i)).collect(),
+            hot_cells
+                .iter()
+                .enumerate()
+                .map(|(i, &cell)| (grid.centroid(cell), i))
+                .collect(),
         );
-        Self { grid, delta, hot_cells, cell_to_token, tree }
+        Self {
+            grid,
+            delta,
+            hot_cells,
+            cell_to_token,
+            tree,
+        }
     }
 
     /// The underlying grid.
@@ -166,7 +183,9 @@ impl Vocab {
     /// # Panics
     /// Panics if `t` is a special token.
     pub fn k_nearest_tokens(&self, t: Token, k: usize) -> Vec<(Token, f64)> {
-        let c = self.centroid_of(t).expect("k_nearest_tokens on special token");
+        let c = self
+            .centroid_of(t)
+            .expect("k_nearest_tokens on special token");
         self.tree
             .k_nearest(&c, k)
             .into_iter()
@@ -212,7 +231,12 @@ impl NeighborTable {
             neighbors.push(nn.iter().map(|&(tok, _)| tok).collect());
             weights.push(raw.iter().map(|w| (w / sum) as f32).collect());
         }
-        Self { k, theta, neighbors, weights }
+        Self {
+            k,
+            theta,
+            neighbors,
+            weights,
+        }
     }
 
     /// The K used at build time.
@@ -315,7 +339,11 @@ mod tests {
     #[test]
     fn tokenize_whole_trajectory() {
         let v = test_vocab();
-        let traj = vec![Point::new(50.0, 550.0), Point::new(150.0, 550.0), Point::new(250.0, 550.0)];
+        let traj = vec![
+            Point::new(50.0, 550.0),
+            Point::new(150.0, 550.0),
+            Point::new(250.0, 550.0),
+        ];
         let toks = v.tokenize(&traj);
         assert_eq!(toks.len(), 3);
         assert!(toks.iter().all(|t| !t.is_special()));
@@ -355,7 +383,12 @@ mod tests {
             let sum: f32 = w.iter().sum();
             assert!((sum - 1.0).abs() < 1e-5, "weights must normalise");
             // Self weight (distance 0) dominates all others.
-            assert!(w[0] >= *w.iter().skip(1).fold(&0.0f32, |a, b| if b > a { b } else { a }));
+            assert!(
+                w[0] >= *w
+                    .iter()
+                    .skip(1)
+                    .fold(&0.0f32, |a, b| if b > a { b } else { a })
+            );
             assert_eq!(table.neighbors(t)[0], t);
         }
     }
@@ -370,7 +403,10 @@ mod tests {
         // Weights must be non-increasing because neighbours are sorted by
         // distance and the kernel is monotone.
         for i in 1..w.len() {
-            assert!(w[i - 1] >= w[i] - 1e-7, "weight increased at {i}: {w:?} {nn:?}");
+            assert!(
+                w[i - 1] >= w[i] - 1e-7,
+                "weight increased at {i}: {w:?} {nn:?}"
+            );
         }
     }
 

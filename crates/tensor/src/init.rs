@@ -6,13 +6,17 @@ use rand::{Rng, RngExt};
 
 /// Uniform initialisation in `[-scale, scale]`.
 pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut impl Rng) -> Matrix {
-    let data = (0..rows * cols).map(|_| rng.random_range(-scale..=scale)).collect();
+    let data = (0..rows * cols)
+        .map(|_| rng.random_range(-scale..=scale))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
 /// Gaussian initialisation `N(0, std²)`.
 pub fn gaussian(rows: usize, cols: usize, std: f32, rng: &mut impl Rng) -> Matrix {
-    let data = (0..rows * cols).map(|_| standard_normal(rng) * std).collect();
+    let data = (0..rows * cols)
+        .map(|_| standard_normal(rng) * std)
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -35,7 +39,12 @@ pub fn orthogonal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
     // Modified Gram–Schmidt over rows.
     for i in 0..rows {
         for j in 0..i {
-            let dot: f32 = m.row(i).iter().zip(m.row(j).iter()).map(|(a, b)| a * b).sum();
+            let dot: f32 = m
+                .row(i)
+                .iter()
+                .zip(m.row(j).iter())
+                .map(|(a, b)| a * b)
+                .sum();
             let rj: Vec<f32> = m.row(j).to_vec();
             for (v, &r) in m.row_mut(i).iter_mut().zip(rj.iter()) {
                 *v -= dot * r;

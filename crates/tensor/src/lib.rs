@@ -15,6 +15,9 @@
 //! * [`opt`] — SGD and Adam (the paper uses Adam, initial learning rate
 //!   `1e-3`) plus global-norm gradient clipping (the paper clips at norm 5).
 //! * [`init`] — Xavier/uniform parameter initialisation.
+//! * [`parallel`] — scoped-thread helpers behind the cache-blocked
+//!   kernels and the data-parallel training loop; worker count comes
+//!   from `T2VEC_THREADS` or [`std::thread::available_parallelism`].
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@ pub mod gradcheck;
 pub mod init;
 pub mod matrix;
 pub mod opt;
+pub mod parallel;
 pub mod rng;
 pub mod tape;
 

@@ -3,11 +3,34 @@
 //!
 //! The matrix is deliberately minimal: a shape plus a `Vec<f32>`. All hot
 //! kernels (matmul, element-wise zips) operate on slices with explicit
-//! indexing so the compiler can vectorise them; the matmul uses the `ikj`
-//! loop order, which is cache-friendly for row-major data.
+//! indexing so the compiler can vectorise them.
+//!
+//! The three matmul variants are cache-blocked and, above a size
+//! threshold, parallel over output row-panels (see [`crate::parallel`]
+//! and the "Threading model" section in `DESIGN.md`). Each also keeps a
+//! `*_naive` reference twin used by property tests and benchmarks.
 
+use crate::parallel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Range;
+
+/// Output columns per cache block: the active `KC×NC` B-panel
+/// (`256·1024·4 B = 1 MiB`) stays resident in a typical L2.
+const NC: usize = 1024;
+
+/// Inner-dimension depth per cache block / packed A-panel.
+const KC: usize = 256;
+
+/// Output rows per tile in the dot-product kernel; an `MC×KC` A-tile is
+/// 64 KiB, so each B-row fetched serves 64 output rows.
+const MC: usize = 64;
+
+/// Minimum multiply-add count (`m·k·n`) before a kernel fans out across
+/// worker threads; below this, thread-spawn overhead dominates. The
+/// per-step GRU matmul (`1×256 · 256×768` ≈ 0.2 M) stays serial, the
+/// batched ones (`64×256 · 256×768` ≈ 12.6 M) parallelise.
+const PAR_THRESHOLD: usize = 1 << 21;
 
 /// Dot product with eight independent accumulators, letting the compiler
 /// vectorise the reduction (a single-accumulator loop cannot be
@@ -31,6 +54,147 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
         s += a[i] * b[i];
     }
     s
+}
+
+/// `out[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j]` — four fused
+/// `axpy` updates in one pass, quartering the read/write traffic on
+/// `out` versus four separate rank-1 updates. The equal-length reslices
+/// let the compiler drop bounds checks and vectorise the body.
+#[inline]
+fn axpy4(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let n = out.len();
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    for j in 0..n {
+        out[j] += a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
+    }
+}
+
+/// `out[j] += a · b[j]` — remainder step for depths not divisible by 4.
+#[inline]
+fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
+    for (o, &bv) in out.iter_mut().zip(b.iter()) {
+        *o += a * bv;
+    }
+}
+
+/// Blocked `A·B` over the output rows in `rows`, writing into `panel`
+/// (the row-major sub-buffer for exactly those rows).
+///
+/// Loop nest: pack the `rows×KC` A-slab once per depth block, then for
+/// each `NC`-wide column block run the fused-`axpy` microkernel. For
+/// every output element the accumulation order is `pc` ascending then
+/// `kk` ascending — independent of how `rows` was partitioned across
+/// workers, which is what makes the parallel kernel bit-deterministic.
+fn matmul_panel(a: &[f32], b: &[f32], k: usize, n: usize, rows: Range<usize>, panel: &mut [f32]) {
+    let height = rows.len();
+    let mut a_pack = vec![0.0f32; height * KC.min(k.max(1))];
+    for pc in (0..k).step_by(KC) {
+        let kw = KC.min(k - pc);
+        for (ri, i) in rows.clone().enumerate() {
+            a_pack[ri * kw..(ri + 1) * kw].copy_from_slice(&a[i * k + pc..i * k + pc + kw]);
+        }
+        for jc in (0..n).step_by(NC) {
+            let jw = NC.min(n - jc);
+            for ri in 0..height {
+                let a_row = &a_pack[ri * kw..(ri + 1) * kw];
+                let out_row = &mut panel[ri * n + jc..ri * n + jc + jw];
+                let mut kk = 0;
+                while kk + 4 <= kw {
+                    let bb = (pc + kk) * n + jc;
+                    axpy4(
+                        out_row,
+                        [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]],
+                        &b[bb..bb + jw],
+                        &b[bb + n..bb + n + jw],
+                        &b[bb + 2 * n..bb + 2 * n + jw],
+                        &b[bb + 3 * n..bb + 3 * n + jw],
+                    );
+                    kk += 4;
+                }
+                while kk < kw {
+                    let bb = (pc + kk) * n + jc;
+                    axpy1(out_row, a_row[kk], &b[bb..bb + jw]);
+                    kk += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked `A·Bᵀ` over the output rows in `rows` (`b` is `n×k`
+/// row-major, i.e. already transposed). Output rows are tiled `MC` high
+/// so each contiguous B-row is fetched once per tile instead of once
+/// per output row; each element is a single [`dot`] reduction, so the
+/// result never depends on tiling or partitioning.
+fn matmul_transpose_panel(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+    rows: Range<usize>,
+    panel: &mut [f32],
+) {
+    let r0 = rows.start;
+    for ic in rows.clone().step_by(MC) {
+        let ie = (ic + MC).min(rows.end);
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            for i in ic..ie {
+                panel[(i - r0) * n + j] = dot(&a[i * k..(i + 1) * k], b_row);
+            }
+        }
+    }
+}
+
+/// Blocked `Aᵀ·B` over the output rows in `rows` (`a` is `k×m`
+/// row-major). Column blocks of `NC` keep the active output tile and
+/// B-slab cache-resident; within a block the depth is consumed in
+/// ascending `kk` quads via the fused-`axpy` microkernel, so each
+/// element's reduction order is fixed regardless of partitioning.
+fn transpose_matmul_panel(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    rows: Range<usize>,
+    panel: &mut [f32],
+) {
+    let r0 = rows.start;
+    for jc in (0..n).step_by(NC) {
+        let jw = NC.min(n - jc);
+        for ic in rows.clone().step_by(MC) {
+            let ie = (ic + MC).min(rows.end);
+            let mut kk = 0;
+            while kk + 4 <= k {
+                for i in ic..ie {
+                    let aq = [
+                        a[kk * m + i],
+                        a[(kk + 1) * m + i],
+                        a[(kk + 2) * m + i],
+                        a[(kk + 3) * m + i],
+                    ];
+                    let out_row = &mut panel[(i - r0) * n + jc..(i - r0) * n + jc + jw];
+                    axpy4(
+                        out_row,
+                        aq,
+                        &b[kk * n + jc..kk * n + jc + jw],
+                        &b[(kk + 1) * n + jc..(kk + 1) * n + jc + jw],
+                        &b[(kk + 2) * n + jc..(kk + 2) * n + jc + jw],
+                        &b[(kk + 3) * n + jc..(kk + 3) * n + jc + jw],
+                    );
+                }
+                kk += 4;
+            }
+            while kk < k {
+                for i in ic..ie {
+                    let out_row = &mut panel[(i - r0) * n + jc..(i - r0) * n + jc + jw];
+                    axpy1(out_row, a[kk * m + i], &b[kk * n + jc..kk * n + jc + jw]);
+                }
+                kk += 1;
+            }
+        }
+    }
 }
 
 /// A dense row-major `f32` matrix.
@@ -64,12 +228,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -100,7 +272,11 @@ impl Matrix {
             assert_eq!(row.len(), cols, "ragged rows in from_rows");
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// A `(1, n)` row vector.
@@ -198,14 +374,23 @@ impl Matrix {
     /// # Panics
     /// Panics if the matrix is not `1x1`.
     pub fn item(&self) -> f32 {
-        assert_eq!((self.rows, self.cols), (1, 1), "item() requires a 1x1 matrix");
+        assert_eq!(
+            (self.rows, self.cols),
+            (1, 1),
+            "item() requires a 1x1 matrix"
+        );
         self.data[0]
     }
 
     /// Matrix multiplication `self (m×k) · other (k×n) -> (m×n)`.
     ///
-    /// Uses the `ikj` loop order so the inner loop walks both output row and
-    /// `other` row contiguously.
+    /// Cache-blocked: A-panels are packed per `KC`-deep slab, output
+    /// columns are tiled in `NC`-wide blocks so the active B-panel stays
+    /// in L2, and the inner microkernel fuses four `axpy` updates per
+    /// pass over the output row. Above [`PAR_THRESHOLD`] multiply-adds
+    /// the output rows fan out across [`crate::parallel`] workers;
+    /// results are bit-identical for any worker count because each
+    /// element's reduction order is fixed by the blocking alone.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
@@ -217,13 +402,81 @@ impl Matrix {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
+        let (a, b) = (&self.data, &other.data);
+        let kernel = |rows: Range<usize>, panel: &mut [f32]| matmul_panel(a, b, k, n, rows, panel);
+        if m * k * n >= PAR_THRESHOLD {
+            parallel::par_row_panels(&mut out.data, m, n, kernel);
+        } else {
+            kernel(0..m, &mut out.data);
+        }
+        out
+    }
+
+    /// `self (m×k) · otherᵀ (n×k) -> (m×n)` without materialising the
+    /// transpose.
+    ///
+    /// Each output element is one dot product of two contiguous rows
+    /// (8-accumulator reduction in [`dot`]); A-rows are tiled in
+    /// `MC`-high blocks so each B-row loads once per tile rather than
+    /// once per output row. Parallelises over output row-panels above
+    /// [`PAR_THRESHOLD`] multiply-adds.
+    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        let (a, b) = (&self.data, &other.data);
+        let kernel =
+            |rows: Range<usize>, panel: &mut [f32]| matmul_transpose_panel(a, b, k, n, rows, panel);
+        if m * k * n >= PAR_THRESHOLD {
+            parallel::par_row_panels(&mut out.data, m, n, kernel);
+        } else {
+            kernel(0..m, &mut out.data);
+        }
+        out
+    }
+
+    /// `selfᵀ (k×m) · other (k×n) -> (m×n)` without materialising the
+    /// transpose (used for weight gradients: `xᵀ · dy`).
+    ///
+    /// Blocked like [`Matrix::matmul`] (NC-wide column tiles, MC-high
+    /// output row tiles, four fused `axpy` updates per pass) and
+    /// parallelised over output row-panels above [`PAR_THRESHOLD`]
+    /// multiply-adds. Deterministic for any worker count.
+    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let (a, b) = (&self.data, &other.data);
+        let kernel = |rows: Range<usize>, panel: &mut [f32]| {
+            transpose_matmul_panel(a, b, k, m, n, rows, panel)
+        };
+        if m * k * n >= PAR_THRESHOLD {
+            parallel::par_row_panels(&mut out.data, m, n, kernel);
+        } else {
+            kernel(0..m, &mut out.data);
+        }
+        out
+    }
+
+    /// Reference `self · other` — the unblocked, single-threaded triple
+    /// loop the optimised [`Matrix::matmul`] is validated against in
+    /// property tests and benchmarked against in `t2vec-bench`.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out.data[i * n..(i + 1) * n];
             for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[kk * n..(kk + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
@@ -233,44 +486,34 @@ impl Matrix {
         out
     }
 
-    /// `self (m×k) · otherᵀ (n×k) -> (m×n)` without materialising the
-    /// transpose. Inner loop is a dot product of two contiguous rows.
-    pub fn matmul_transpose(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.cols,
-            "matmul_transpose shape mismatch: {}x{} · ({}x{})ᵀ",
-            self.rows, self.cols, other.rows, other.cols
-        );
+    /// Reference `self · otherᵀ`; see [`Matrix::matmul_naive`].
+    pub fn matmul_transpose_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transpose shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
+            for j in 0..n {
                 let b_row = &other.data[j * k..(j + 1) * k];
-                *o = dot(a_row, b_row);
+                let mut acc = 0.0;
+                for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                    acc += x * y;
+                }
+                out.data[i * n + j] = acc;
             }
         }
         out
     }
 
-    /// `selfᵀ (k×m) · other (k×n) -> (m×n)` without materialising the
-    /// transpose (used for weight gradients: `xᵀ · dy`).
-    pub fn transpose_matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, other.rows,
-            "transpose_matmul shape mismatch: ({}x{})ᵀ · {}x{}",
-            self.rows, self.cols, other.rows, other.cols
-        );
+    /// Reference `selfᵀ · other`; see [`Matrix::matmul_naive`].
+    pub fn transpose_matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transpose_matmul shape mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         for kk in 0..k {
             let a_row = &self.data[kk * m..(kk + 1) * m];
             let b_row = &other.data[kk * n..(kk + 1) * n];
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
                 let out_row = &mut out.data[i * n..(i + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
                     *o += a * b;
@@ -345,7 +588,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -423,7 +671,11 @@ impl Matrix {
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(indices.len(), self.cols);
         for (i, &idx) in indices.iter().enumerate() {
-            assert!(idx < self.rows, "gather index {idx} out of range {}", self.rows);
+            assert!(
+                idx < self.rows,
+                "gather index {idx} out of range {}",
+                self.rows
+            );
             out.row_mut(i).copy_from_slice(self.row(idx));
         }
         out
@@ -693,7 +945,105 @@ mod tests {
         assert_eq!(a, back);
     }
 
+    /// Blocked/parallel kernels must reproduce the naive reference on
+    /// sizes that cross block boundaries (`KC`, `NC`, `MC`) and the
+    /// parallel threshold. 128³ multiply-adds is exactly
+    /// `PAR_THRESHOLD`, so the parallel path is exercised.
+    #[test]
+    fn blocked_kernels_match_naive_above_parallel_threshold() {
+        crate::parallel::set_threads(4);
+        let mut rng = crate::rng::det_rng(42);
+        let (m, k, n) = (128, 128, 128);
+        assert!(m * k * n >= super::PAR_THRESHOLD);
+        let a = crate::init::uniform(m, k, 1.0, &mut rng);
+        let b = crate::init::uniform(k, n, 1.0, &mut rng);
+        assert!(approx_eq(&a.matmul(&b), &a.matmul_naive(&b), 1e-4));
+        let bt = b.transpose();
+        assert!(approx_eq(
+            &a.matmul_transpose(&bt),
+            &a.matmul_transpose_naive(&bt),
+            1e-4
+        ));
+        let at = a.transpose();
+        assert!(approx_eq(
+            &at.transpose_matmul(&b),
+            &at.transpose_matmul_naive(&b),
+            1e-4
+        ));
+    }
+
+    /// Row-panel partitioning keeps each element's reduction order
+    /// fixed, so 1-thread and 4-thread runs must agree *bitwise*, not
+    /// just within tolerance. This is what the data-parallel training
+    /// equivalence test in `t2vec-core` relies on.
+    #[test]
+    fn kernels_bitwise_identical_across_thread_counts() {
+        let mut rng = crate::rng::det_rng(7);
+        let (m, k, n) = (160, 161, 96);
+        assert!(m * k * n >= super::PAR_THRESHOLD);
+        let a = crate::init::uniform(m, k, 1.0, &mut rng);
+        let b = crate::init::uniform(k, n, 1.0, &mut rng);
+        let bt = b.transpose();
+        let at = a.transpose();
+        crate::parallel::set_threads(1);
+        let serial = (
+            a.matmul(&b),
+            a.matmul_transpose(&bt),
+            at.transpose_matmul(&b),
+        );
+        crate::parallel::set_threads(4);
+        let parallel = (
+            a.matmul(&b),
+            a.matmul_transpose(&bt),
+            at.transpose_matmul(&b),
+        );
+        assert_eq!(serial.0.as_slice(), parallel.0.as_slice());
+        assert_eq!(serial.1.as_slice(), parallel.1.as_slice());
+        assert_eq!(serial.2.as_slice(), parallel.2.as_slice());
+    }
+
     proptest! {
+        #[test]
+        fn blocked_matmul_matches_naive(
+            m in 1usize..20, k in 1usize..40, n in 1usize..40,
+            seed in 0u64..1000
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(m, k, 1.0, &mut rng);
+            let b = crate::init::uniform(k, n, 1.0, &mut rng);
+            prop_assert!(approx_eq(&a.matmul(&b), &a.matmul_naive(&b), 1e-4));
+        }
+
+        #[test]
+        fn blocked_matmul_transpose_matches_naive(
+            m in 1usize..20, k in 1usize..40, n in 1usize..40,
+            seed in 0u64..1000
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(m, k, 1.0, &mut rng);
+            let b = crate::init::uniform(n, k, 1.0, &mut rng);
+            prop_assert!(approx_eq(
+                &a.matmul_transpose(&b),
+                &a.matmul_transpose_naive(&b),
+                1e-4
+            ));
+        }
+
+        #[test]
+        fn blocked_transpose_matmul_matches_naive(
+            m in 1usize..20, k in 1usize..40, n in 1usize..40,
+            seed in 0u64..1000
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(k, m, 1.0, &mut rng);
+            let b = crate::init::uniform(k, n, 1.0, &mut rng);
+            prop_assert!(approx_eq(
+                &a.transpose_matmul(&b),
+                &a.transpose_matmul_naive(&b),
+                1e-4
+            ));
+        }
+
         #[test]
         fn matmul_transpose_agrees_with_explicit(
             m in 1usize..6, k in 1usize..6, n in 1usize..6,

@@ -12,7 +12,10 @@ use serde::{Deserialize, Serialize};
 /// This is the "enforce a maximum gradient norm constraint" scheme the
 /// paper adopts (max norm 5).
 pub fn clip_global_norm(grads: &mut [&mut Matrix], max_norm: f32) -> f32 {
-    let total: f32 = grads.iter().map(|g| g.as_slice().iter().map(|v| v * v).sum::<f32>()).sum();
+    let total: f32 = grads
+        .iter()
+        .map(|g| g.as_slice().iter().map(|v| v * v).sum::<f32>())
+        .sum();
     let norm = total.sqrt();
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
@@ -53,7 +56,11 @@ pub struct AdamState {
 impl AdamState {
     /// Zero-initialised state for a parameter of the given shape.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { m: Matrix::zeros(rows, cols), v: Matrix::zeros(rows, cols), t: 0 }
+        Self {
+            m: Matrix::zeros(rows, cols),
+            v: Matrix::zeros(rows, cols),
+            t: 0,
+        }
     }
 
     /// Number of steps taken so far.
@@ -77,14 +84,22 @@ pub struct Adam {
 
 impl Default for Adam {
     fn default() -> Self {
-        Self { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 }
 
 impl Adam {
     /// Adam with the given learning rate and standard betas.
     pub fn with_lr(lr: f32) -> Self {
-        Self { lr, ..Self::default() }
+        Self {
+            lr,
+            ..Self::default()
+        }
     }
 
     /// One Adam update of `param` given `grad`, mutating `state`.
@@ -92,7 +107,11 @@ impl Adam {
     /// # Panics
     /// Panics if shapes disagree.
     pub fn step(&self, state: &mut AdamState, param: &mut Matrix, grad: &Matrix) {
-        assert_eq!(param.shape(), grad.shape(), "adam: param/grad shape mismatch");
+        assert_eq!(
+            param.shape(),
+            grad.shape(),
+            "adam: param/grad shape mismatch"
+        );
         assert_eq!(param.shape(), state.m.shape(), "adam: state shape mismatch");
         state.t += 1;
         let t = state.t as f32;
@@ -153,7 +172,11 @@ mod tests {
         let mut state = AdamState::new(1, 1);
         let mut p = Matrix::scalar(0.0);
         adam.step(&mut state, &mut p, &Matrix::scalar(5.0));
-        assert!((p.item() + 0.1).abs() < 1e-3, "first adam step was {}", p.item());
+        assert!(
+            (p.item() + 0.1).abs() < 1e-3,
+            "first adam step was {}",
+            p.item()
+        );
     }
 
     #[test]
@@ -172,8 +195,13 @@ mod tests {
         let norm = clip_global_norm(&mut [&mut a, &mut b], 1.0);
         assert!((norm - 5.0).abs() < 1e-5);
         // Rescaled by 1/5; global norm is now 1.
-        let new_norm =
-            (a.as_slice().iter().chain(b.as_slice()).map(|v| v * v).sum::<f32>()).sqrt();
+        let new_norm = (a
+            .as_slice()
+            .iter()
+            .chain(b.as_slice())
+            .map(|v| v * v)
+            .sum::<f32>())
+        .sqrt();
         assert!((new_norm - 1.0).abs() < 1e-5);
         assert!((a.get(0, 0) - 0.6).abs() < 1e-6);
         assert!((b.get(0, 1) - 0.8).abs() < 1e-6);

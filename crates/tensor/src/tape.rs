@@ -46,7 +46,10 @@ enum Op {
     Sum(usize),
     Mean(usize),
     /// Fused dense weighted cross-entropy; see [`Var::weighted_ce_dense`].
-    WeightedCeDense { logits: usize, targets: SoftTargets },
+    WeightedCeDense {
+        logits: usize,
+        targets: SoftTargets,
+    },
     /// Fused candidate-sampled weighted cross-entropy; see
     /// [`Var::sampled_weighted_ce`].
     SampledWeightedCe {
@@ -116,7 +119,10 @@ impl Tape {
     fn push(&self, value: Matrix, op: Op) -> Var<'_> {
         let mut nodes = self.nodes.borrow_mut();
         nodes.push(Node { value, op });
-        Var { tape: self, idx: nodes.len() - 1 }
+        Var {
+            tape: self,
+            idx: nodes.len() - 1,
+        }
     }
 
     /// Records an input (parameter or constant) on the tape.
@@ -139,7 +145,9 @@ impl Tape {
         grads[root.idx] = Some(Matrix::full(r, c, 1.0));
 
         for idx in (0..nodes.len()).rev() {
-            let Some(g) = grads[idx].clone() else { continue };
+            let Some(g) = grads[idx].clone() else {
+                continue;
+            };
             match &nodes[idx].op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
@@ -242,7 +250,12 @@ impl Tape {
                     }
                     accumulate(&mut grads, *logits, dz);
                 }
-                Op::SampledWeightedCe { h, table, candidates, weights } => {
+                Op::SampledWeightedCe {
+                    h,
+                    table,
+                    candidates,
+                    weights,
+                } => {
                     let hv = &nodes[*h].value;
                     let tv = &nodes[*table].value;
                     let d = hv.cols();
@@ -337,7 +350,9 @@ impl<'t> Var<'t> {
     pub fn matmul_t(self, other: Var<'t>) -> Var<'t> {
         let v = {
             let nodes = self.tape.nodes.borrow();
-            nodes[self.idx].value.matmul_transpose(&nodes[other.idx].value)
+            nodes[self.idx]
+                .value
+                .matmul_transpose(&nodes[other.idx].value)
         };
         self.tape.push(v, Op::MatMulT(self.idx, other.idx))
     }
@@ -356,7 +371,9 @@ impl<'t> Var<'t> {
     pub fn add_broadcast(self, bias: Var<'t>) -> Var<'t> {
         let v = {
             let nodes = self.tape.nodes.borrow();
-            nodes[self.idx].value.add_row_broadcast(&nodes[bias.idx].value)
+            nodes[self.idx]
+                .value
+                .add_row_broadcast(&nodes[bias.idx].value)
         };
         self.tape.push(v, Op::AddBroadcast(self.idx, bias.idx))
     }
@@ -388,7 +405,9 @@ impl<'t> Var<'t> {
 
     /// Element-wise logistic sigmoid.
     pub fn sigmoid(self) -> Var<'t> {
-        let v = self.tape.nodes.borrow()[self.idx].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self.tape.nodes.borrow()[self.idx]
+            .value
+            .map(|x| 1.0 / (1.0 + (-x).exp()));
         self.tape.push(v, Op::Sigmoid(self.idx))
     }
 
@@ -411,20 +430,26 @@ impl<'t> Var<'t> {
             let a = &nodes[self.idx].value;
             (a.concat_cols(&nodes[other.idx].value), a.cols())
         };
-        self.tape.push(v, Op::ConcatCols(self.idx, other.idx, a_cols))
+        self.tape
+            .push(v, Op::ConcatCols(self.idx, other.idx, a_cols))
     }
 
     /// Copies columns `start..end`.
     pub fn slice_cols(self, start: usize, end: usize) -> Var<'t> {
-        let v = self.tape.nodes.borrow()[self.idx].value.slice_cols(start, end);
+        let v = self.tape.nodes.borrow()[self.idx]
+            .value
+            .slice_cols(start, end);
         self.tape.push(v, Op::SliceCols(self.idx, start, end))
     }
 
     /// Treats `self` as an embedding table and stacks the rows at
     /// `indices` (duplicates allowed).
     pub fn gather_rows(self, indices: &[usize]) -> Var<'t> {
-        let v = self.tape.nodes.borrow()[self.idx].value.gather_rows(indices);
-        self.tape.push(v, Op::GatherRows(self.idx, indices.to_vec()))
+        let v = self.tape.nodes.borrow()[self.idx]
+            .value
+            .gather_rows(indices);
+        self.tape
+            .push(v, Op::GatherRows(self.idx, indices.to_vec()))
     }
 
     /// Sum of all elements (a `1x1` result).
@@ -451,7 +476,11 @@ impl<'t> Var<'t> {
         let loss = {
             let nodes = self.tape.nodes.borrow();
             let z = &nodes[self.idx].value;
-            assert_eq!(z.rows(), targets.len(), "targets rows must match logits rows");
+            assert_eq!(
+                z.rows(),
+                targets.len(),
+                "targets rows must match logits rows"
+            );
             let lsm = z.log_softmax_rows();
             let mut total = 0.0f64;
             for (t, row_targets) in targets.iter().enumerate() {
@@ -462,7 +491,13 @@ impl<'t> Var<'t> {
             }
             Matrix::scalar(total as f32)
         };
-        self.tape.push(loss, Op::WeightedCeDense { logits: self.idx, targets })
+        self.tape.push(
+            loss,
+            Op::WeightedCeDense {
+                logits: self.idx,
+                targets,
+            },
+        )
     }
 
     /// Fused candidate-sampled weighted cross-entropy (paper Eq. 7 / `L3`).
@@ -485,13 +520,25 @@ impl<'t> Var<'t> {
         candidates: Vec<Vec<usize>>,
         weights: SoftTargets,
     ) -> Var<'t> {
-        assert_eq!(candidates.len(), weights.len(), "candidates/weights length mismatch");
+        assert_eq!(
+            candidates.len(),
+            weights.len(),
+            "candidates/weights length mismatch"
+        );
         let loss = {
             let nodes = self.tape.nodes.borrow();
             let h = &nodes[self.idx].value;
             let w = &nodes[table.idx].value;
-            assert_eq!(h.rows(), candidates.len(), "candidate rows must match h rows");
-            assert_eq!(h.cols(), w.cols(), "hidden size mismatch between h and table");
+            assert_eq!(
+                h.rows(),
+                candidates.len(),
+                "candidate rows must match h rows"
+            );
+            assert_eq!(
+                h.cols(),
+                w.cols(),
+                "hidden size mismatch between h and table"
+            );
             let mut total = 0.0f64;
             for (t, cand) in candidates.iter().enumerate() {
                 if cand.is_empty() || weights[t].is_empty() {
@@ -516,7 +563,12 @@ impl<'t> Var<'t> {
         };
         self.tape.push(
             loss,
-            Op::SampledWeightedCe { h: self.idx, table: table.idx, candidates, weights },
+            Op::SampledWeightedCe {
+                h: self.idx,
+                table: table.idx,
+                candidates,
+                weights,
+            },
         )
     }
 }
@@ -575,7 +627,11 @@ mod tests {
         let w = uniform(4, 2, 1.0, &mut rng);
         let b = uniform(1, 2, 1.0, &mut rng);
         check_scalar_fn(&[x, w, b], |_tape, vars| {
-            vars[0].matmul(vars[1]).add_broadcast(vars[2]).sigmoid().sum()
+            vars[0]
+                .matmul(vars[1])
+                .add_broadcast(vars[2])
+                .sigmoid()
+                .sum()
         });
     }
 
@@ -584,7 +640,9 @@ mod tests {
         let mut rng = det_rng(19);
         let h = uniform(3, 4, 1.0, &mut rng);
         let w = uniform(5, 4, 1.0, &mut rng);
-        check_scalar_fn(&[h, w], |_tape, vars| vars[0].matmul_t(vars[1]).tanh().sum());
+        check_scalar_fn(&[h, w], |_tape, vars| {
+            vars[0].matmul_t(vars[1]).tanh().sum()
+        });
     }
 
     #[test]
@@ -673,8 +731,7 @@ mod tests {
         let h = uniform(3, 4, 1.0, &mut rng);
         let table = uniform(8, 4, 1.0, &mut rng);
         let candidates = vec![vec![0, 2, 5, 7], vec![1, 3], vec![]];
-        let weights: SoftTargets =
-            vec![vec![(0, 0.5), (1, 0.5)], vec![(0, 0.9), (1, 0.1)], vec![]];
+        let weights: SoftTargets = vec![vec![(0, 0.5), (1, 0.5)], vec![(0, 0.9), (1, 0.1)], vec![]];
         check_scalar_fn(&[h, table], move |_tape, vars| {
             vars[0].sampled_weighted_ce(vars[1], candidates.clone(), weights.clone())
         });
@@ -693,15 +750,25 @@ mod tests {
         let tv = tape.leaf(table.clone());
         let cands = vec![vec![0, 1, 2, 3], vec![0, 1, 2, 3]];
         let weights: SoftTargets = vec![vec![(2, 1.0)], vec![(0, 0.7), (3, 0.3)]];
-        let sampled = hv.sampled_weighted_ce(tv, cands, weights.clone()).value().item();
+        let sampled = hv
+            .sampled_weighted_ce(tv, cands, weights.clone())
+            .value()
+            .item();
 
         let tape2 = Tape::new();
         let hv2 = tape2.leaf(h);
         let tv2 = tape2.leaf(table.transpose());
         let dense_targets: SoftTargets = vec![vec![(2, 1.0)], vec![(0, 0.7), (3, 0.3)]];
-        let dense = hv2.matmul(tv2).weighted_ce_dense(dense_targets).value().item();
+        let dense = hv2
+            .matmul(tv2)
+            .weighted_ce_dense(dense_targets)
+            .value()
+            .item();
         let _ = weights;
-        assert!((sampled - dense).abs() < 1e-4, "sampled {sampled} dense {dense}");
+        assert!(
+            (sampled - dense).abs() < 1e-4,
+            "sampled {sampled} dense {dense}"
+        );
     }
 
     #[test]

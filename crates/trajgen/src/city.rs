@@ -32,7 +32,12 @@ impl City {
         route_config: RouteConfig,
         gps_config: GpsConfig,
     ) -> Self {
-        Self { name, net, route_config, gps_config }
+        Self {
+            name,
+            net,
+            route_config,
+            gps_config,
+        }
     }
 
     /// A Porto-like city: a compact dense core where routes overlap
@@ -41,14 +46,26 @@ impl City {
     /// Porto), trips of ~20–35 sample points at 15 s intervals.
     pub fn porto_like(rng: &mut impl Rng) -> Self {
         let net = RoadNetwork::grid(
-            NetworkConfig { cols: 16, rows: 16, spacing: 250.0, ..NetworkConfig::default() },
+            NetworkConfig {
+                cols: 16,
+                rows: 16,
+                spacing: 250.0,
+                ..NetworkConfig::default()
+            },
             rng,
         );
         Self::new(
             "porto-like",
             net,
-            RouteConfig { min_trip_dist: 2_600.0, ..RouteConfig::default() },
-            GpsConfig { gps_noise_m: 20.0, outlier_prob: 0.1, ..GpsConfig::default() },
+            RouteConfig {
+                min_trip_dist: 2_600.0,
+                ..RouteConfig::default()
+            },
+            GpsConfig {
+                gps_noise_m: 20.0,
+                outlier_prob: 0.1,
+                ..GpsConfig::default()
+            },
         )
     }
 
@@ -57,13 +74,21 @@ impl City {
     /// vs Porto's 60).
     pub fn harbin_like(rng: &mut impl Rng) -> Self {
         let net = RoadNetwork::grid(
-            NetworkConfig { cols: 20, rows: 20, spacing: 300.0, ..NetworkConfig::default() },
+            NetworkConfig {
+                cols: 20,
+                rows: 20,
+                spacing: 300.0,
+                ..NetworkConfig::default()
+            },
             rng,
         );
         Self::new(
             "harbin-like",
             net,
-            RouteConfig { min_trip_dist: 3_800.0, ..RouteConfig::default() },
+            RouteConfig {
+                min_trip_dist: 3_800.0,
+                ..RouteConfig::default()
+            },
             GpsConfig {
                 interval_s: 10.0,
                 gps_noise_m: 20.0,
@@ -77,13 +102,21 @@ impl City {
     /// vocabulary, short trips, everything trains in seconds.
     pub fn tiny(rng: &mut impl Rng) -> Self {
         let net = RoadNetwork::grid(
-            NetworkConfig { cols: 10, rows: 10, spacing: 200.0, ..NetworkConfig::default() },
+            NetworkConfig {
+                cols: 10,
+                rows: 10,
+                spacing: 200.0,
+                ..NetworkConfig::default()
+            },
             rng,
         );
         Self::new(
             "tiny",
             net,
-            RouteConfig { min_trip_dist: 800.0, ..RouteConfig::default() },
+            RouteConfig {
+                min_trip_dist: 800.0,
+                ..RouteConfig::default()
+            },
             GpsConfig::default(),
         )
     }
@@ -108,7 +141,10 @@ impl City {
     pub fn generate_trip(&self, start: u64, rng: &mut impl Rng) -> Trajectory {
         let sampler = RouteSampler::new(&self.net, self.route_config);
         let route = sampler.sample_route_polyline(rng);
-        Trajectory { points: sample_gps(&route, &self.gps_config, rng), start }
+        Trajectory {
+            points: sample_gps(&route, &self.gps_config, rng),
+            start,
+        }
     }
 
     /// Generates one trip and also returns its underlying route polyline
@@ -120,7 +156,10 @@ impl City {
     ) -> (Trajectory, Vec<t2vec_spatial::point::Point>) {
         let sampler = RouteSampler::new(&self.net, self.route_config);
         let route = sampler.sample_route_polyline(rng);
-        let traj = Trajectory { points: sample_gps(&route, &self.gps_config, rng), start };
+        let traj = Trajectory {
+            points: sample_gps(&route, &self.gps_config, rng),
+            start,
+        };
         (traj, route)
     }
 }

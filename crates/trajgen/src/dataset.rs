@@ -37,7 +37,10 @@ pub struct DatasetStats {
 impl Dataset {
     /// All trajectories in chronological order.
     pub fn all(&self) -> impl Iterator<Item = &Trajectory> {
-        self.train.iter().chain(self.val.iter()).chain(self.test.iter())
+        self.train
+            .iter()
+            .chain(self.val.iter())
+            .chain(self.test.iter())
     }
 
     /// Corpus statistics over all splits (the paper's Table II).
@@ -47,7 +50,11 @@ impl Dataset {
         DatasetStats {
             num_points,
             num_trips,
-            mean_length: if num_trips == 0 { 0.0 } else { num_points as f64 / num_trips as f64 },
+            mean_length: if num_trips == 0 {
+                0.0
+            } else {
+                num_points as f64 / num_trips as f64
+            },
         }
     }
 }
@@ -66,7 +73,13 @@ impl<'a> DatasetBuilder<'a> {
     /// A builder with defaults: 1 000 trips, minimum length 10, 70 %
     /// train / 10 % validation / 20 % test.
     pub fn new(city: &'a City) -> Self {
-        Self { city, trips: 1_000, min_len: 10, train_frac: 0.7, val_frac: 0.1 }
+        Self {
+            city,
+            trips: 1_000,
+            min_len: 10,
+            train_frac: 0.7,
+            val_frac: 0.1,
+        }
     }
 
     /// Sets the number of trips to generate (after length filtering).
@@ -120,7 +133,11 @@ impl<'a> DatasetBuilder<'a> {
         let val_end = train_end + (n as f64 * self.val_frac) as usize;
         let test = trips.split_off(val_end);
         let val = trips.split_off(train_end);
-        Dataset { train: trips, val, test }
+        Dataset {
+            train: trips,
+            val,
+            test,
+        }
     }
 }
 
@@ -133,7 +150,10 @@ mod tests {
     fn build_respects_counts_and_split() {
         let mut rng = det_rng(1);
         let city = City::tiny(&mut rng);
-        let ds = DatasetBuilder::new(&city).trips(100).min_len(5).build(&mut rng);
+        let ds = DatasetBuilder::new(&city)
+            .trips(100)
+            .min_len(5)
+            .build(&mut rng);
         assert_eq!(ds.train.len(), 70);
         assert_eq!(ds.val.len(), 10);
         assert_eq!(ds.test.len(), 20);
@@ -144,7 +164,10 @@ mod tests {
     fn split_is_chronological() {
         let mut rng = det_rng(2);
         let city = City::tiny(&mut rng);
-        let ds = DatasetBuilder::new(&city).trips(60).min_len(4).build(&mut rng);
+        let ds = DatasetBuilder::new(&city)
+            .trips(60)
+            .min_len(4)
+            .build(&mut rng);
         let max_train = ds.train.iter().map(|t| t.start).max().unwrap();
         let min_val = ds.val.iter().map(|t| t.start).min().unwrap();
         let min_test = ds.test.iter().map(|t| t.start).min().unwrap();
@@ -156,7 +179,10 @@ mod tests {
     fn stats_table2_analogue() {
         let mut rng = det_rng(3);
         let city = City::tiny(&mut rng);
-        let ds = DatasetBuilder::new(&city).trips(50).min_len(4).build(&mut rng);
+        let ds = DatasetBuilder::new(&city)
+            .trips(50)
+            .min_len(4)
+            .build(&mut rng);
         let s = ds.stats();
         assert_eq!(s.num_trips, 50);
         assert!(s.mean_length >= 4.0);
@@ -169,15 +195,21 @@ mod tests {
         let mut rng = det_rng(4);
         let city = City::tiny(&mut rng);
         // tiny city trips are ~10-25 points; demanding 10_000 must fail.
-        let _ = DatasetBuilder::new(&city).trips(5).min_len(10_000).build(&mut rng);
+        let _ = DatasetBuilder::new(&city)
+            .trips(5)
+            .min_len(10_000)
+            .build(&mut rng);
     }
 
     #[test]
     fn custom_split_fractions() {
         let mut rng = det_rng(5);
         let city = City::tiny(&mut rng);
-        let ds =
-            DatasetBuilder::new(&city).trips(50).min_len(4).split(0.5, 0.2).build(&mut rng);
+        let ds = DatasetBuilder::new(&city)
+            .trips(50)
+            .min_len(4)
+            .split(0.5, 0.2)
+            .build(&mut rng);
         assert_eq!(ds.train.len(), 25);
         assert_eq!(ds.val.len(), 10);
         assert_eq!(ds.test.len(), 15);

@@ -97,7 +97,11 @@ mod tests {
     #[test]
     fn point_count_matches_speed_and_interval() {
         let mut rng = det_rng(1);
-        let cfg = GpsConfig { speed_jitter: 0.0, gps_noise_m: 0.0, ..Default::default() };
+        let cfg = GpsConfig {
+            speed_jitter: 0.0,
+            gps_noise_m: 0.0,
+            ..Default::default()
+        };
         // 8 m/s * 15 s = 120 m per sample; 1200 m route -> 10 samples + end.
         let traj = sample_gps(&straight_route(1200.0), &cfg, &mut rng);
         assert_eq!(traj.len(), 11);
@@ -108,7 +112,11 @@ mod tests {
     #[test]
     fn samples_are_evenly_spaced_without_noise() {
         let mut rng = det_rng(2);
-        let cfg = GpsConfig { speed_jitter: 0.0, gps_noise_m: 0.0, ..Default::default() };
+        let cfg = GpsConfig {
+            speed_jitter: 0.0,
+            gps_noise_m: 0.0,
+            ..Default::default()
+        };
         let traj = sample_gps(&straight_route(1200.0), &cfg, &mut rng);
         for w in traj.windows(2).take(traj.len() - 2) {
             assert!((w[1].x - w[0].x - 120.0).abs() < 1e-9);
@@ -124,10 +132,17 @@ mod tests {
             outlier_prob: 0.0,
             ..Default::default()
         };
-        let canyon = GpsConfig { outlier_prob: 0.3, outlier_scale: 5.0, ..clean };
+        let canyon = GpsConfig {
+            outlier_prob: 0.3,
+            outlier_scale: 5.0,
+            ..clean
+        };
         let route = straight_route(100_000.0);
         let count_far = |cfg: &GpsConfig, rng: &mut rand::rngs::StdRng| {
-            sample_gps(&route, cfg, rng).iter().filter(|p| p.y.abs() > 30.0).count()
+            sample_gps(&route, cfg, rng)
+                .iter()
+                .filter(|p| p.y.abs() > 30.0)
+                .count()
         };
         let clean_far = count_far(&clean, &mut rng);
         let canyon_far = count_far(&canyon, &mut rng);
@@ -140,17 +155,32 @@ mod tests {
     #[test]
     fn noise_perturbs_points() {
         let mut rng = det_rng(3);
-        let cfg = GpsConfig { speed_jitter: 0.0, gps_noise_m: 10.0, ..Default::default() };
+        let cfg = GpsConfig {
+            speed_jitter: 0.0,
+            gps_noise_m: 10.0,
+            ..Default::default()
+        };
         let traj = sample_gps(&straight_route(2400.0), &cfg, &mut rng);
         let off_axis = traj.iter().filter(|p| p.y.abs() > 0.5).count();
-        assert!(off_axis > traj.len() / 2, "noise should move most points off axis");
+        assert!(
+            off_axis > traj.len() / 2,
+            "noise should move most points off axis"
+        );
     }
 
     #[test]
     fn faster_interval_means_denser_sampling() {
         let mut rng = det_rng(4);
-        let slow = GpsConfig { interval_s: 30.0, speed_jitter: 0.0, ..Default::default() };
-        let fast = GpsConfig { interval_s: 5.0, speed_jitter: 0.0, ..Default::default() };
+        let slow = GpsConfig {
+            interval_s: 30.0,
+            speed_jitter: 0.0,
+            ..Default::default()
+        };
+        let fast = GpsConfig {
+            interval_s: 5.0,
+            speed_jitter: 0.0,
+            ..Default::default()
+        };
         let n_slow = sample_gps(&straight_route(3000.0), &slow, &mut rng).len();
         let n_fast = sample_gps(&straight_route(3000.0), &fast, &mut rng).len();
         assert!(n_fast > 3 * n_slow);
@@ -170,8 +200,16 @@ mod tests {
     #[test]
     fn multi_segment_route_followed_in_order() {
         let mut rng = det_rng(6);
-        let cfg = GpsConfig { speed_jitter: 0.0, gps_noise_m: 0.0, ..Default::default() };
-        let route = vec![Point::new(0.0, 0.0), Point::new(600.0, 0.0), Point::new(600.0, 600.0)];
+        let cfg = GpsConfig {
+            speed_jitter: 0.0,
+            gps_noise_m: 0.0,
+            ..Default::default()
+        };
+        let route = vec![
+            Point::new(0.0, 0.0),
+            Point::new(600.0, 0.0),
+            Point::new(600.0, 600.0),
+        ];
         let traj = sample_gps(&route, &cfg, &mut rng);
         // x must be monotone non-decreasing, then y monotone.
         for w in traj.windows(2) {

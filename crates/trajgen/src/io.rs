@@ -56,8 +56,12 @@ pub fn read_csv<R: io::Read>(r: R) -> io::Result<Vec<Trajectory>> {
             continue;
         }
         let mut fields = trimmed.split(',');
-        let parse_err =
-            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {what}"));
+        let parse_err = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {line_no}: {what}"),
+            )
+        };
         let id: u64 = fields
             .next()
             .ok_or_else(|| parse_err("missing trip_id"))?
@@ -79,10 +83,16 @@ pub fn read_csv<R: io::Read>(r: R) -> io::Result<Vec<Trajectory>> {
             .parse()
             .map_err(|_| parse_err("bad y"))?;
         if current_id != Some(id) {
-            out.push(Trajectory { points: Vec::new(), start });
+            out.push(Trajectory {
+                points: Vec::new(),
+                start,
+            });
             current_id = Some(id);
         }
-        out.last_mut().expect("pushed above").points.push(Point::new(x, y));
+        out.last_mut()
+            .expect("pushed above")
+            .points
+            .push(Point::new(x, y));
     }
     Ok(out)
 }
@@ -97,7 +107,10 @@ mod tests {
                 points: vec![Point::new(1.5, -2.0), Point::new(3.0, 4.0)],
                 start: 0,
             },
-            Trajectory { points: vec![Point::new(-10.0, 0.25)], start: 60 },
+            Trajectory {
+                points: vec![Point::new(-10.0, 0.25)],
+                start: 60,
+            },
         ]
     }
 

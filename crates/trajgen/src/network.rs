@@ -79,7 +79,10 @@ impl RoadNetwork {
     /// # Panics
     /// Panics if the grid has fewer than 2×2 intersections.
     pub fn grid(config: NetworkConfig, rng: &mut impl Rng) -> Self {
-        assert!(config.cols >= 2 && config.rows >= 2, "network needs at least a 2x2 grid");
+        assert!(
+            config.cols >= 2 && config.rows >= 2,
+            "network needs at least a 2x2 grid"
+        );
         let n = (config.cols * config.rows) as usize;
         let node = |r: u32, c: u32| (r * config.cols + c) as NodeId;
 
@@ -105,13 +108,21 @@ impl RoadNetwork {
 
         let mut adjacency: Vec<Vec<Edge>> = vec![Vec::with_capacity(4); n];
         let add_undirected = |positions: &[Point],
-                                  adjacency: &mut Vec<Vec<Edge>>,
-                                  a: NodeId,
-                                  b: NodeId,
-                                  attractiveness: f64| {
+                              adjacency: &mut Vec<Vec<Edge>>,
+                              a: NodeId,
+                              b: NodeId,
+                              attractiveness: f64| {
             let length = positions[a as usize].dist(&positions[b as usize]);
-            adjacency[a as usize].push(Edge { to: b, length, attractiveness });
-            adjacency[b as usize].push(Edge { to: a, length, attractiveness });
+            adjacency[a as usize].push(Edge {
+                to: b,
+                length,
+                attractiveness,
+            });
+            adjacency[b as usize].push(Edge {
+                to: a,
+                length,
+                attractiveness,
+            });
         };
 
         for r in 0..config.rows {
@@ -147,7 +158,12 @@ impl RoadNetwork {
             hub_weights[idx] += rng.random_range(20.0..80.0);
         }
 
-        Self { config, positions, adjacency, hub_weights }
+        Self {
+            config,
+            positions,
+            adjacency,
+            hub_weights,
+        }
     }
 
     /// The construction parameters.
@@ -202,8 +218,11 @@ impl RoadNetwork {
         if sum == 0.0 {
             return 0.0;
         }
-        let weighted: f64 =
-            attrs.iter().enumerate().map(|(i, &v)| (2.0 * (i as f64 + 1.0) - n - 1.0) * v).sum();
+        let weighted: f64 = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (2.0 * (i as f64 + 1.0) - n - 1.0) * v)
+            .sum();
         weighted / (n * sum)
     }
 }
@@ -216,7 +235,11 @@ mod tests {
     fn small_net() -> RoadNetwork {
         let mut rng = det_rng(7);
         RoadNetwork::grid(
-            NetworkConfig { cols: 6, rows: 5, ..NetworkConfig::default() },
+            NetworkConfig {
+                cols: 6,
+                rows: 5,
+                ..NetworkConfig::default()
+            },
             &mut rng,
         )
     }
@@ -271,7 +294,11 @@ mod tests {
         let mut rng = det_rng(9);
         let skewed = RoadNetwork::grid(NetworkConfig::default(), &mut rng);
         let uniform = RoadNetwork::grid(
-            NetworkConfig { skew_sigma: 0.0, arterials: 0, ..NetworkConfig::default() },
+            NetworkConfig {
+                skew_sigma: 0.0,
+                arterials: 0,
+                ..NetworkConfig::default()
+            },
             &mut rng,
         );
         assert!(
@@ -286,7 +313,11 @@ mod tests {
     fn hub_weights_have_hubs() {
         let net = small_net();
         let max = net.hub_weights().iter().cloned().fold(0.0f64, f64::max);
-        let min = net.hub_weights().iter().cloned().fold(f64::INFINITY, f64::min);
+        let min = net
+            .hub_weights()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         assert!(max > 10.0 * min, "expected strong hubs");
     }
 
@@ -305,7 +336,11 @@ mod tests {
     fn degenerate_grid_panics() {
         let mut rng = det_rng(0);
         let _ = RoadNetwork::grid(
-            NetworkConfig { cols: 1, rows: 5, ..NetworkConfig::default() },
+            NetworkConfig {
+                cols: 1,
+                rows: 5,
+                ..NetworkConfig::default()
+            },
             &mut rng,
         );
     }

@@ -28,7 +28,10 @@ pub struct RouteConfig {
 
 impl Default for RouteConfig {
     fn default() -> Self {
-        Self { detour_sigma: 0.25, min_trip_dist: 1_000.0 }
+        Self {
+            detour_sigma: 0.25,
+            min_trip_dist: 1_000.0,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ impl Eq for QueueItem {}
 impl Ord for QueueItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // min-heap
-        other.cost.partial_cmp(&self.cost).unwrap_or(Ordering::Equal)
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
     }
 }
 impl PartialOrd for QueueItem {
@@ -89,7 +95,10 @@ impl<'a> RouteSampler<'a> {
         let mut parent: Vec<Option<NodeId>> = vec![None; n];
         let mut heap = BinaryHeap::new();
         dist[from as usize] = 0.0;
-        heap.push(QueueItem { cost: 0.0, node: from });
+        heap.push(QueueItem {
+            cost: 0.0,
+            node: from,
+        });
         while let Some(QueueItem { cost, node }) = heap.pop() {
             if node == to {
                 break;
@@ -107,7 +116,10 @@ impl<'a> RouteSampler<'a> {
                 if next_cost < dist[e.to as usize] {
                     dist[e.to as usize] = next_cost;
                     parent[e.to as usize] = Some(node);
-                    heap.push(QueueItem { cost: next_cost, node: e.to });
+                    heap.push(QueueItem {
+                        cost: next_cost,
+                        node: e.to,
+                    });
                 }
             }
         }
@@ -129,7 +141,10 @@ impl<'a> RouteSampler<'a> {
     /// intersection positions.
     pub fn sample_route_polyline(&self, rng: &mut impl Rng) -> Vec<Point> {
         let (from, to) = self.sample_endpoints(rng);
-        self.route(from, to, rng).iter().map(|&n| self.net.position(n)).collect()
+        self.route(from, to, rng)
+            .iter()
+            .map(|&n| self.net.position(n))
+            .collect()
     }
 }
 
@@ -172,8 +187,13 @@ mod tests {
     #[test]
     fn endpoints_respect_min_distance() {
         let net = net();
-        let sampler =
-            RouteSampler::new(&net, RouteConfig { min_trip_dist: 2_000.0, ..Default::default() });
+        let sampler = RouteSampler::new(
+            &net,
+            RouteConfig {
+                min_trip_dist: 2_000.0,
+                ..Default::default()
+            },
+        );
         let mut rng = det_rng(12);
         for _ in 0..20 {
             let (a, b) = sampler.sample_endpoints(&mut rng);
@@ -192,7 +212,10 @@ mod tests {
             let poly: Vec<Point> = path.iter().map(|&n| net.position(n)).collect();
             let straight = net.position(a).dist(&net.position(b));
             let len = polyline_length(&poly);
-            assert!(len <= 3.0 * straight + 1_000.0, "detour factor too large: {len} vs {straight}");
+            assert!(
+                len <= 3.0 * straight + 1_000.0,
+                "detour factor too large: {len} vs {straight}"
+            );
         }
     }
 
@@ -208,7 +231,9 @@ mod tests {
             let (a, b) = sampler.sample_endpoints(&mut rng);
             let path = sampler.route(a, b, &mut rng);
             for w in path.windows(2) {
-                *edge_count.entry((w[0].min(w[1]), w[0].max(w[1]))).or_insert(0) += 1;
+                *edge_count
+                    .entry((w[0].min(w[1]), w[0].max(w[1])))
+                    .or_insert(0) += 1;
             }
         }
         let mut counts: Vec<usize> = edge_count.values().copied().collect();
@@ -224,8 +249,13 @@ mod tests {
     #[test]
     fn zero_detour_sigma_is_deterministic() {
         let net = net();
-        let sampler =
-            RouteSampler::new(&net, RouteConfig { detour_sigma: 0.0, ..Default::default() });
+        let sampler = RouteSampler::new(
+            &net,
+            RouteConfig {
+                detour_sigma: 0.0,
+                ..Default::default()
+            },
+        );
         let mut r1 = det_rng(15);
         let mut r2 = det_rng(16);
         let p1 = sampler.route(0, 500, &mut r1);

@@ -30,8 +30,16 @@ pub struct SvgPlot {
 
 #[derive(Debug, Clone)]
 enum Shape {
-    Polyline { points: Vec<Point>, color: String, stroke: f64 },
-    Points { points: Vec<Point>, color: String, radius: f64 },
+    Polyline {
+        points: Vec<Point>,
+        color: String,
+        stroke: f64,
+    },
+    Points {
+        points: Vec<Point>,
+        color: String,
+        radius: f64,
+    },
 }
 
 impl SvgPlot {
@@ -41,7 +49,11 @@ impl SvgPlot {
     /// Panics on a zero-sized viewport.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "viewport must be non-empty");
-        Self { width, height, shapes: Vec::new() }
+        Self {
+            width,
+            height,
+            shapes: Vec::new(),
+        }
     }
 
     /// Adds a polyline (e.g. a trajectory or route).
@@ -102,24 +114,32 @@ impl SvgPlot {
             let ty = |p: &Point| f64::from(self.height) * (1.0 - margin) - (p.y - bbox.min_y) * s;
             for shape in &self.shapes {
                 match shape {
-                    Shape::Polyline { points, color, stroke } => {
+                    Shape::Polyline {
+                        points,
+                        color,
+                        stroke,
+                    } => {
                         let coords: Vec<String> = points
                             .iter()
                             .map(|p| format!("{:.1},{:.1}", tx(p), ty(p)))
                             .collect();
-                        let _ = write!(
+                        let _ = writeln!(
                             out,
                             "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" \
-                             stroke-width=\"{stroke}\" stroke-linejoin=\"round\"/>\n",
+                             stroke-width=\"{stroke}\" stroke-linejoin=\"round\"/>",
                             coords.join(" ")
                         );
                     }
-                    Shape::Points { points, color, radius } => {
+                    Shape::Points {
+                        points,
+                        color,
+                        radius,
+                    } => {
                         for p in points {
-                            let _ = write!(
+                            let _ = writeln!(
                                 out,
                                 "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{radius}\" \
-                                 fill=\"{color}\"/>\n",
+                                 fill=\"{color}\"/>",
                                 tx(p),
                                 ty(p)
                             );
@@ -146,7 +166,11 @@ mod tests {
     use super::*;
 
     fn line() -> Vec<Point> {
-        vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0), Point::new(100.0, 100.0)]
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 100.0),
+        ]
     }
 
     #[test]
@@ -179,7 +203,11 @@ mod tests {
     #[test]
     fn coordinates_fit_viewport() {
         let mut plot = SvgPlot::new(100, 100);
-        plot.points(&[Point::new(-500.0, 300.0), Point::new(2_000.0, 900.0)], "#000", 1.0);
+        plot.points(
+            &[Point::new(-500.0, 300.0), Point::new(2_000.0, 900.0)],
+            "#000",
+            1.0,
+        );
         let svg = plot.render();
         // Every rendered coordinate must stay inside the 100x100 box.
         for cap in svg.split("cx=\"").skip(1) {
@@ -204,7 +232,10 @@ mod tests {
             .map(|c| c.split('"').next().unwrap().parse().unwrap())
             .collect();
         assert_eq!(ys.len(), 2);
-        assert!(ys[1] < ys[0], "second (northern) point should render higher: {ys:?}");
+        assert!(
+            ys[1] < ys[0],
+            "second (northern) point should render higher: {ys:?}"
+        );
     }
 
     #[test]

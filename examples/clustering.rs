@@ -15,7 +15,10 @@ use t2vec::prelude::*;
 fn main() {
     let mut rng = det_rng(13);
     let city = City::tiny(&mut rng);
-    let data = DatasetBuilder::new(&city).trips(150).min_len(8).build(&mut rng);
+    let data = DatasetBuilder::new(&city)
+        .trips(150)
+        .min_len(8)
+        .build(&mut rng);
 
     let config = T2VecConfig::tiny();
     let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
@@ -48,7 +51,9 @@ fn main() {
     // Purity: majority label per cluster.
     let mut purity_hits = 0;
     for c in 0..num_routes {
-        let members: Vec<usize> = (0..truth.len()).filter(|&i| result.assignments[i] == c).collect();
+        let members: Vec<usize> = (0..truth.len())
+            .filter(|&i| result.assignments[i] == c)
+            .collect();
         if members.is_empty() {
             continue;
         }
@@ -58,7 +63,11 @@ fn main() {
         }
         let majority = counts.iter().max().copied().unwrap_or(0);
         purity_hits += majority;
-        println!("cluster {c}: {} members, majority route share {majority}/{}", members.len(), members.len());
+        println!(
+            "cluster {c}: {} members, majority route share {majority}/{}",
+            members.len(),
+            members.len()
+        );
     }
     let purity = purity_hits as f64 / truth.len() as f64;
     println!("\noverall cluster purity: {purity:.2} (1.00 = every cluster is one route)");

@@ -13,7 +13,10 @@ use t2vec::prelude::*;
 fn main() {
     let mut rng = det_rng(7);
     let city = City::tiny(&mut rng);
-    let data = DatasetBuilder::new(&city).trips(200).min_len(6).build(&mut rng);
+    let data = DatasetBuilder::new(&city)
+        .trips(200)
+        .min_len(6)
+        .build(&mut rng);
 
     let config = T2VecConfig::tiny();
     let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
@@ -22,7 +25,11 @@ fn main() {
     let db: Vec<Vec<_>> = data.test.iter().map(|t| t.points.clone()).collect();
     let t0 = Instant::now();
     let vectors = model.encode_batch(&db);
-    println!("encoded {} trajectories in {:.1} ms", db.len(), t0.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "encoded {} trajectories in {:.1} ms",
+        db.len(),
+        t0.elapsed().as_secs_f64() * 1e3
+    );
 
     let mut exact = BruteForceIndex::new();
     let mut lsh = LshIndex::new(model.repr_dim(), 8, 8, &mut rng);
@@ -44,15 +51,24 @@ fn main() {
     let lsh_us = t0.elapsed().as_micros();
 
     println!("\nexact top-5  ({exact_us} µs): {exact_top:?}");
-    println!("LSH   top-5  ({lsh_us} µs, {} candidates): {lsh_top:?}", lsh.candidate_count(&qv));
-    assert_eq!(exact_top[0].0, 0, "the query's own trajectory should rank first");
+    println!(
+        "LSH   top-5  ({lsh_us} µs, {} candidates): {lsh_top:?}",
+        lsh.candidate_count(&qv)
+    );
+    assert_eq!(
+        exact_top[0].0, 0,
+        "the query's own trajectory should rank first"
+    );
 
     // The same query via the strongest classical baseline, for contrast:
     // one O(n²) dynamic program per database entry.
     let edwp = Edwp::new();
     let t0 = Instant::now();
-    let mut scored: Vec<(usize, f64)> =
-        db.iter().enumerate().map(|(i, t)| (i, edwp.dist(&query, t))).collect();
+    let mut scored: Vec<(usize, f64)> = db
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, edwp.dist(&query, t)))
+        .collect();
     scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
     println!(
         "\nEDwP top-5 ({} µs): {:?}",

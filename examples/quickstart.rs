@@ -13,7 +13,10 @@ fn main() {
     //    data (see DESIGN.md for why the substitution is faithful).
     let mut rng = det_rng(42);
     let city = City::tiny(&mut rng);
-    let data = DatasetBuilder::new(&city).trips(120).min_len(6).build(&mut rng);
+    let data = DatasetBuilder::new(&city)
+        .trips(120)
+        .min_len(6)
+        .build(&mut rng);
     let stats = data.stats();
     println!(
         "generated {} trips / {} points (mean length {:.1})",
@@ -24,7 +27,11 @@ fn main() {
     //    is the full-size configuration of §V-B.
     let config = T2VecConfig::tiny();
     let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
-    println!("trained: |v| = {} dims over {} hot cells", model.repr_dim(), model.vocab().num_hot_cells());
+    println!(
+        "trained: |v| = {} dims over {} hot cells",
+        model.repr_dim(),
+        model.vocab().num_hot_cells()
+    );
 
     // 3. Encode trajectories — O(n) each — and compare with Euclidean
     //    distance — O(|v|).
@@ -39,8 +46,17 @@ fn main() {
     let v_other = model.encode(different_trip);
 
     println!("\ndistance in representation space:");
-    println!("  same route, half the sample points : {:.4}", vec_dist(&v_full, &v_low));
-    println!("  same route, distorted points       : {:.4}", vec_dist(&v_full, &v_noisy));
-    println!("  a different trip                   : {:.4}", vec_dist(&v_full, &v_other));
+    println!(
+        "  same route, half the sample points : {:.4}",
+        vec_dist(&v_full, &v_low)
+    );
+    println!(
+        "  same route, distorted points       : {:.4}",
+        vec_dist(&v_full, &v_noisy)
+    );
+    println!(
+        "  a different trip                   : {:.4}",
+        vec_dist(&v_full, &v_other)
+    );
     println!("\nrobust similarity = small distances for the first two, large for the third.");
 }

@@ -7,20 +7,29 @@
 //! ```
 
 use t2vec::prelude::*;
-use t2vec_eval::experiments::{most_similar_workload, mean_rank_of};
+use t2vec_eval::experiments::{mean_rank_of, most_similar_workload};
 use t2vec_eval::method::{DpMethod, Method, T2VecMethod};
 
 fn main() {
     let mut rng = det_rng(23);
     let city = City::tiny(&mut rng);
-    let data = DatasetBuilder::new(&city).trips(160).min_len(8).build(&mut rng);
+    let data = DatasetBuilder::new(&city)
+        .trips(160)
+        .min_len(8)
+        .build(&mut rng);
 
     let config = T2VecConfig::tiny();
     let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
 
     let nq = 15.min(data.test.len() / 2);
-    let q: Vec<&[_]> = data.test[..nq].iter().map(|t| t.points.as_slice()).collect();
-    let p: Vec<&[_]> = data.test[nq..].iter().map(|t| t.points.as_slice()).collect();
+    let q: Vec<&[_]> = data.test[..nq]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
+    let p: Vec<&[_]> = data.test[nq..]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
 
     let methods: Vec<Box<dyn Method + '_>> = vec![
         Box::new(DpMethod::new(Edr::new(50.0))),
@@ -28,14 +37,22 @@ fn main() {
         Box::new(T2VecMethod::new(&model)),
     ];
 
-    println!("mean rank of the true counterpart (lower = better), db size {}:", q.len() + p.len());
+    println!(
+        "mean rank of the true counterpart (lower = better), db size {}:",
+        q.len() + p.len()
+    );
     println!("{:>8} {:>10} {:>10} {:>10}", "r1", "EDR", "EDwP", "t2vec");
     for r1 in [0.0, 0.2, 0.4, 0.6] {
         let mut rng = det_rng(100 + (r1 * 10.0) as u64);
         let workload = most_similar_workload(&q, &p, r1, 0.0, &mut rng);
-        let ranks: Vec<f64> =
-            methods.iter().map(|m| mean_rank_of(m.as_ref(), &workload)).collect();
-        println!("{:>8.1} {:>10.2} {:>10.2} {:>10.2}", r1, ranks[0], ranks[1], ranks[2]);
+        let ranks: Vec<f64> = methods
+            .iter()
+            .map(|m| mean_rank_of(m.as_ref(), &workload))
+            .collect();
+        println!(
+            "{:>8.1} {:>10.2} {:>10.2} {:>10.2}",
+            r1, ranks[0], ranks[1], ranks[2]
+        );
     }
     println!("\nthe paper's finding: EDR degrades sharply with r1; t2vec stays low.");
 }

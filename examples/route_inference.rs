@@ -12,7 +12,10 @@ use t2vec_spatial::point::polyline_length;
 fn main() {
     let mut rng = det_rng(31);
     let city = City::tiny(&mut rng);
-    let data = DatasetBuilder::new(&city).trips(150).min_len(8).build(&mut rng);
+    let data = DatasetBuilder::new(&city)
+        .trips(150)
+        .min_len(8)
+        .build(&mut rng);
 
     let config = T2VecConfig::tiny();
     let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
@@ -20,8 +23,16 @@ fn main() {
     let trip = &data.test[0].points;
     // Keep only ~30 % of the sample points: a low, non-uniform rate.
     let sparse = downsample(trip, 0.7, &mut rng);
-    println!("original trip: {} points, {:.0} m", trip.len(), polyline_length(trip));
-    println!("sparse input : {} points, {:.0} m", sparse.len(), polyline_length(&sparse));
+    println!(
+        "original trip: {} points, {:.0} m",
+        trip.len(),
+        polyline_length(trip)
+    );
+    println!(
+        "sparse input : {} points, {:.0} m",
+        sparse.len(),
+        polyline_length(&sparse)
+    );
 
     // Greedy-decode the cell sequence the model believes the object
     // travelled, and compare its coverage of the original.
@@ -44,7 +55,10 @@ fn main() {
         f64::NAN
     };
     println!("mean distance from the true trip to the inferred route: {mean_gap:.1} m");
-    println!("(the grid resolution is {} m, so values near one cell side are good)", 100);
+    println!(
+        "(the grid resolution is {} m, so values near one cell side are good)",
+        100
+    );
 
     // Render the three curves for inspection: original (blue), sparse
     // input (red dots), inferred route (green).

@@ -42,11 +42,17 @@ impl Opts {
     }
 
     fn get(&self, name: &str) -> Result<&str, String> {
-        self.flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{name}"))
     }
 
     fn get_or(&self, name: &str, default: &str) -> String {
-        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 }
 
@@ -96,8 +102,14 @@ fn load_trajectories(path: &str) -> Result<Vec<Trajectory>, String> {
 
 fn generate(opts: &Opts) -> Result<(), String> {
     let seed: u64 = opts.get_or("seed", "7").parse().map_err(|_| "bad --seed")?;
-    let trips: usize = opts.get_or("trips", "200").parse().map_err(|_| "bad --trips")?;
-    let min_len: usize = opts.get_or("min-len", "8").parse().map_err(|_| "bad --min-len")?;
+    let trips: usize = opts
+        .get_or("trips", "200")
+        .parse()
+        .map_err(|_| "bad --trips")?;
+    let min_len: usize = opts
+        .get_or("min-len", "8")
+        .parse()
+        .map_err(|_| "bad --min-len")?;
     let out = opts.get("out")?;
     let mut rng = det_rng(seed);
     let city = match opts.get_or("city", "porto").as_str() {
@@ -106,7 +118,10 @@ fn generate(opts: &Opts) -> Result<(), String> {
         "tiny" => City::tiny(&mut rng),
         other => return Err(format!("unknown city '{other}'")),
     };
-    let ds = DatasetBuilder::new(&city).trips(trips).min_len(min_len).build(&mut rng);
+    let ds = DatasetBuilder::new(&city)
+        .trips(trips)
+        .min_len(min_len)
+        .build(&mut rng);
     let all: Vec<Trajectory> = ds.all().cloned().collect();
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     write_csv(file, &all).map_err(|e| e.to_string())?;
@@ -147,10 +162,8 @@ fn train(opts: &Opts) -> Result<(), String> {
 }
 
 fn encode(opts: &Opts) -> Result<(), String> {
-    let model = T2Vec::load(
-        File::open(opts.get("model")?).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    let model = T2Vec::load(File::open(opts.get("model")?).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
     let data = load_trajectories(opts.get("data")?)?;
     let out = opts.get("out")?;
     let points: Vec<Vec<_>> = data.iter().map(|t| t.points.clone()).collect();
@@ -168,10 +181,8 @@ fn encode(opts: &Opts) -> Result<(), String> {
 }
 
 fn knn(opts: &Opts) -> Result<(), String> {
-    let model = T2Vec::load(
-        File::open(opts.get("model")?).map_err(|e| e.to_string())?,
-    )
-    .map_err(|e| e.to_string())?;
+    let model = T2Vec::load(File::open(opts.get("model")?).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
     let db = load_trajectories(opts.get("db")?)?;
     let queries = load_trajectories(opts.get("query")?)?;
     let k: usize = opts.get_or("k", "10").parse().map_err(|_| "bad --k")?;
@@ -196,8 +207,7 @@ fn knn(opts: &Opts) -> Result<(), String> {
     for (qi, q) in queries.iter().enumerate() {
         let qv = model.encode(&q.points);
         let hits = index.knn(&qv, k);
-        let rendered: Vec<String> =
-            hits.iter().map(|(id, d)| format!("{id}:{d:.3}")).collect();
+        let rendered: Vec<String> = hits.iter().map(|(id, d)| format!("{id}:{d:.3}")).collect();
         println!("query {qi}: {}", rendered.join(" "));
     }
     Ok(())
@@ -206,7 +216,14 @@ fn knn(opts: &Opts) -> Result<(), String> {
 fn stats(opts: &Opts) -> Result<(), String> {
     let data = load_trajectories(opts.get("data")?)?;
     let points: usize = data.iter().map(Trajectory::len).sum();
-    let mean = if data.is_empty() { 0.0 } else { points as f64 / data.len() as f64 };
-    println!("#trips: {}\n#points: {points}\nmean length: {mean:.2}", data.len());
+    let mean = if data.is_empty() {
+        0.0
+    } else {
+        points as f64 / data.len() as f64
+    };
+    println!(
+        "#trips: {}\n#points: {points}\nmean length: {mean:.2}",
+        data.len()
+    );
     Ok(())
 }

@@ -51,8 +51,8 @@ pub mod prelude {
         T2Vec, T2VecConfig, TrainReport,
     };
     pub use t2vec_distance::{
-        cms::Cms, dtw::Dtw, edr::Edr, edwp::Edwp, erp::Erp, frechet::DiscreteFrechet,
-        lcss::Lcss, TrajDistance,
+        cms::Cms, dtw::Dtw, edr::Edr, edwp::Edwp, erp::Erp, frechet::DiscreteFrechet, lcss::Lcss,
+        TrajDistance,
     };
     pub use t2vec_eval::metrics::{mean_rank, precision_at_k};
     pub use t2vec_spatial::{

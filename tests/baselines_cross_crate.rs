@@ -11,7 +11,10 @@ use t2vec_spatial::point::Point;
 fn city_trips(n: usize, seed: u64) -> Vec<Vec<Point>> {
     let mut rng = det_rng(seed);
     let city = City::tiny(&mut rng);
-    let ds = DatasetBuilder::new(&city).trips(n).min_len(8).build(&mut rng);
+    let ds = DatasetBuilder::new(&city)
+        .trips(n)
+        .min_len(8)
+        .build(&mut rng);
     ds.all().map(|t| t.points.clone()).collect()
 }
 
@@ -79,7 +82,11 @@ fn cms_is_order_blind_but_sequence_methods_are_not() {
     let trip = &trips[0];
     let mut rev = trip.clone();
     rev.reverse();
-    assert_eq!(Cms::new(100.0).dist(trip, &rev), 0.0, "CMS cannot see direction");
+    assert_eq!(
+        Cms::new(100.0).dist(trip, &rev),
+        0.0,
+        "CMS cannot see direction"
+    );
     // DTW distance of a route to its reverse is positive for non-trivial
     // routes.
     assert!(Dtw::new().dist(trip, &rev) > 0.0);
@@ -109,7 +116,10 @@ fn geo_projection_pipeline_roundtrip() {
         .collect();
     let local: Vec<Point> = geo.iter().map(|g| g.project(&anchor)).collect();
     assert_eq!(Dtw::new().dist(&local, &local), 0.0);
-    let back: Vec<GeoPoint> = local.iter().map(|p| GeoPoint::unproject(p, &anchor)).collect();
+    let back: Vec<GeoPoint> = local
+        .iter()
+        .map(|p| GeoPoint::unproject(p, &anchor))
+        .collect();
     for (g, b) in geo.iter().zip(&back) {
         assert!((g.lon - b.lon).abs() < 1e-9);
         assert!((g.lat - b.lat).abs() < 1e-9);

@@ -14,7 +14,10 @@ fn tmp(name: &str) -> String {
 }
 
 fn run(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(bin()).args(args).output().expect("binary runs");
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -30,8 +33,17 @@ fn full_cli_pipeline() {
 
     // generate
     let (ok, stdout, stderr) = run(&[
-        "generate", "--city", "tiny", "--trips", "60", "--min-len", "6", "--out", &data,
-        "--seed", "3",
+        "generate",
+        "--city",
+        "tiny",
+        "--trips",
+        "60",
+        "--min-len",
+        "6",
+        "--out",
+        &data,
+        "--seed",
+        "3",
     ]);
     assert!(ok, "generate failed: {stderr}");
     assert!(stdout.contains("wrote 60 trips"), "{stdout}");
@@ -42,15 +54,17 @@ fn full_cli_pipeline() {
     assert!(stdout.contains("#trips: 60"));
 
     // train
-    let (ok, stdout, stderr) =
-        run(&["train", "--data", &data, "--preset", "tiny", "--out", &model, "--seed", "3"]);
+    let (ok, stdout, stderr) = run(&[
+        "train", "--data", &data, "--preset", "tiny", "--out", &model, "--seed", "3",
+    ]);
     assert!(ok, "train failed: {stderr}");
     assert!(stdout.contains("trained on"), "{stdout}");
     assert!(std::path::Path::new(&model).exists());
 
     // encode
-    let (ok, stdout, stderr) =
-        run(&["encode", "--model", &model, "--data", &data, "--out", &vectors]);
+    let (ok, stdout, stderr) = run(&[
+        "encode", "--model", &model, "--data", &data, "--out", &vectors,
+    ]);
     assert!(ok, "encode failed: {stderr}");
     assert!(stdout.contains("encoded 60 trajectories"));
     let parsed: Vec<Vec<f32>> =
@@ -58,15 +72,20 @@ fn full_cli_pipeline() {
     assert_eq!(parsed.len(), 60);
 
     // knn (db == queries: every query's best hit is itself at distance ~0)
-    let (ok, stdout, stderr) =
-        run(&["knn", "--model", &model, "--db", &data, "--query", &data, "--k", "3"]);
+    let (ok, stdout, stderr) = run(&[
+        "knn", "--model", &model, "--db", &data, "--query", &data, "--k", "3",
+    ]);
     assert!(ok, "knn failed: {stderr}");
     let first_line = stdout.lines().next().unwrap();
-    assert!(first_line.starts_with("query 0: 0:0.000"), "self should rank first: {first_line}");
+    assert!(
+        first_line.starts_with("query 0: 0:0.000"),
+        "self should rank first: {first_line}"
+    );
 
     // knn with LSH
-    let (ok, stdout, _) =
-        run(&["knn", "--model", &model, "--db", &data, "--query", &data, "--k", "3", "--lsh"]);
+    let (ok, stdout, _) = run(&[
+        "knn", "--model", &model, "--db", &data, "--query", &data, "--k", "3", "--lsh",
+    ]);
     assert!(ok);
     assert!(stdout.lines().count() == 60);
 

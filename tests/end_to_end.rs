@@ -20,7 +20,10 @@ fn fixture() -> &'static Fixture {
     SHARED.get_or_init(|| {
         let mut rng = det_rng(77);
         let city = City::tiny(&mut rng);
-        let data = DatasetBuilder::new(&city).trips(120).min_len(8).build(&mut rng);
+        let data = DatasetBuilder::new(&city)
+            .trips(120)
+            .min_len(8)
+            .build(&mut rng);
         let config = T2VecConfig::tiny();
         let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
         Fixture { data, model }
@@ -41,8 +44,14 @@ fn downsampled_variant_ranks_near_top() {
     let f = fixture();
     let mut rng = det_rng(78);
     let nq = 10.min(f.data.test.len() / 2);
-    let q: Vec<&[Point]> = f.data.test[..nq].iter().map(|t| t.points.as_slice()).collect();
-    let p: Vec<&[Point]> = f.data.test[nq..].iter().map(|t| t.points.as_slice()).collect();
+    let q: Vec<&[Point]> = f.data.test[..nq]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
+    let p: Vec<&[Point]> = f.data.test[nq..]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
     let workload = most_similar_workload(&q, &p, 0.4, 0.0, &mut rng);
     let db_size = workload.db.len() as f64;
     let mr = mean_rank_of(&T2VecMethod::new(&f.model), &workload);
@@ -69,8 +78,14 @@ fn trained_beats_untrained_representation() {
         T2Vec::train(&config, &f.data.train, &mut rng).expect("one-step training failed");
 
     let nq = 10.min(f.data.test.len() / 2);
-    let q: Vec<&[Point]> = f.data.test[..nq].iter().map(|t| t.points.as_slice()).collect();
-    let p: Vec<&[Point]> = f.data.test[nq..].iter().map(|t| t.points.as_slice()).collect();
+    let q: Vec<&[Point]> = f.data.test[..nq]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
+    let p: Vec<&[Point]> = f.data.test[nq..]
+        .iter()
+        .map(|t| t.points.as_slice())
+        .collect();
     let mut rng_w = det_rng(80);
     let workload = most_similar_workload(&q, &p, 0.4, 0.0, &mut rng_w);
     let mr_trained = mean_rank_of(&T2VecMethod::new(&f.model), &workload);
@@ -99,7 +114,13 @@ fn noise_distortion_changes_representation_little() {
 #[test]
 fn batch_encoding_is_consistent_across_thread_paths() {
     let f = fixture();
-    let trajs: Vec<Vec<Point>> = f.data.test.iter().take(8).map(|t| t.points.clone()).collect();
+    let trajs: Vec<Vec<Point>> = f
+        .data
+        .test
+        .iter()
+        .take(8)
+        .map(|t| t.points.clone())
+        .collect();
     let batch = f.model.encode_batch(&trajs);
     assert_eq!(batch.len(), trajs.len());
     for (t, b) in trajs.iter().zip(&batch) {
@@ -127,9 +148,7 @@ fn index_search_agrees_with_exhaustive_vector_scan() {
     let manual_best = vectors
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            vec_dist(&q, a).partial_cmp(&vec_dist(&q, b)).unwrap()
-        })
+        .min_by(|(_, a), (_, b)| vec_dist(&q, a).partial_cmp(&vec_dist(&q, b)).unwrap())
         .unwrap()
         .0;
     assert_eq!(manual_best, 2);
@@ -155,8 +174,9 @@ fn clustering_groups_variants_of_the_same_trip() {
     // baseline).
     let mut hits = 0;
     for c in 0..routes {
-        let members: Vec<usize> =
-            (0..truth.len()).filter(|&i| result.assignments[i] == c).collect();
+        let members: Vec<usize> = (0..truth.len())
+            .filter(|&i| result.assignments[i] == c)
+            .collect();
         if members.is_empty() {
             continue;
         }

@@ -3,9 +3,7 @@
 //! must produce structurally valid output.
 
 use t2vec_core::T2VecConfig;
-use t2vec_eval::experiments::{
-    self, Bench, CityKind, Scale,
-};
+use t2vec_eval::experiments::{self, Bench, CityKind, Scale};
 
 fn bench() -> &'static Bench {
     static SHARED: std::sync::OnceLock<Bench> = std::sync::OnceLock::new();
@@ -51,7 +49,10 @@ fn fig5_runner() {
     let rows = experiments::knn_precision(bench(), 3, &[0.0, 0.4], false, 4, 15);
     assert_eq!(rows.len(), 6);
     for row in rows {
-        assert!(row.values.iter().all(|v| (0.0..=1.0).contains(v)), "{row:?}");
+        assert!(
+            row.values.iter().all(|v| (0.0..=1.0).contains(v)),
+            "{row:?}"
+        );
     }
 }
 
@@ -91,7 +92,10 @@ fn table8_and_9_and_fig7_runners() {
 
     let rows = experiments::cell_size_sweep(CityKind::Tiny, &scale, &config, &[150.0, 250.0]);
     assert_eq!(rows.len(), 2);
-    assert!(rows[0].vocab_size > rows[1].vocab_size, "finer grid => more cells");
+    assert!(
+        rows[0].vocab_size > rows[1].vocab_size,
+        "finer grid => more cells"
+    );
 
     let rows = experiments::hidden_size_sweep(CityKind::Tiny, &scale, &config, &[8, 16]);
     assert_eq!(rows.len(), 2);

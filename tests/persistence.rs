@@ -15,7 +15,10 @@ fn temp_path(name: &str) -> std::path::PathBuf {
 fn model_file_roundtrip() {
     let mut rng = det_rng(91);
     let city = City::tiny(&mut rng);
-    let data = DatasetBuilder::new(&city).trips(60).min_len(6).build(&mut rng);
+    let data = DatasetBuilder::new(&city)
+        .trips(60)
+        .min_len(6)
+        .build(&mut rng);
     let mut config = T2VecConfig::tiny();
     config.max_epochs = 2;
     let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
@@ -42,7 +45,10 @@ fn load_rejects_garbage() {
 fn trajectory_csv_file_roundtrip() {
     let mut rng = det_rng(92);
     let city = City::tiny(&mut rng);
-    let data = DatasetBuilder::new(&city).trips(20).min_len(5).build(&mut rng);
+    let data = DatasetBuilder::new(&city)
+        .trips(20)
+        .min_len(5)
+        .build(&mut rng);
 
     let path = temp_path("trips.csv");
     write_csv(File::create(&path).unwrap(), &data.train).unwrap();
@@ -64,7 +70,10 @@ fn trajectory_csv_file_roundtrip() {
 fn saved_model_is_valid_json_with_expected_structure() {
     let mut rng = det_rng(93);
     let city = City::tiny(&mut rng);
-    let data = DatasetBuilder::new(&city).trips(40).min_len(5).build(&mut rng);
+    let data = DatasetBuilder::new(&city)
+        .trips(40)
+        .min_len(5)
+        .build(&mut rng);
     let mut config = T2VecConfig::tiny();
     config.max_epochs = 1;
     let model = T2Vec::train(&config, &data.train, &mut rng).expect("training failed");
