@@ -1,0 +1,625 @@
+//! Fault-tolerant training checkpoints.
+//!
+//! A [`Checkpoint`] bundles *everything* the training loop needs to
+//! continue bitwise-identically after a crash: the model (parameter
+//! matrices **and** their Adam moment state), the exact position in the
+//! trainer's random stream, the epoch/iteration counters, the
+//! early-stopping bookkeeping, and a hash of the configuration so a
+//! checkpoint can never be resumed under different hyper-parameters.
+//!
+//! ## On-disk format
+//!
+//! One checkpoint per file, `ckpt-NNNNNN.json`:
+//!
+//! ```text
+//! <one line of compact JSON — the serialised Checkpoint>
+//! t2vec-ckpt v1 crc32=xxxxxxxx len=NNN
+//! ```
+//!
+//! The trailer line carries a CRC-32 (IEEE) and byte length of the
+//! payload; a file whose trailer is missing, malformed, or disagrees
+//! with the payload is rejected as corrupt. Floats inside the payload
+//! round-trip bit-for-bit through the JSON layer (shortest-roundtrip
+//! `f64` printing; the one non-finite value, the pre-first-validation
+//! `best_val = +inf`, travels as raw `f32` bits).
+//!
+//! ## Atomicity protocol
+//!
+//! [`CheckpointStore::save`] never exposes a partially written file:
+//!
+//! 1. write the framed bytes to a hidden temp file *in the same
+//!    directory*, flush, `fsync`;
+//! 2. `rename` the temp file over the final name (atomic on POSIX);
+//! 3. `fsync` the directory so the rename itself is durable;
+//! 4. update the `LATEST` pointer file by the same
+//!    temp-fsync-rename-fsync dance;
+//! 5. delete checkpoints beyond the retention budget (oldest first).
+//!
+//! A crash between any two steps leaves either the previous state or
+//! the new state on disk, never a torn one. [`CheckpointStore::
+//! load_latest`] trusts nothing: it scans checkpoint files newest
+//! first, validates each frame, and falls back to the newest file that
+//! passes, collecting a warning for everything it had to skip (a stale
+//! or missing `LATEST` is a warning, not an error — the scan is the
+//! source of truth, so a crash after step 2 still recovers the newest
+//! checkpoint).
+
+use crate::config::T2VecConfig;
+use crate::error::T2VecError;
+use crate::model::EpochStats;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use t2vec_nn::Seq2Seq;
+use t2vec_tensor::rng::RngState;
+
+pub mod fault;
+
+/// Version tag of the on-disk checkpoint format.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Magic string opening every trailer line.
+const TRAILER_MAGIC: &str = "t2vec-ckpt v1";
+
+/// Name of the pointer file naming the most recent checkpoint.
+pub const LATEST_FILE: &str = "LATEST";
+
+/// The complete resumable state of an interrupted training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// On-disk format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// FNV-1a hash of the canonical-JSON configuration; resuming under
+    /// a different configuration is refused.
+    pub config_hash: u64,
+    /// Seed the run's setup phase (vocabulary, pre-training, pair
+    /// generation) was derived from. Resume re-derives the setup from
+    /// this seed — not from whatever seed the resuming caller supplies
+    /// — so the pair corpus is bit-identical to the original run's.
+    pub setup_seed: u64,
+    /// Epochs fully completed (also the checkpoint's file number).
+    pub epochs_done: usize,
+    /// Optimiser steps taken so far.
+    pub iterations: usize,
+    /// Consecutive validations without improvement (early stopping).
+    pub stagnant: usize,
+    /// Best validation loss so far, as raw `f32` bits (`+inf` before
+    /// the first validation, which JSON cannot carry as a float).
+    pub best_val_bits: u32,
+    /// Per-epoch loss curve up to this point.
+    pub history: Vec<EpochStats>,
+    /// Exact position of the trainer's random stream.
+    pub rng: RngState,
+    /// The live model — parameters plus Adam moment matrices.
+    pub model: Seq2Seq,
+    /// The best-validation parameters kept for early stopping (absent
+    /// until the first validation improves on `+inf`).
+    pub best_model: Option<Seq2Seq>,
+}
+
+impl Checkpoint {
+    /// Best validation loss so far.
+    pub fn best_val(&self) -> f32 {
+        f32::from_bits(self.best_val_bits)
+    }
+
+    /// Whether this checkpoint was produced under `config`.
+    pub fn matches_config(&self, config: &T2VecConfig) -> bool {
+        self.config_hash == config_hash(config)
+    }
+}
+
+/// FNV-1a hash of the configuration's canonical JSON — the fingerprint
+/// stored in every checkpoint.
+pub fn config_hash(config: &T2VecConfig) -> u64 {
+    let json = serde_json::to_string(config).expect("config serialisation is infallible");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in json.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Serialises a checkpoint to its framed byte form (payload line plus
+/// checksum trailer).
+///
+/// # Errors
+/// Propagates serialisation failures (none occur for this data model).
+pub fn to_bytes(ckpt: &Checkpoint) -> Result<Vec<u8>, T2VecError> {
+    let payload = serde_json::to_string(ckpt)?;
+    debug_assert!(
+        !payload.contains('\n'),
+        "compact JSON payload must be a single line"
+    );
+    let trailer = format!(
+        "{TRAILER_MAGIC} crc32={:08x} len={}",
+        crc32(payload.as_bytes()),
+        payload.len()
+    );
+    Ok(format!("{payload}\n{trailer}\n").into_bytes())
+}
+
+/// Parses and validates a framed checkpoint.
+///
+/// # Errors
+/// [`T2VecError::Checkpoint`] when the frame is truncated, the trailer
+/// is malformed, the length or CRC disagrees with the payload, or the
+/// format version is unsupported; [`T2VecError::Serde`] when the
+/// payload is not a valid `Checkpoint`.
+pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, T2VecError> {
+    let corrupt = |msg: &str| T2VecError::Checkpoint(msg.to_string());
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("truncated file: no payload/trailer separator"))?;
+    let (payload, rest) = bytes.split_at(newline);
+    let trailer = std::str::from_utf8(&rest[1..])
+        .map_err(|_| corrupt("trailer is not UTF-8"))?
+        .trim_end_matches('\n');
+    let fields = trailer
+        .strip_prefix(TRAILER_MAGIC)
+        .ok_or_else(|| corrupt("missing or unrecognised trailer magic"))?;
+    let mut stated_crc = None;
+    let mut stated_len = None;
+    for field in fields.split_whitespace() {
+        if let Some(hex) = field.strip_prefix("crc32=") {
+            stated_crc = u32::from_str_radix(hex, 16).ok();
+        } else if let Some(dec) = field.strip_prefix("len=") {
+            stated_len = dec.parse::<usize>().ok();
+        }
+    }
+    let stated_crc = stated_crc.ok_or_else(|| corrupt("trailer lacks a valid crc32 field"))?;
+    let stated_len = stated_len.ok_or_else(|| corrupt("trailer lacks a valid len field"))?;
+    if stated_len != payload.len() {
+        return Err(T2VecError::Checkpoint(format!(
+            "length mismatch: trailer says {stated_len}, payload is {} bytes (short write?)",
+            payload.len()
+        )));
+    }
+    let actual_crc = crc32(payload);
+    if stated_crc != actual_crc {
+        return Err(T2VecError::Checkpoint(format!(
+            "checksum mismatch: trailer says {stated_crc:08x}, payload hashes to {actual_crc:08x}"
+        )));
+    }
+    let ckpt: Checkpoint = serde_json::from_slice(payload)?;
+    if ckpt.version != FORMAT_VERSION {
+        return Err(T2VecError::Checkpoint(format!(
+            "unsupported format version {} (this build reads {FORMAT_VERSION})",
+            ckpt.version
+        )));
+    }
+    Ok(ckpt)
+}
+
+/// Reads and validates a framed checkpoint from any reader (the tests
+/// drive this through [`fault::FaultyReader`] to prove torn reads are
+/// reported as errors, never panics).
+///
+/// # Errors
+/// [`T2VecError::Io`] on read failure, otherwise as [`from_bytes`].
+pub fn read_checkpoint<R: Read>(mut r: R) -> Result<Checkpoint, T2VecError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    from_bytes(&bytes)
+}
+
+/// The result of [`CheckpointStore::load_latest`]: the newest valid
+/// checkpoint (if any survives validation) plus a warning per anomaly
+/// encountered on the way to it.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The newest checkpoint that passed validation, with its path.
+    pub checkpoint: Option<(PathBuf, Checkpoint)>,
+    /// Human-readable descriptions of everything skipped or repaired
+    /// (corrupt files, a missing/stale `LATEST` pointer, …).
+    pub warnings: Vec<String>,
+}
+
+/// A directory of checkpoints with atomic writes, a `LATEST` pointer,
+/// and retention of the last *K* files.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) a checkpoint directory retaining the
+    /// last `keep` checkpoints.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, T2VecError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File name for the checkpoint taken after `epochs_done` epochs.
+    pub fn file_name(epochs_done: usize) -> String {
+        format!("ckpt-{epochs_done:06}.json")
+    }
+
+    /// Saves `ckpt` under the atomicity protocol (temp file + fsync +
+    /// rename + directory fsync + `LATEST` update + retention) and
+    /// returns the final path.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] on any filesystem failure. A failed save
+    /// never corrupts previously saved checkpoints.
+    pub fn save(&self, ckpt: &Checkpoint) -> Result<PathBuf, T2VecError> {
+        self.save_with(ckpt, &mut fault::FaultPlan::none())
+    }
+
+    /// [`CheckpointStore::save`] with injected faults — the test
+    /// harness's crash simulator. A triggered fault aborts the protocol
+    /// at exactly the planned point, leaving the directory as a real
+    /// crash would (stray temp file, renamed-but-unpointed checkpoint,
+    /// stale `LATEST`, …).
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] for injected write failures and real
+    /// filesystem failures alike; [`T2VecError::Checkpoint`] for
+    /// planned crashes between protocol steps.
+    pub fn save_with(
+        &self,
+        ckpt: &Checkpoint,
+        plan: &mut fault::FaultPlan,
+    ) -> Result<PathBuf, T2VecError> {
+        let bytes = to_bytes(ckpt)?;
+        let final_name = Self::file_name(ckpt.epochs_done);
+        let final_path = self.dir.join(&final_name);
+        let tmp_path = self.dir.join(format!(".{final_name}.tmp"));
+
+        // Step 1: temp file in the same directory, fully written and
+        // fsynced before it can take the final name.
+        {
+            let file = fs::File::create(&tmp_path)?;
+            let mut w =
+                fault::FaultyWriter::new(file, plan.write_fail_at.take(), plan.short_write_chunk);
+            w.write_all(&bytes)?;
+            w.flush()?;
+            w.into_inner().sync_all()?;
+        }
+        if plan.crash_before_rename {
+            return Err(T2VecError::Checkpoint(
+                "injected crash before rename (temp file left behind)".into(),
+            ));
+        }
+
+        // Step 2 + 3: atomic rename, then make the rename durable.
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir);
+        if plan.crash_before_latest {
+            return Err(T2VecError::Checkpoint(
+                "injected crash after rename, before LATEST update".into(),
+            ));
+        }
+
+        // Step 4: LATEST pointer, same temp-fsync-rename protocol.
+        let latest_tmp = self.dir.join(".LATEST.tmp");
+        {
+            let file = fs::File::create(&latest_tmp)?;
+            let mut w = fault::FaultyWriter::new(
+                file,
+                plan.latest_write_fail_at.take(),
+                plan.short_write_chunk,
+            );
+            w.write_all(format!("{final_name}\n").as_bytes())?;
+            w.flush()?;
+            w.into_inner().sync_all()?;
+        }
+        fs::rename(&latest_tmp, self.dir.join(LATEST_FILE))?;
+        sync_dir(&self.dir);
+
+        // Step 5: retention — drop the oldest beyond the budget.
+        let files = self.checkpoint_files();
+        if files.len() > self.keep {
+            for (path, _) in &files[..files.len() - self.keep] {
+                fs::remove_file(path).ok();
+            }
+        }
+        Ok(final_path)
+    }
+
+    /// All checkpoint files in the directory, oldest first, with their
+    /// epoch numbers. Temp files and foreign names are ignored.
+    pub fn checkpoint_files(&self) -> Vec<(PathBuf, usize)> {
+        let mut out = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(num) = name
+                .strip_prefix("ckpt-")
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<usize>().ok())
+            else {
+                continue;
+            };
+            out.push((entry.path(), num));
+        }
+        out.sort_by_key(|&(_, num)| num);
+        out
+    }
+
+    /// Loads and validates one checkpoint file.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] on read failure, otherwise as [`from_bytes`].
+    pub fn load_file(&self, path: &Path) -> Result<Checkpoint, T2VecError> {
+        read_checkpoint(fs::File::open(path)?)
+    }
+
+    /// Recovers the newest valid checkpoint.
+    ///
+    /// Scans checkpoint files newest first, validating each frame, and
+    /// returns the first that passes — corrupt or truncated files are
+    /// skipped with a warning, never a panic. The `LATEST` pointer is
+    /// advisory: its absence, unreadability, or disagreement with the
+    /// scan result each produce a warning only, so a crash between the
+    /// checkpoint rename and the pointer update still recovers the
+    /// newest data.
+    pub fn load_latest(&self) -> LoadOutcome {
+        let mut warnings = Vec::new();
+        let latest_target = match fs::read_to_string(self.dir.join(LATEST_FILE)) {
+            Ok(s) => Some(s.trim().to_string()),
+            Err(e) => {
+                warnings.push(format!(
+                    "LATEST pointer unreadable ({e}); scanning checkpoint files instead"
+                ));
+                None
+            }
+        };
+        let mut files = self.checkpoint_files();
+        files.reverse(); // newest first
+        for (path, _) in files {
+            match self.load_file(&path) {
+                Ok(ckpt) => {
+                    let name = path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    if let Some(target) = &latest_target {
+                        if *target != name {
+                            warnings.push(format!(
+                                "LATEST points at `{target}` but newest valid checkpoint is \
+                                 `{name}`; using `{name}`"
+                            ));
+                        }
+                    }
+                    return LoadOutcome {
+                        checkpoint: Some((path, ckpt)),
+                        warnings,
+                    };
+                }
+                Err(e) => {
+                    warnings.push(format!(
+                        "skipping corrupt checkpoint {}: {e}",
+                        path.display()
+                    ));
+                }
+            }
+        }
+        LoadOutcome {
+            checkpoint: None,
+            warnings,
+        }
+    }
+}
+
+/// Best-effort directory fsync (makes a completed rename durable).
+/// Errors are swallowed: not every platform lets a directory be opened
+/// for syncing, and the rename has already happened atomically.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use t2vec_nn::Seq2SeqConfig;
+    use t2vec_tensor::rng::det_rng;
+
+    fn tiny_checkpoint(epochs_done: usize) -> Checkpoint {
+        let mut rng = det_rng(40 + epochs_done as u64);
+        let model = Seq2Seq::new(
+            Seq2SeqConfig {
+                vocab: 12,
+                embed_dim: 4,
+                hidden: 4,
+                layers: 1,
+                bidirectional: false,
+            },
+            &mut rng,
+        );
+        Checkpoint {
+            version: FORMAT_VERSION,
+            config_hash: config_hash(&T2VecConfig::tiny()),
+            setup_seed: 40,
+            epochs_done,
+            iterations: epochs_done * 7,
+            stagnant: 0,
+            best_val_bits: if epochs_done == 0 {
+                f32::INFINITY.to_bits()
+            } else {
+                (1.5f32 / epochs_done as f32).to_bits()
+            },
+            history: Vec::new(),
+            rng: RngState::capture(&rng),
+            model,
+            best_model: None,
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("t2vec-ckpt-unit-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn framed_roundtrip_is_byte_identical() {
+        let ckpt = tiny_checkpoint(3);
+        let bytes = to_bytes(&ckpt).unwrap();
+        let back = from_bytes(&bytes).unwrap();
+        assert_eq!(to_bytes(&back).unwrap(), bytes);
+        assert_eq!(back.epochs_done, 3);
+        assert_eq!(back.rng, ckpt.rng);
+    }
+
+    #[test]
+    fn infinity_best_val_survives_json() {
+        let ckpt = tiny_checkpoint(0);
+        assert!(ckpt.best_val().is_infinite());
+        let back = from_bytes(&to_bytes(&ckpt).unwrap()).unwrap();
+        assert!(back.best_val().is_infinite());
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let bytes = to_bytes(&tiny_checkpoint(1)).unwrap();
+        // Truncation: drops the trailer.
+        assert!(matches!(
+            from_bytes(&bytes[..bytes.len() / 2]),
+            Err(T2VecError::Checkpoint(_))
+        ));
+        // Payload bit-flip: checksum mismatch.
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0x01;
+        assert!(matches!(
+            from_bytes(&flipped),
+            Err(T2VecError::Checkpoint(_))
+        ));
+        // Trailer bit-flip in the stated CRC.
+        let mut bad_trailer = bytes.clone();
+        let pos = bytes.len() - 10;
+        bad_trailer[pos] = if bad_trailer[pos] == b'0' { b'1' } else { b'0' };
+        assert!(from_bytes(&bad_trailer).is_err());
+        // Empty and garbage inputs.
+        assert!(from_bytes(b"").is_err());
+        assert!(from_bytes(b"not a checkpoint\nat all\n").is_err());
+    }
+
+    #[test]
+    fn store_saves_updates_latest_and_retains_k() {
+        let dir = temp_dir("retention");
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        for epoch in 1..=4 {
+            store.save(&tiny_checkpoint(epoch)).unwrap();
+        }
+        let files = store.checkpoint_files();
+        assert_eq!(
+            files.iter().map(|&(_, n)| n).collect::<Vec<_>>(),
+            vec![3, 4],
+            "retention must keep exactly the newest 2"
+        );
+        let latest = fs::read_to_string(dir.join(LATEST_FILE)).unwrap();
+        assert_eq!(latest.trim(), CheckpointStore::file_name(4));
+        let out = store.load_latest();
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        assert_eq!(out.checkpoint.unwrap().1.epochs_done, 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        let dir = temp_dir("empty");
+        let store = CheckpointStore::open(&dir, 3).unwrap();
+        let out = store.load_latest();
+        assert!(out.checkpoint.is_none());
+        assert!(!out.warnings.is_empty(), "missing LATEST should warn");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn config_hash_distinguishes_configs() {
+        let tiny = T2VecConfig::tiny();
+        let mut other = T2VecConfig::tiny();
+        other.hidden *= 2;
+        assert_eq!(config_hash(&tiny), config_hash(&T2VecConfig::tiny()));
+        assert_ne!(config_hash(&tiny), config_hash(&other));
+        let ckpt = tiny_checkpoint(1);
+        assert!(ckpt.matches_config(&tiny));
+        assert!(!ckpt.matches_config(&other));
+    }
+
+    #[test]
+    fn faulty_reader_surfaces_io_error_not_panic() {
+        let dir = temp_dir("faulty-read");
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        let path = store.save(&tiny_checkpoint(1)).unwrap();
+        let file = fs::File::open(&path).unwrap();
+        let err = read_checkpoint(fault::FaultyReader::new(file, Some(64))).unwrap_err();
+        assert!(matches!(err, T2VecError::Io(_)), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_writes_still_produce_valid_files() {
+        // A writer that accepts only 7 bytes per call exercises the
+        // write_all loop; the saved file must still validate.
+        let dir = temp_dir("short-writes");
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        let mut plan = fault::FaultPlan {
+            short_write_chunk: Some(7),
+            ..fault::FaultPlan::none()
+        };
+        let path = store.save_with(&tiny_checkpoint(1), &mut plan).unwrap();
+        assert_eq!(store.load_file(&path).unwrap().epochs_done, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rng_resumes_stream() {
+        let mut rng = det_rng(77);
+        for _ in 0..5 {
+            let _: u64 = rng.random();
+        }
+        let ckpt = Checkpoint {
+            rng: RngState::capture(&rng),
+            ..tiny_checkpoint(2)
+        };
+        let back = from_bytes(&to_bytes(&ckpt).unwrap()).unwrap();
+        let mut restored = back.rng.restore();
+        for _ in 0..8 {
+            assert_eq!(rng.random::<u64>(), restored.random::<u64>());
+        }
+    }
+}

@@ -13,6 +13,10 @@ pub enum T2VecError {
     Io(std::io::Error),
     /// Serialization failure during save/load.
     Serde(serde_json::Error),
+    /// A checkpoint file failed validation (bad frame, checksum
+    /// mismatch, unsupported version, or a config that disagrees with
+    /// the run being resumed).
+    Checkpoint(String),
 }
 
 impl fmt::Display for T2VecError {
@@ -22,6 +26,7 @@ impl fmt::Display for T2VecError {
             T2VecError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             T2VecError::Io(e) => write!(f, "io error: {e}"),
             T2VecError::Serde(e) => write!(f, "serialization error: {e}"),
+            T2VecError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

@@ -26,16 +26,26 @@
 //! (locality-sensitive hashing) implement the paper's §VI future-work
 //! items 1 and 3. [`vrnn`] is the vanilla-RNN embedding baseline of
 //! §V-A.
+//!
+//! Training is driven by the epoch-stepped [`trainer::Trainer`], whose
+//! complete mutable state can be captured between epochs as a
+//! [`checkpoint::Checkpoint`] and persisted crash-safely through a
+//! [`checkpoint::CheckpointStore`]; an interrupted run resumes
+//! bitwise-identically to an uninterrupted one.
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod index;
 pub mod kmeans;
 pub mod model;
+pub mod trainer;
 pub mod vrnn;
 
+pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use config::T2VecConfig;
 pub use error::T2VecError;
 pub use model::{T2Vec, TrainReport};
+pub use trainer::Trainer;

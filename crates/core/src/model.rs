@@ -2,19 +2,14 @@
 
 use crate::config::T2VecConfig;
 use crate::error::T2VecError;
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
-use t2vec_nn::batch::{make_batches, Batch};
-use t2vec_nn::param::{apply_grad_mats, reduce_grad_sets, GradSet};
-use t2vec_nn::skipgram::{pretrain_cells, SkipGramConfig};
-use t2vec_nn::{Seq2Seq, Seq2SeqConfig};
-use t2vec_spatial::grid::Grid;
-use t2vec_spatial::point::{BBox, Point};
+use std::io::Write;
+use t2vec_nn::batch::make_batches;
+use t2vec_nn::Seq2Seq;
+use t2vec_spatial::point::Point;
 use t2vec_spatial::transform::{distort, downsample};
 use t2vec_spatial::vocab::{NeighborTable, Token, Vocab};
-use t2vec_tensor::opt::Adam;
 use t2vec_tensor::parallel;
 use t2vec_tensor::Tape;
 use t2vec_trajgen::Trajectory;
@@ -85,6 +80,11 @@ impl T2Vec {
     /// early stopping (§V-B). The parameters achieving the best
     /// validation loss are the ones kept.
     ///
+    /// This is a convenience wrapper over [`crate::trainer::Trainer`]:
+    /// one `u64` setup seed is drawn from `rng` and the whole run is
+    /// derived from it. Use the trainer directly for epoch-level control
+    /// or checkpoint/resume.
+    ///
     /// # Errors
     /// [`T2VecError::InvalidConfig`] for bad configs and
     /// [`T2VecError::InsufficientData`] when the corpus yields no hot
@@ -95,140 +95,25 @@ impl T2Vec {
         val: &[Trajectory],
         rng: &mut impl Rng,
     ) -> Result<(Self, TrainReport), T2VecError> {
-        config.validate()?;
-        let t0 = Instant::now();
+        let seed: u64 = rng.random();
+        let mut trainer = crate::trainer::Trainer::new(config, train, val, seed)?;
+        while trainer.step_epoch().is_some() {}
+        Ok(trainer.finish())
+    }
 
-        // 1. Vocabulary over the training corpus.
-        let all_points = || train.iter().flat_map(|t| t.points.iter());
-        let bbox = BBox::of_points(&all_points().copied().collect::<Vec<_>>())
-            .ok_or_else(|| T2VecError::InsufficientData("empty training corpus".into()))?;
-        // Margin so distorted points stay inside.
-        let grid = Grid::new(bbox.expanded(4.0 * config.cell_side), config.cell_side);
-        let vocab = Vocab::build(grid, all_points(), config.hot_cell_threshold);
-        if vocab.num_hot_cells() < 2 {
-            return Err(T2VecError::InsufficientData(format!(
-                "only {} hot cells at threshold {} — lower hot_cell_threshold or add data",
-                vocab.num_hot_cells(),
-                config.hot_cell_threshold
-            )));
+    /// Assembles a model from trained parts (used by the trainer).
+    pub(crate) fn from_parts(
+        config: T2VecConfig,
+        vocab: Vocab,
+        table: NeighborTable,
+        model: Seq2Seq,
+    ) -> Self {
+        Self {
+            config,
+            vocab,
+            table,
+            model,
         }
-        let k = config.k_nearest.min(vocab.num_hot_cells());
-        let table = NeighborTable::build(&vocab, k, config.theta);
-
-        // 2. Cell pre-training (Algorithm 1).
-        let pre0 = Instant::now();
-        let seq_config = Seq2SeqConfig {
-            vocab: vocab.size(),
-            embed_dim: config.embed_dim,
-            hidden: config.hidden,
-            layers: config.layers,
-            bidirectional: config.bidirectional,
-        };
-        let mut model = if config.pretrain_cells {
-            let sg = SkipGramConfig {
-                dim: config.embed_dim,
-                k,
-                theta: config.theta,
-                ..config.skipgram
-            };
-            let pretrained = pretrain_cells(&vocab, &sg, rng);
-            Seq2Seq::with_pretrained_embedding(seq_config, pretrained, rng)
-        } else {
-            Seq2Seq::new(seq_config, rng)
-        };
-        let pretrain_seconds = pre0.elapsed().as_secs_f64();
-
-        // 3. Pair generation.
-        let pairs = generate_pairs(config, train, &vocab, rng);
-        if pairs.is_empty() {
-            return Err(T2VecError::InsufficientData(
-                "no training pairs generated".into(),
-            ));
-        }
-        let val_pairs = generate_val_pairs(config, val, &vocab, rng);
-
-        // 4. Training loop with early stopping.
-        let adam = Adam::with_lr(config.learning_rate);
-        let mut iterations = 0usize;
-        let mut best_val = f32::INFINITY;
-        let mut best_model: Option<Seq2Seq> = None;
-        let mut stagnant = 0usize;
-        let mut history = Vec::new();
-        let mut epochs = 0usize;
-        let accum = config.grad_accum.max(1);
-        'training: for epoch in 0..config.max_epochs {
-            epochs = epoch + 1;
-            let batches = make_batches(&pairs, config.batch_size, rng);
-            let mut epoch_loss = 0.0f64;
-            let mut epoch_tokens = 0usize;
-            // Data-parallel steps: each group of `accum` batches fans out
-            // across worker threads — every worker runs a private tape
-            // against the shared read-only parameters — and the gradient
-            // sets are reduced in batch order into one optimiser step.
-            // Per-batch RNGs are seeded from `rng` *before* the fan-out,
-            // so the loss trajectory is identical for any worker count.
-            for group in batches.chunks(accum) {
-                let seeds: Vec<u64> = group.iter().map(|_| rng.random()).collect();
-                let sets = compute_group_grads(&model, group, config, &table, &seeds);
-                epoch_tokens += sets.iter().map(|s| s.target_tokens).sum::<usize>();
-                epoch_loss += sets
-                    .iter()
-                    .map(|s| f64::from(s.loss) * s.target_tokens as f64)
-                    .sum::<f64>();
-                let mut reduced = reduce_grad_sets(&sets);
-                let mut params = model.params_mut();
-                apply_grad_mats(&mut params, &mut reduced.grads, &adam, config.grad_clip);
-                iterations += 1;
-                if iterations >= config.max_iterations {
-                    break;
-                }
-            }
-            let train_loss = (epoch_loss / epoch_tokens.max(1) as f64) as f32;
-            let val_loss = if val_pairs.is_empty() {
-                train_loss
-            } else {
-                validation_loss(&model, config, &table, &val_pairs, rng)
-            };
-            history.push(EpochStats {
-                epoch,
-                train_loss,
-                val_loss,
-            });
-            if val_loss < best_val {
-                best_val = val_loss;
-                best_model = Some(model.clone());
-                stagnant = 0;
-            } else {
-                stagnant += 1;
-                if stagnant >= config.patience {
-                    break 'training;
-                }
-            }
-            if iterations >= config.max_iterations {
-                break 'training;
-            }
-        }
-        let model = best_model.unwrap_or(model);
-
-        let report = TrainReport {
-            iterations,
-            epochs,
-            train_seconds: t0.elapsed().as_secs_f64(),
-            pretrain_seconds,
-            best_val_loss: best_val,
-            num_pairs: pairs.len(),
-            vocab_size: vocab.size(),
-            history,
-        };
-        Ok((
-            Self {
-                config: config.clone(),
-                vocab,
-                table,
-                model,
-            },
-            report,
-        ))
     }
 
     /// The configuration the model was trained with.
@@ -295,12 +180,17 @@ impl T2Vec {
             .collect()
     }
 
-    /// Serialises the model as JSON.
+    /// Serialises the model as JSON. The writer is buffered internally,
+    /// so passing a raw `File` is fine.
     ///
     /// # Errors
-    /// Propagates serialization and I/O failures.
+    /// [`T2VecError::Serde`] if serialization fails, [`T2VecError::Io`]
+    /// (with the underlying [`std::io::Error`]) if the write does.
     pub fn save<W: std::io::Write>(&self, w: W) -> Result<(), T2VecError> {
-        serde_json::to_writer(w, self)?;
+        let json = serde_json::to_string(self)?;
+        let mut w = std::io::BufWriter::new(w);
+        w.write_all(json.as_bytes()).map_err(T2VecError::Io)?;
+        w.flush().map_err(T2VecError::Io)?;
         Ok(())
     }
 
@@ -311,24 +201,6 @@ impl T2Vec {
     pub fn load<R: std::io::Read>(r: R) -> Result<Self, T2VecError> {
         Ok(serde_json::from_reader(r)?)
     }
-}
-
-/// Computes gradients for one accumulation group of batches, sharded
-/// across worker threads. Each batch gets its own RNG (seeded from the
-/// pre-drawn `seeds`, one per batch, in batch order) and its own tape;
-/// results come back in batch order regardless of scheduling.
-fn compute_group_grads(
-    model: &Seq2Seq,
-    group: &[Batch],
-    config: &T2VecConfig,
-    table: &NeighborTable,
-    seeds: &[u64],
-) -> Vec<GradSet> {
-    debug_assert_eq!(group.len(), seeds.len());
-    parallel::par_map(group, |i, batch| {
-        let mut batch_rng = StdRng::seed_from_u64(seeds[i]);
-        model.compute_grads(batch, config.loss, table, &mut batch_rng)
-    })
 }
 
 /// Euclidean distance between two representation vectors — the `O(|v|)`
@@ -372,7 +244,7 @@ pub fn generate_pairs(
 
 /// Validation pairs: one mid-rate variant per validation trajectory
 /// (enough signal for early stopping at a fraction of the cost).
-fn generate_val_pairs(
+pub(crate) fn generate_val_pairs(
     config: &T2VecConfig,
     val: &[Trajectory],
     vocab: &Vocab,
@@ -393,7 +265,7 @@ fn generate_val_pairs(
         .collect()
 }
 
-fn validation_loss(
+pub(crate) fn validation_loss(
     model: &Seq2Seq,
     config: &T2VecConfig,
     table: &NeighborTable,
@@ -416,6 +288,8 @@ fn validation_loss(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use t2vec_spatial::grid::Grid;
+    use t2vec_spatial::point::BBox;
     use t2vec_tensor::rng::det_rng;
     use t2vec_trajgen::city::City;
     use t2vec_trajgen::dataset::DatasetBuilder;

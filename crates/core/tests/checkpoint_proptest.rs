@@ -1,0 +1,148 @@
+//! Property tests for checkpoint serialisation: arbitrary optimiser and
+//! RNG states must survive save → load → save with *byte-identical*
+//! output, and the restored state must behave identically to the
+//! original. Byte-identity is what lets the resume tests compare whole
+//! runs with `to_bits` — any drift in the serde layer (float printing,
+//! field ordering, map iteration) would surface here first.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use t2vec_core::checkpoint::{config_hash, from_bytes, to_bytes, Checkpoint, FORMAT_VERSION};
+use t2vec_core::model::EpochStats;
+use t2vec_core::T2VecConfig;
+use t2vec_nn::param::apply_grad_mats;
+use t2vec_nn::{Seq2Seq, Seq2SeqConfig};
+use t2vec_tensor::opt::Adam;
+use t2vec_tensor::rng::{standard_normal, RngState};
+use t2vec_tensor::Matrix;
+
+/// A checkpoint with genuinely arbitrary mutable state: the model's
+/// Adam moments come from `adam_steps` real optimiser steps against
+/// random gradients, the RNG state from advancing a seeded stream by a
+/// random amount.
+fn arbitrary_checkpoint(
+    seed: u64,
+    adam_steps: usize,
+    rng_skip: usize,
+    epochs: usize,
+) -> Checkpoint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model = Seq2Seq::new(
+        Seq2SeqConfig {
+            vocab: 12,
+            embed_dim: 4,
+            hidden: 4,
+            layers: 1,
+            bidirectional: false,
+        },
+        &mut rng,
+    );
+    let adam = Adam::with_lr(1e-2);
+    for _ in 0..adam_steps {
+        let mut grads: Vec<Option<Matrix>> = model
+            .params()
+            .iter()
+            .map(|p| {
+                let (r, c) = p.value.shape();
+                let data = (0..r * c).map(|_| standard_normal(&mut rng)).collect();
+                Some(Matrix::from_vec(r, c, data))
+            })
+            .collect();
+        let mut params = model.params_mut();
+        apply_grad_mats(&mut params, &mut grads, &adam, 5.0);
+    }
+    for _ in 0..rng_skip {
+        let _: u64 = rng.random();
+    }
+    let history = (0..epochs)
+        .map(|epoch| EpochStats {
+            epoch,
+            train_loss: standard_normal(&mut rng).abs(),
+            val_loss: standard_normal(&mut rng).abs(),
+        })
+        .collect();
+    let best_model = if epochs > 0 {
+        Some(model.clone())
+    } else {
+        None
+    };
+    Checkpoint {
+        version: FORMAT_VERSION,
+        config_hash: config_hash(&T2VecConfig::tiny()),
+        setup_seed: seed,
+        epochs_done: epochs,
+        iterations: epochs * 13,
+        stagnant: epochs % 3,
+        best_val_bits: if epochs == 0 {
+            f32::INFINITY.to_bits()
+        } else {
+            standard_normal(&mut rng).abs().to_bits()
+        },
+        history,
+        rng: RngState::capture(&rng),
+        model,
+        best_model,
+    }
+}
+
+proptest! {
+    #[test]
+    fn save_load_save_is_byte_identical(
+        seed in 0u64..u64::MAX,
+        adam_steps in 0usize..4,
+        rng_skip in 0usize..32,
+        epochs in 0usize..6,
+    ) {
+        let ckpt = arbitrary_checkpoint(seed, adam_steps, rng_skip, epochs);
+        let first = to_bytes(&ckpt).unwrap();
+        let reloaded = from_bytes(&first).unwrap();
+        let second = to_bytes(&reloaded).unwrap();
+        prop_assert_eq!(&first, &second);
+        // And a second round-trip stays fixed (idempotence, not luck).
+        let third = to_bytes(&from_bytes(&second).unwrap()).unwrap();
+        prop_assert_eq!(&second, &third);
+    }
+
+    #[test]
+    fn restored_state_behaves_identically(
+        seed in 0u64..u64::MAX,
+        adam_steps in 1usize..3,
+        rng_skip in 0usize..16,
+    ) {
+        let ckpt = arbitrary_checkpoint(seed, adam_steps, rng_skip, 2);
+        let reloaded = from_bytes(&to_bytes(&ckpt).unwrap()).unwrap();
+
+        // The restored RNG continues the exact stream.
+        let mut a = ckpt.rng.restore();
+        let mut b = reloaded.rng.restore();
+        for _ in 0..16 {
+            prop_assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+
+        // Parameters and Adam moments are bit-equal: one further
+        // optimiser step from both copies lands on identical values.
+        let mut m1 = ckpt.model;
+        let mut m2 = reloaded.model;
+        let mut g1: Vec<Option<Matrix>> = m1
+            .params()
+            .iter()
+            .map(|p| {
+                let (r, c) = p.value.shape();
+                let data = (0..r * c).map(|_| standard_normal(&mut a)).collect();
+                Some(Matrix::from_vec(r, c, data))
+            })
+            .collect();
+        let mut g2 = g1.clone();
+        let adam = Adam::with_lr(1e-2);
+        apply_grad_mats(&mut m1.params_mut(), &mut g1, &adam, 5.0);
+        apply_grad_mats(&mut m2.params_mut(), &mut g2, &adam, 5.0);
+        let bits = |m: &Seq2Seq| -> Vec<u32> {
+            m.params()
+                .iter()
+                .flat_map(|p| p.value.as_slice().iter().map(|v| v.to_bits()))
+                .collect()
+        };
+        prop_assert_eq!(bits(&m1), bits(&m2));
+    }
+}

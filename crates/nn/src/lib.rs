@@ -17,7 +17,10 @@
 //!   + NCE approximation, Eq. 7);
 //! * [`batch`] — length-bucketed minibatching of training pairs;
 //! * [`skipgram`] — Algorithm 1: skip-gram with negative sampling over
-//!   spatially sampled cell contexts, used to pre-train the embedding.
+//!   spatially sampled cell contexts, used to pre-train the embedding;
+//! * [`train`] — the data-parallel, checkpoint-friendly epoch driver:
+//!   all cross-epoch state lives in the model and the caller's RNG, so
+//!   an interrupted run can resume bitwise-identically.
 
 #![warn(missing_docs)]
 
@@ -28,6 +31,7 @@ pub mod loss;
 pub mod param;
 pub mod seq2seq;
 pub mod skipgram;
+pub mod train;
 
 pub use loss::LossKind;
 pub use param::{GradSet, Param};

@@ -67,6 +67,26 @@ impl AdamState {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Reassembles a state from its parts (used when restoring
+    /// checkpoints or constructing test fixtures).
+    ///
+    /// # Panics
+    /// Panics if the moment matrices disagree in shape.
+    pub fn from_parts(m: Matrix, v: Matrix, t: u64) -> Self {
+        assert_eq!(m.shape(), v.shape(), "adam: moment shape mismatch");
+        Self { m, v, t }
+    }
+
+    /// The first-moment (mean) estimate.
+    pub fn first_moment(&self) -> &Matrix {
+        &self.m
+    }
+
+    /// The second-moment (uncentred variance) estimate.
+    pub fn second_moment(&self) -> &Matrix {
+        &self.v
+    }
 }
 
 /// Adam hyper-parameters (Kingma & Ba 2014), shared across parameters.

@@ -13,6 +13,7 @@
 //! line, coordinates in meters in a local plane (project lon/lat with
 //! `GeoPoint::project` first).
 
+use rand::RngExt;
 use std::fs::File;
 use std::process::ExitCode;
 use t2vec::prelude::*;
@@ -31,7 +32,7 @@ impl Opts {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{a}'"));
             };
-            if name == "lsh" {
+            if name == "lsh" || name == "resume" {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -60,6 +61,7 @@ fn usage() -> &'static str {
     "usage: t2vec <generate|train|encode|knn|stats> [--flags]\n\
      \n  generate --city porto|harbin|tiny --trips N --out FILE [--seed N] [--min-len N]\
      \n  train    --data FILE --out FILE [--preset tiny|small|paper] [--seed N]\
+     \n           [--checkpoint-dir DIR [--checkpoint-every N] [--keep K] [--resume]]\
      \n  encode   --model FILE --data FILE --out FILE\
      \n  knn      --model FILE --db FILE --query FILE [--k N] [--lsh]\
      \n  stats    --data FILE"
@@ -143,11 +145,49 @@ fn train(opts: &Opts) -> Result<(), String> {
         "paper" => T2VecConfig::paper_default(),
         other => return Err(format!("unknown preset '{other}'")),
     };
-    let mut rng = det_rng(seed);
+    let every: usize = opts
+        .get_or("checkpoint-every", "1")
+        .parse::<usize>()
+        .map_err(|_| "bad --checkpoint-every")?
+        .max(1);
+    let keep: usize = opts.get_or("keep", "3").parse().map_err(|_| "bad --keep")?;
+    let resume = opts.flags.contains_key("resume");
+    let store = match opts.flags.get("checkpoint-dir") {
+        Some(dir) => Some(CheckpointStore::open(dir, keep).map_err(|e| e.to_string())?),
+        None if resume => return Err("--resume needs --checkpoint-dir".into()),
+        None => None,
+    };
     let split = data.len().saturating_sub((data.len() / 10).max(1)).max(1);
     let (tr, val) = data.split_at(split.min(data.len()));
-    let (model, report) = t2vec_core::T2Vec::train_with_report(&config, tr, val, &mut rng)
-        .map_err(|e| e.to_string())?;
+    // Derive the setup seed exactly as `T2Vec::train_with_report` does,
+    // so a run with checkpointing off is bit-identical to one with it on.
+    let setup_seed: u64 = det_rng(seed).random();
+    let mut trainer = if resume {
+        let (trainer, notes) =
+            Trainer::resume_from(&config, tr, val, setup_seed, store.as_ref().unwrap())
+                .map_err(|e| e.to_string())?;
+        for note in notes {
+            eprintln!("resume: {note}");
+        }
+        trainer
+    } else {
+        Trainer::new(&config, tr, val, setup_seed).map_err(|e| e.to_string())?
+    };
+    while trainer.step_epoch().is_some() {
+        if let Some(store) = &store {
+            if trainer.epochs_done() % every == 0 {
+                let path = store
+                    .save(&trainer.checkpoint())
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "checkpoint: epoch {} -> {}",
+                    trainer.epochs_done(),
+                    path.display()
+                );
+            }
+        }
+    }
+    let (model, report) = trainer.finish();
     let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
     model.save(file).map_err(|e| e.to_string())?;
     println!(

@@ -48,7 +48,7 @@ pub mod prelude {
     pub use t2vec_core::{
         index::{BruteForceIndex, LshIndex, VectorIndex},
         kmeans::{kmeans, KMeansResult},
-        T2Vec, T2VecConfig, TrainReport,
+        Checkpoint, CheckpointStore, T2Vec, T2VecConfig, TrainReport, Trainer,
     };
     pub use t2vec_distance::{
         cms::Cms, dtw::Dtw, edr::Edr, edwp::Edwp, erp::Erp, frechet::DiscreteFrechet, lcss::Lcss,

@@ -1,0 +1,135 @@
+//! Kill-and-resume training: a run that checkpoints every epoch, is
+//! "crashed" after epoch 2, and resumes from its checkpoint directory
+//! must finish with *bitwise identical* loss curves and parameters to a
+//! run that was never interrupted — at 1 worker thread and at 4.
+//!
+//! This is the end-to-end proof of the checkpoint subsystem: the
+//! checkpoint captures the complete mutable run state (parameters, Adam
+//! moments, RNG position, counters), the deterministic setup is
+//! re-derived from the recorded seed, and the epoch driver consumes
+//! randomness in a thread-count-independent order.
+
+use std::path::PathBuf;
+use t2vec::prelude::*;
+use t2vec::tensor::parallel;
+use t2vec_trajgen::dataset::Dataset;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("t2vec-resume-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn tiny_dataset() -> Dataset {
+    let mut rng = det_rng(601);
+    let city = City::tiny(&mut rng);
+    DatasetBuilder::new(&city)
+        .trips(40)
+        .min_len(6)
+        .build(&mut rng)
+}
+
+fn four_epoch_config() -> T2VecConfig {
+    let mut config = T2VecConfig::tiny();
+    config.max_epochs = 4;
+    // High patience: the run must reach all 4 epochs so the crash at
+    // epoch 2 actually interrupts something.
+    config.patience = 10;
+    // Ragged accumulation groups across 4 workers.
+    config.grad_accum = 3;
+    config
+}
+
+fn param_bits(model: &t2vec::nn::Seq2Seq) -> Vec<u32> {
+    model
+        .params()
+        .iter()
+        .flat_map(|p| p.value.as_slice().iter().map(|v| v.to_bits()))
+        .collect()
+}
+
+fn history_bits(trainer: &Trainer) -> Vec<(u32, u32)> {
+    trainer
+        .history()
+        .iter()
+        .map(|s| (s.train_loss.to_bits(), s.val_loss.to_bits()))
+        .collect()
+}
+
+#[test]
+fn killed_and_resumed_run_is_bitwise_identical_to_uninterrupted() {
+    const SEED: u64 = 602;
+    let ds = tiny_dataset();
+    let config = four_epoch_config();
+
+    // `set_threads` is process-global, so both thread counts run inside
+    // this single test function (as in `data_parallel.rs`).
+    for &threads in &[1usize, 4] {
+        parallel::set_threads(threads);
+
+        // The uninterrupted reference run.
+        let mut straight =
+            Trainer::new(&config, &ds.train, &ds.val, SEED).expect("training setup failed");
+        while straight.step_epoch().is_some() {}
+        assert_eq!(straight.epochs_done(), 4, "expected the full 4 epochs");
+
+        // The victim: checkpoints every epoch, killed after epoch 2.
+        let dir = temp_dir(&format!("kill-{threads}t"));
+        let store = CheckpointStore::open(&dir, 3).unwrap();
+        let mut victim =
+            Trainer::new(&config, &ds.train, &ds.val, SEED).expect("training setup failed");
+        for _ in 0..2 {
+            assert!(victim.step_epoch().is_some());
+            store.save(&victim.checkpoint()).expect("checkpoint failed");
+        }
+        drop(victim); // the crash
+
+        // Resume from the directory. The fresh-start seed argument is
+        // deliberately wrong: the setup seed must come from the
+        // checkpoint, not the caller.
+        let (mut resumed, notes) =
+            Trainer::resume_from(&config, &ds.train, &ds.val, 0xdead_beef, &store)
+                .expect("resume failed");
+        assert_eq!(
+            resumed.epochs_done(),
+            2,
+            "resume must pick up after epoch 2"
+        );
+        assert!(
+            notes.iter().any(|n| n.contains("resumed from")),
+            "{notes:?}"
+        );
+        while resumed.step_epoch().is_some() {
+            store
+                .save(&resumed.checkpoint())
+                .expect("checkpoint failed");
+        }
+
+        // Bitwise-identical run: counters, loss curves, parameters.
+        assert_eq!(straight.epochs_done(), resumed.epochs_done());
+        assert_eq!(straight.iterations(), resumed.iterations());
+        assert_eq!(
+            history_bits(&straight),
+            history_bits(&resumed),
+            "loss curves diverged at {threads} thread(s)"
+        );
+        assert_eq!(
+            param_bits(straight.model()),
+            param_bits(resumed.model()),
+            "final parameters diverged at {threads} thread(s)"
+        );
+
+        // And identical behaviour through the public encoder.
+        let (model_a, report_a) = straight.finish();
+        let (model_b, report_b) = resumed.finish();
+        assert_eq!(
+            report_a.best_val_loss.to_bits(),
+            report_b.best_val_loss.to_bits()
+        );
+        for trip in ds.test.iter().take(5) {
+            assert_eq!(model_a.encode(&trip.points), model_b.encode(&trip.points));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -95,6 +95,87 @@ fn full_cli_pipeline() {
 }
 
 #[test]
+fn cli_train_checkpoints_and_resumes() {
+    let data = tmp("ckpt-trips.csv");
+    let model_a = tmp("ckpt-model-a.json");
+    let model_b = tmp("ckpt-model-b.json");
+    let dir = tmp("ckpt-dir");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (ok, _, stderr) = run(&[
+        "generate",
+        "--city",
+        "tiny",
+        "--trips",
+        "60",
+        "--min-len",
+        "6",
+        "--out",
+        &data,
+        "--seed",
+        "5",
+    ]);
+    assert!(ok, "generate failed: {stderr}");
+
+    // Train with per-epoch checkpointing.
+    let (ok, _, stderr) = run(&[
+        "train",
+        "--data",
+        &data,
+        "--preset",
+        "tiny",
+        "--out",
+        &model_a,
+        "--seed",
+        "5",
+        "--checkpoint-dir",
+        &dir,
+        "--keep",
+        "2",
+    ]);
+    assert!(ok, "train failed: {stderr}");
+    assert!(stderr.contains("checkpoint:"), "{stderr}");
+    assert!(std::path::Path::new(&dir).join("LATEST").exists());
+
+    // Resume the (already finished) run: must report the resume and
+    // write a byte-identical model.
+    let (ok, _, stderr) = run(&[
+        "train",
+        "--data",
+        &data,
+        "--preset",
+        "tiny",
+        "--out",
+        &model_b,
+        "--seed",
+        "5",
+        "--checkpoint-dir",
+        &dir,
+        "--resume",
+    ]);
+    assert!(ok, "resume failed: {stderr}");
+    assert!(stderr.contains("resumed from"), "{stderr}");
+    let a = std::fs::read(&model_a).unwrap();
+    let b = std::fs::read(&model_b).unwrap();
+    assert_eq!(a, b, "resumed model file must be byte-identical");
+
+    // --resume without a checkpoint directory is an error.
+    let (ok, _, stderr) = run(&[
+        "train", "--data", &data, "--preset", "tiny", "--out", &model_b, "--resume",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--resume needs --checkpoint-dir"),
+        "{stderr}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    for f in [&data, &model_a, &model_b] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
 fn cli_reports_usage_on_no_args() {
     let (ok, _, stderr) = run(&[]);
     assert!(!ok);
