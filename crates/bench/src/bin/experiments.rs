@@ -10,6 +10,11 @@
 //!      bench_pr1            (never implied by `all`: measures the
 //!                            matmul / encode / train-step throughput
 //!                            and writes BENCH_PR1.json to the CWD)
+//!      bench_exp            (never implied by `all`: runs the seeded
+//!                            paper-experiment harness and writes its
+//!                            canonical report to the CWD — at
+//!                            `--scale tiny` this is GOLDEN_EXP.json,
+//!                            the regression-gate regeneration path)
 //! ```
 //!
 //! Absolute numbers differ from the paper (synthetic data, CPU-scale
@@ -180,6 +185,96 @@ fn main() {
     if args.ids.iter().any(|x| x == "bench_pr1") {
         bench_pr1();
     }
+    // Opt-in only: writes GOLDEN_EXP.json / EXP_QUICK.json.
+    if args.ids.iter().any(|x| x == "bench_exp") {
+        bench_exp(&args);
+    }
+}
+
+/// Runs the deterministic paper-experiment harness (EXP1–EXP3 + LSH
+/// recall; see `t2vec_eval::harness`), prints every sweep, re-checks the
+/// trend gates and writes the canonical report to the CWD. At tiny scale
+/// the output file is `GOLDEN_EXP.json` — byte-identical to what
+/// `tests/paper_experiments.rs` asserts against, making this the golden
+/// regeneration path.
+fn bench_exp(args: &Args) {
+    use t2vec_eval::harness::{self, HarnessConfig, SweepReport};
+    println!("---- BENCH_EXP: deterministic paper-experiment harness ----");
+    // `--scale` picked one of the two presets; map it onto the harness
+    // preset of the same name (the harness owns its own Scale values so
+    // the golden contract cannot drift with the table runners').
+    let (cfg, out_path) = if args.scale.trips == Scale::tiny().trips {
+        (HarnessConfig::tiny(), "GOLDEN_EXP.json")
+    } else {
+        (HarnessConfig::quick(), "EXP_QUICK.json")
+    };
+    eprintln!(
+        "[bench_exp] {} trips, seed {}, rates {:?} ...",
+        cfg.scale.trips, cfg.scale.seed, cfg.rates
+    );
+    let t0 = Instant::now();
+    let report = harness::run(&cfg);
+    eprintln!(
+        "[bench_exp] harness done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+
+    let sweep_rows = |s: &SweepReport, fmt3: bool| {
+        let cols: Vec<String> = s.rates.iter().map(|r| format!("r={r}")).collect();
+        method_table("", &cols, &s.rows, fmt3)
+    };
+    println!(
+        "EXP1 mean rank vs dropping r1:\n{}",
+        sweep_rows(&report.exp1_dropping, false)
+    );
+    println!(
+        "EXP1 mean rank vs distorting r2:\n{}",
+        sweep_rows(&report.exp1_distorting, false)
+    );
+    println!(
+        "EXP2 cross-distance deviation vs r1:\n{}",
+        sweep_rows(&report.exp2_cross_dropping, true)
+    );
+    println!(
+        "EXP2 cross-distance deviation vs r2:\n{}",
+        sweep_rows(&report.exp2_cross_distorting, true)
+    );
+    println!(
+        "EXP3 precision@{} vs r1:\n{}",
+        cfg.knn_k,
+        sweep_rows(&report.exp3_knn_dropping, true)
+    );
+    println!(
+        "EXP3 precision@{} vs r2:\n{}",
+        cfg.knn_k,
+        sweep_rows(&report.exp3_knn_distorting, true)
+    );
+    println!(
+        "LSH recall@{} vs brute force (floor {}): {:?} (mean candidates {:?} of {})",
+        report.lsh.k,
+        report.lsh.floor,
+        report.lsh.recall,
+        report.lsh.mean_candidates,
+        report.lsh.db
+    );
+
+    let violations = harness::trend_violations(&report);
+    if violations.is_empty() {
+        println!("trend gates: all hold");
+    } else {
+        println!("trend gates VIOLATED:");
+        for v in &violations {
+            println!("  {v}");
+        }
+    }
+
+    let json = format!("{}\n", report.to_canonical_json());
+    std::fs::write(out_path, &json).expect("write harness report");
+    println!("wrote {out_path}");
+    assert!(
+        violations.is_empty(),
+        "harness trend gates violated — do not check in this report"
+    );
 }
 
 /// Mean wall-clock seconds of `f`, with enough repetitions to measure

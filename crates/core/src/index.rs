@@ -42,7 +42,10 @@ fn top_k(
     let mut scored: Vec<(usize, f32)> = candidates
         .map(|id| (id, sq_dist(&vectors[id], query)))
         .collect();
-    scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    // `total_cmp` gives a total order (NaN distances sort last instead
+    // of scrambling the comparison sort); equal distances break ties by
+    // ascending id so results are deterministic across candidate orders.
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
     scored.truncate(k);
     for s in &mut scored {
         s.1 = s.1.sqrt();
@@ -228,6 +231,42 @@ mod tests {
         for w in r.windows(2) {
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn nan_vectors_sort_last_without_scrambling_finite_ranking() {
+        let mut idx = BruteForceIndex::new();
+        idx.add(vec![f32::NAN, 0.0]); // id 0: NaN distance to anything
+        idx.add(vec![3.0, 0.0]); // id 1
+        idx.add(vec![1.0, 0.0]); // id 2
+        idx.add(vec![0.0, f32::NAN]); // id 3: NaN distance
+        idx.add(vec![2.0, 0.0]); // id 4
+        let r = idx.knn(&[0.0, 0.0], 5);
+        // Finite vectors first, in true distance order; NaN vectors
+        // last, ordered by id.
+        let ids: Vec<usize> = r.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![2, 4, 1, 0, 3]);
+        assert!(r[0].1.is_finite() && r[2].1.is_finite());
+        assert!(r[3].1.is_nan() && r[4].1.is_nan());
+        // NaN entries must never displace finite ones from a short list.
+        let top2: Vec<usize> = idx.knn(&[0.0, 0.0], 2).iter().map(|&(id, _)| id).collect();
+        assert_eq!(top2, vec![2, 4]);
+    }
+
+    #[test]
+    fn duplicate_distances_tie_break_by_ascending_id() {
+        // Four identical vectors interleaved with a closer and a farther
+        // one: ties must come back in insertion-id order.
+        let idx = BruteForceIndex::from_vectors(vec![
+            vec![5.0, 0.0], // id 0 (tie group)
+            vec![9.0, 0.0], // id 1 (farther)
+            vec![5.0, 0.0], // id 2 (tie group)
+            vec![1.0, 0.0], // id 3 (closest)
+            vec![5.0, 0.0], // id 4 (tie group)
+            vec![5.0, 0.0], // id 5 (tie group)
+        ]);
+        let ids: Vec<usize> = idx.knn(&[0.0, 0.0], 6).iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![3, 0, 2, 4, 5, 1]);
     }
 
     #[test]

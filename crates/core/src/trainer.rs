@@ -334,6 +334,26 @@ impl Trainer {
         &self.model
     }
 
+    /// Packages the trained-so-far encoder as a queryable [`T2Vec`]
+    /// without consuming the trainer: the best-validation parameters so
+    /// far (or the current ones when validation never improved),
+    /// together with the vocabulary and neighbour table the run was set
+    /// up with. The evaluation harness uses this to score the encoder
+    /// mid-run; [`Trainer::finish`] remains the end-of-run path (it also
+    /// assembles the [`TrainReport`]).
+    pub fn snapshot(&self) -> T2Vec {
+        let model = self
+            .best_model
+            .clone()
+            .unwrap_or_else(|| self.model.clone());
+        T2Vec::from_parts(
+            self.config.clone(),
+            self.vocab.clone(),
+            self.table.clone(),
+            model,
+        )
+    }
+
     /// Finishes the run: keeps the best-validation parameters (or the
     /// final ones when validation never improved) and assembles the
     /// [`TrainReport`].
@@ -435,6 +455,29 @@ mod tests {
         let pa = a.encode(&ds.test[0].points);
         let pb = b.encode(&ds.test[0].points);
         assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn snapshot_encodes_identically_to_finished_model() {
+        let ds = tiny_dataset(78);
+        let config = short_config();
+        let mut trainer = Trainer::new(&config, &ds.train, &ds.val, 79).unwrap();
+        // Mid-run snapshot must already be queryable.
+        assert!(trainer.step_epoch().is_some());
+        let mid = trainer.snapshot();
+        assert_eq!(
+            mid.encode(&ds.test[0].points).len(),
+            mid.repr_dim(),
+            "mid-run snapshot must encode"
+        );
+        while trainer.step_epoch().is_some() {}
+        let snap = trainer.snapshot();
+        let (finished, _) = trainer.finish();
+        assert_eq!(
+            snap.encode(&ds.test[0].points),
+            finished.encode(&ds.test[0].points),
+            "snapshot and finish must package the same parameters"
+        );
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Seeded LSH recall gate and edge-case coverage for the vector indexes.
+//!
+//! The recall test pins the random-hyperplane `LshIndex` against the
+//! exact `BruteForceIndex` on the same corpus across three construction
+//! seeds: recall@10 must clear a fixed floor for *every* seed, not just
+//! on average, so an unlucky hyperplane draw cannot hide a regression in
+//! the bucketing or re-ranking code.
+
+use rand::RngExt;
+use t2vec_core::index::{BruteForceIndex, LshIndex, VectorIndex};
+use t2vec_tensor::rng::det_rng;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = det_rng(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn recall_at_k(lsh: &LshIndex, brute: &BruteForceIndex, queries: &[Vec<f32>], k: usize) -> f64 {
+    let mut sum = 0.0;
+    for q in queries {
+        let exact: std::collections::HashSet<usize> =
+            brute.knn(q, k).into_iter().map(|(id, _)| id).collect();
+        let approx: std::collections::HashSet<usize> =
+            lsh.knn(q, k).into_iter().map(|(id, _)| id).collect();
+        sum += exact.intersection(&approx).count() as f64 / exact.len() as f64;
+    }
+    sum / queries.len() as f64
+}
+
+#[test]
+fn lsh_recall_at_10_clears_floor_across_seeds() {
+    const FLOOR: f64 = 0.6;
+    let vectors = random_vectors(500, 16, 2);
+    let queries = random_vectors(30, 16, 4);
+    let brute = BruteForceIndex::from_vectors(vectors.clone());
+    // Uniform random vectors are a worst case for angular LSH, so use
+    // short signatures and many tables (see the unit test of the same
+    // configuration in crates/core/src/index.rs).
+    for seed in [21u64, 42, 84] {
+        let mut rng = det_rng(seed);
+        let mut lsh = LshIndex::new(16, 6, 24, &mut rng);
+        for v in vectors.iter().cloned() {
+            lsh.add(v);
+        }
+        let recall = recall_at_k(&lsh, &brute, &queries, 10);
+        assert!(
+            recall >= FLOOR,
+            "LSH recall@10 = {recall} below floor {FLOOR} for seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn empty_indexes_report_empty_and_return_nothing() {
+    let brute = BruteForceIndex::new();
+    assert!(brute.is_empty());
+    assert_eq!(brute.len(), 0);
+    assert!(brute.knn(&[1.0, 2.0], 5).is_empty());
+
+    let mut rng = det_rng(12);
+    let lsh = LshIndex::new(2, 4, 3, &mut rng);
+    assert!(lsh.is_empty());
+    assert_eq!(lsh.len(), 0);
+    // The empty-bucket fallback scans an empty corpus: still no results.
+    assert!(lsh.knn(&[1.0, 2.0], 5).is_empty());
+}
+
+#[test]
+fn k_larger_than_len_returns_all_in_distance_order() {
+    let vectors = vec![vec![3.0f32, 0.0], vec![1.0, 0.0], vec![2.0, 0.0]];
+    let brute = BruteForceIndex::from_vectors(vectors.clone());
+    let r = brute.knn(&[0.0, 0.0], 10);
+    assert_eq!(r.len(), 3);
+    let ids: Vec<usize> = r.iter().map(|&(id, _)| id).collect();
+    assert_eq!(ids, vec![1, 2, 0]);
+
+    let mut rng = det_rng(13);
+    let mut lsh = LshIndex::new(2, 4, 8, &mut rng);
+    for v in vectors {
+        lsh.add(v);
+    }
+    let r = lsh.knn(&[0.0, 0.0], 10);
+    assert_eq!(r.len(), 3, "k > len must return every stored vector");
+    for w in r.windows(2) {
+        assert!(w[0].1 <= w[1].1, "results must stay distance-sorted");
+    }
+}
+
+#[test]
+fn k_zero_returns_nothing() {
+    let brute = BruteForceIndex::from_vectors(vec![vec![1.0f32]]);
+    assert!(brute.knn(&[0.0], 0).is_empty());
+
+    let mut rng = det_rng(14);
+    let mut lsh = LshIndex::new(1, 2, 2, &mut rng);
+    lsh.add(vec![1.0]);
+    assert!(lsh.knn(&[0.0], 0).is_empty());
+    assert!(!lsh.is_empty());
+}

@@ -11,6 +11,7 @@
 //! | [`experiments::scalability`] | Figure 6 |
 //! | [`experiments::loss_ablation`] | Table VII |
 //! | [`experiments::sweeps`] | Tables VIII, IX and Figure 7 |
+//! | [`harness`] | the seeded end-to-end EXP1–EXP3 pipeline behind `GOLDEN_EXP.json` |
 //! | [`paper`] | the paper's reported Porto numbers, for side-by-side output |
 //! | [`tables`] | ASCII table rendering |
 //!
@@ -21,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod method;
 pub mod metrics;
 pub mod paper;
