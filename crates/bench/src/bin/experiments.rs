@@ -20,6 +20,13 @@
 //! Absolute numbers differ from the paper (synthetic data, CPU-scale
 //! models); the *orderings* — who wins, how methods degrade — are the
 //! reproduction target. See EXPERIMENTS.md for the recorded comparison.
+//!
+//! Tables go to stdout; progress/diagnostics go through `t2vec_obs`
+//! (stderr by default; `T2VEC_LOG` / `T2VEC_METRICS_OUT` as usual).
+
+// Binaries may print; the workspace-wide clippy.toml ban targets
+// library crates (diagnostics there must go through t2vec-obs).
+#![allow(clippy::disallowed_macros)]
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -123,6 +130,7 @@ fn paper_table(title: &str, cols: Vec<String>, methods: &[&str], data: &[&[f64]]
 }
 
 fn main() {
+    t2vec_obs::init_from_env("info");
     let args = parse_args();
     let city_label = match args.city {
         CityKind::PortoLike => "porto-like",
@@ -144,10 +152,12 @@ fn main() {
         .iter()
         .any(|id| wants(&args.ids, id));
     if needs_bench {
-        eprintln!("[prepare] generating data and training t2vec + vRNN ...");
+        t2vec_obs::info!(target: "bench", "generating data and training t2vec + vRNN ...");
         let t0 = std::time::Instant::now();
         let bench = Bench::prepare(args.city, args.scale.clone(), &args.config, args.scale.seed);
-        eprintln!("[prepare] done in {:.1}s", t0.elapsed().as_secs_f64());
+        t2vec_obs::info!(target: "bench", "prepare done";
+            seconds = t0.elapsed().as_secs_f64(),
+        );
 
         if wants(&args.ids, "table3") {
             table3(&bench);
@@ -189,6 +199,8 @@ fn main() {
     if args.ids.iter().any(|x| x == "bench_exp") {
         bench_exp(&args);
     }
+    t2vec_obs::metrics::emit();
+    t2vec_obs::flush();
 }
 
 /// Runs the deterministic paper-experiment harness (EXP1–EXP3 + LSH
@@ -208,15 +220,12 @@ fn bench_exp(args: &Args) {
     } else {
         (HarnessConfig::quick(), "EXP_QUICK.json")
     };
-    eprintln!(
-        "[bench_exp] {} trips, seed {}, rates {:?} ...",
-        cfg.scale.trips, cfg.scale.seed, cfg.rates
-    );
+    t2vec_obs::info!(target: "bench.exp", "{} trips, seed {}, rates {:?} ...",
+        cfg.scale.trips, cfg.scale.seed, cfg.rates);
     let t0 = Instant::now();
     let report = harness::run(&cfg);
-    eprintln!(
-        "[bench_exp] harness done in {:.1}s",
-        t0.elapsed().as_secs_f64()
+    t2vec_obs::info!(target: "bench.exp", "harness done";
+        seconds = t0.elapsed().as_secs_f64(),
     );
 
     let sweep_rows = |s: &SweepReport, fmt3: bool| {
@@ -703,7 +712,7 @@ fn sweep_scale(args: &Args) -> (t2vec_eval::experiments::Scale, T2VecConfig) {
 
 fn table7(args: &Args) {
     println!("---- Table VII: loss ablation (L1 / L2 / L3 / L3+CL) ----");
-    eprintln!("[table7] training four model variants — the L2 pass is deliberately slow ...");
+    t2vec_obs::info!(target: "bench.table7", "training four model variants — the L2 pass is deliberately slow ...");
     let (scale, config) = sweep_scale(args);
     let rates = [0.4, 0.5, 0.6];
     let rows = experiments::loss_ablation(args.city, &scale, &config, &rates);

@@ -10,7 +10,9 @@
 //!   externally tagged like real serde (`"Unit"`,
 //!   `{"Variant": payload}`);
 //! - the container attribute `#[serde(from = "T", into = "T")]` and the
-//!   field attribute `#[serde(default)]`.
+//!   field attributes `#[serde(default)]` and `#[serde(skip)]` (the
+//!   latter on struct fields only: omitted when serializing, filled
+//!   from `Default` when deserializing).
 //!
 //! Generics, lifetimes, and renaming attributes are intentionally
 //! unsupported and fail with a compile-time panic naming the offender.
@@ -38,6 +40,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     default: bool,
+    /// `#[serde(skip)]` — omitted on serialize, `Default` on deserialize.
+    skip: bool,
 }
 
 enum VariantShape {
@@ -71,6 +75,7 @@ struct Item {
 #[derive(Default)]
 struct SerdeAttrs {
     default: bool,
+    skip: bool,
     from: Option<String>,
     into: Option<String>,
 }
@@ -149,6 +154,10 @@ fn parse_one_attr(stream: TokenStream, attrs: &mut SerdeAttrs) {
                 match (key.as_str(), has_value) {
                     ("default", false) => {
                         attrs.default = true;
+                        i += 1;
+                    }
+                    ("skip", false) => {
+                        attrs.skip = true;
                         i += 1;
                     }
                     ("from", true) | ("into", true) => {
@@ -233,6 +242,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name,
             default: attrs.default,
+            skip: attrs.skip,
         });
     }
     fields
@@ -311,6 +321,7 @@ fn gen_serialize(item: &Item) -> String {
             Kind::NamedStruct(fields) => {
                 let pairs: Vec<String> = fields
                     .iter()
+                    .filter(|f| !f.skip)
                     .map(|f| {
                         let fname = &f.name;
                         format!(
@@ -364,6 +375,11 @@ fn gen_serialize_enum(name: &str, variants: &[Variant]) -> String {
                 ));
             }
             VariantShape::Named(fields) => {
+                assert!(
+                    fields.iter().all(|f| !f.skip),
+                    "serde_derive shim: #[serde(skip)] is only supported on struct fields, \
+                     not enum variant fields (variant `{vname}`)"
+                );
                 let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                 let pairs: Vec<String> = fields
                     .iter()
@@ -395,6 +411,12 @@ fn gen_named_field_inits(ty_label: &str, fields: &[Field]) -> String {
     let mut s = String::new();
     for f in fields {
         let fname = &f.name;
+        if f.skip {
+            // Skipped fields never consult the input (a stray key with
+            // the same name is ignored, matching real serde).
+            s.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+            continue;
+        }
         let missing = if f.default {
             "::std::default::Default::default()".to_string()
         } else {

@@ -52,6 +52,7 @@ use std::fs;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use t2vec_nn::Seq2Seq;
+use t2vec_obs as obs;
 use t2vec_tensor::rng::RngState;
 
 pub mod fault;
@@ -290,7 +291,10 @@ impl CheckpointStore {
         ckpt: &Checkpoint,
         plan: &mut fault::FaultPlan,
     ) -> Result<PathBuf, T2VecError> {
+        let _span = obs::span!(target: "core.checkpoint", "save"; epoch = ckpt.epochs_done);
         let bytes = to_bytes(ckpt)?;
+        obs::counter!("ckpt.saves").incr();
+        obs::counter!("ckpt.bytes_written").add(bytes.len() as u64);
         let final_name = Self::file_name(ckpt.epochs_done);
         let final_path = self.dir.join(&final_name);
         let tmp_path = self.dir.join(format!(".{final_name}.tmp"));
@@ -339,10 +343,18 @@ impl CheckpointStore {
         // Step 5: retention — drop the oldest beyond the budget.
         let files = self.checkpoint_files();
         if files.len() > self.keep {
-            for (path, _) in &files[..files.len() - self.keep] {
+            for (path, epoch) in &files[..files.len() - self.keep] {
                 fs::remove_file(path).ok();
+                obs::counter!("ckpt.retention_deleted").incr();
+                obs::debug!(target: "core.checkpoint", "retention dropped old checkpoint";
+                    epoch = *epoch,
+                );
             }
         }
+        obs::debug!(target: "core.checkpoint", "checkpoint saved";
+            epoch = ckpt.epochs_done,
+            bytes = bytes.len(),
+        );
         Ok(final_path)
     }
 
@@ -374,7 +386,13 @@ impl CheckpointStore {
     /// # Errors
     /// [`T2VecError::Io`] on read failure, otherwise as [`from_bytes`].
     pub fn load_file(&self, path: &Path) -> Result<Checkpoint, T2VecError> {
-        read_checkpoint(fs::File::open(path)?)
+        let _span = obs::span!(target: "core.checkpoint", "load");
+        let ckpt = read_checkpoint(fs::File::open(path)?)?;
+        obs::counter!("ckpt.loads").incr();
+        obs::debug!(target: "core.checkpoint", "checkpoint loaded";
+            epoch = ckpt.epochs_done,
+        );
+        Ok(ckpt)
     }
 
     /// Recovers the newest valid checkpoint.
@@ -420,6 +438,7 @@ impl CheckpointStore {
                     };
                 }
                 Err(e) => {
+                    obs::warn!(target: "core.checkpoint", "skipping corrupt checkpoint {}: {e}", path.display());
                     warnings.push(format!(
                         "skipping corrupt checkpoint {}: {e}",
                         path.display()

@@ -8,6 +8,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use t2vec_obs as obs;
 use t2vec_tensor::rng::standard_normal;
 
 /// Common interface of the vector indexes.
@@ -83,7 +84,10 @@ impl VectorIndex for BruteForceIndex {
     }
 
     fn knn(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
-        top_k(0..self.vectors.len(), &self.vectors, query, k)
+        let t0 = std::time::Instant::now();
+        let out = top_k(0..self.vectors.len(), &self.vectors, query, k);
+        obs::histogram!("index.brute.query_ns").record_duration(t0.elapsed());
+        out
     }
 
     fn len(&self) -> usize {
@@ -171,12 +175,20 @@ impl VectorIndex for LshIndex {
     }
 
     fn knn(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let t0 = std::time::Instant::now();
         let cands = self.candidates(query);
-        if cands.is_empty() {
+        // Candidate-set size is a function of the data and signatures
+        // only (deterministic); the latency histogram is sink-only.
+        obs::histogram!("index.lsh.candidates").record(cands.len() as u64);
+        let out = if cands.is_empty() {
             // Degenerate fallback: exact scan (keeps the API total).
-            return top_k(0..self.vectors.len(), &self.vectors, query, k);
-        }
-        top_k(cands.into_iter(), &self.vectors, query, k)
+            obs::counter!("index.lsh.fallback_scans").incr();
+            top_k(0..self.vectors.len(), &self.vectors, query, k)
+        } else {
+            top_k(cands.into_iter(), &self.vectors, query, k)
+        };
+        obs::histogram!("index.lsh.query_ns").record_duration(t0.elapsed());
+        out
     }
 
     fn len(&self) -> usize {

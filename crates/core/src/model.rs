@@ -25,6 +25,34 @@ pub struct EpochStats {
     pub val_loss: f32,
 }
 
+/// Wall-clock throughput of one training epoch.
+///
+/// Observability data only: excluded from every serialized form (the
+/// owning [`TrainReport`] field is `#[serde(skip)]`), so timing can
+/// never leak into canonical reports or golden files.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochThroughput {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Target tokens processed this epoch.
+    pub tokens: usize,
+    /// Optimisation steps taken this epoch.
+    pub steps: usize,
+    /// Wall-clock seconds the epoch took (training + validation).
+    pub seconds: f64,
+}
+
+impl EpochThroughput {
+    /// Target tokens per second, or 0 for a zero-duration epoch.
+    pub fn tokens_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.tokens as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Summary of a training run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -44,6 +72,13 @@ pub struct TrainReport {
     pub vocab_size: usize,
     /// Per-epoch loss curve.
     pub history: Vec<EpochStats>,
+    /// Per-epoch wall-clock throughput (tokens/s, step counts).
+    ///
+    /// `#[serde(skip)]`: canonical JSON and checkpoints must stay
+    /// byte-identical across machines and runs, so wall-clock data is
+    /// quarantined to the in-memory report and the obs event stream.
+    #[serde(skip)]
+    pub throughput: Vec<EpochThroughput>,
 }
 
 /// A trained t2vec model.

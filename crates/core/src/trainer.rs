@@ -28,13 +28,14 @@ use crate::checkpoint::{config_hash, Checkpoint, CheckpointStore, FORMAT_VERSION
 use crate::config::T2VecConfig;
 use crate::error::T2VecError;
 use crate::model::{generate_pairs, generate_val_pairs, validation_loss, EpochStats};
-use crate::model::{T2Vec, TrainReport};
+use crate::model::{EpochThroughput, T2Vec, TrainReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 use t2vec_nn::skipgram::{pretrain_cells, SkipGramConfig};
 use t2vec_nn::train::{run_epoch, EpochHp};
 use t2vec_nn::{Seq2Seq, Seq2SeqConfig};
+use t2vec_obs as obs;
 use t2vec_spatial::grid::Grid;
 use t2vec_spatial::point::BBox;
 use t2vec_spatial::vocab::{NeighborTable, Token, Vocab};
@@ -62,6 +63,10 @@ pub struct Trainer {
     best_val: f32,
     best_model: Option<Seq2Seq>,
     history: Vec<EpochStats>,
+    /// Wall-clock per-epoch throughput; observability only (flows into
+    /// the `#[serde(skip)]` report field and obs sinks, never into
+    /// checkpoints or canonical JSON).
+    throughput: Vec<EpochThroughput>,
     pretrain_seconds: f64,
     t0: Instant,
 }
@@ -83,6 +88,7 @@ impl Trainer {
     ) -> Result<Self, T2VecError> {
         config.validate()?;
         let t0 = Instant::now();
+        let _setup_span = obs::span!(target: "core.trainer", "setup"; seed = seed);
         let mut rng = StdRng::seed_from_u64(seed);
 
         // 1. Vocabulary over the training corpus.
@@ -141,6 +147,12 @@ impl Trainer {
             batch_size: config.batch_size,
             grad_accum: config.grad_accum,
         };
+        obs::info!(target: "core.trainer", "setup complete";
+            vocab_size = vocab.size(),
+            train_pairs = pairs.len(),
+            val_pairs = val_pairs.len(),
+            max_epochs = config.max_epochs,
+        );
         Ok(Self {
             config: config.clone(),
             setup_seed: seed,
@@ -157,6 +169,7 @@ impl Trainer {
             best_val: f32::INFINITY,
             best_model: None,
             history: Vec::new(),
+            throughput: Vec::new(),
             pretrain_seconds,
             t0,
         })
@@ -256,6 +269,8 @@ impl Trainer {
         if self.is_done() {
             return None;
         }
+        let epoch_t0 = Instant::now();
+        let _span = obs::span!(target: "core.trainer", "epoch"; epoch = self.epochs_done);
         let budget = self.config.max_iterations - self.iterations;
         let out = run_epoch(
             &mut self.model,
@@ -291,6 +306,22 @@ impl Trainer {
         } else {
             self.stagnant += 1;
         }
+        // Wall-clock throughput is observability-only: it feeds the
+        // `#[serde(skip)]` report field and the event stream, and must
+        // never influence training state (see the determinism invariant
+        // in t2vec-obs).
+        self.throughput.push(EpochThroughput {
+            epoch: stats.epoch,
+            tokens: out.tokens,
+            steps: out.steps,
+            seconds: epoch_t0.elapsed().as_secs_f64(),
+        });
+        obs::debug!(target: "core.trainer", "epoch finished";
+            epoch = stats.epoch,
+            train_loss = stats.train_loss,
+            val_loss = stats.val_loss,
+            stagnant = self.stagnant,
+        );
         Some(stats)
     }
 
@@ -326,6 +357,18 @@ impl Trainer {
     /// The per-epoch loss curve so far.
     pub fn history(&self) -> &[EpochStats] {
         &self.history
+    }
+
+    /// Per-epoch wall-clock throughput recorded *this process* (resume
+    /// does not reconstruct earlier runs' timings — they are not part of
+    /// the checkpointed state by design).
+    pub fn throughput(&self) -> &[EpochThroughput] {
+        &self.throughput
+    }
+
+    /// The configured epoch cap (for progress/ETA displays).
+    pub fn max_epochs(&self) -> usize {
+        self.config.max_epochs
     }
 
     /// The model currently being trained (not the best-validation
@@ -367,6 +410,7 @@ impl Trainer {
             num_pairs: self.pairs.len(),
             vocab_size: self.vocab.size(),
             history: self.history,
+            throughput: self.throughput,
         };
         let model = self.best_model.unwrap_or(self.model);
         (

@@ -18,6 +18,7 @@
 use crate::dtw::Dtw;
 use crate::edr::Edr;
 use crate::TrajDistance;
+use t2vec_obs as obs;
 use t2vec_spatial::point::Point;
 
 /// A lower bound for a trajectory distance: `bound(q, t) ≤ dist(q, t)`.
@@ -84,6 +85,7 @@ pub fn knn_pruned<D: TrajDistance>(
     db: &[Vec<Point>],
     k: usize,
 ) -> (Vec<(usize, f64)>, KnnStats) {
+    let query_t0 = std::time::Instant::now();
     let mut top: Vec<(usize, f64)> = Vec::with_capacity(k + 1);
     let mut stats = KnnStats {
         evaluated: 0,
@@ -115,6 +117,11 @@ pub fn knn_pruned<D: TrajDistance>(
             top.truncate(k);
         }
     }
+    // Pruning effectiveness (deterministic data) and per-query latency
+    // (sink-only) for the DP baselines — see t2vec-obs.
+    obs::counter!("distance.knn.evaluated").add(stats.evaluated as u64);
+    obs::counter!("distance.knn.pruned").add(stats.pruned as u64);
+    obs::histogram!("distance.knn.query_ns").record_duration(query_t0.elapsed());
     (top, stats)
 }
 

@@ -127,20 +127,17 @@ impl Bench {
         let (t2vec, report) =
             T2Vec::train_with_report(config, &dataset.train, &dataset.val, &mut rng)
                 .expect("t2vec training failed");
-        eprintln!(
-            "[prepare] t2vec: {} pairs, vocab {}, {} epochs, {} iters ({:.0}s, {:.0}s pretrain)",
-            report.num_pairs,
-            report.vocab_size,
-            report.epochs,
-            report.iterations,
-            report.train_seconds,
-            report.pretrain_seconds
+        t2vec_obs::info!(target: "eval.prepare", "t2vec trained";
+            pairs = report.num_pairs,
+            vocab = report.vocab_size,
+            epochs = report.epochs,
+            iterations = report.iterations,
+            train_seconds = report.train_seconds,
+            pretrain_seconds = report.pretrain_seconds,
         );
         for e in &report.history {
-            eprintln!(
-                "[prepare]   epoch {:>2}: train {:.4}  val {:.4}",
-                e.epoch, e.train_loss, e.val_loss
-            );
+            t2vec_obs::debug!(target: "eval.prepare", "epoch {:>2}: train {:.4}  val {:.4}",
+                e.epoch, e.train_loss, e.val_loss);
         }
         let vrnn_config = VRnnConfig {
             embed_dim: config.embed_dim,

@@ -37,6 +37,7 @@ use serde::{Deserialize, Serialize};
 use t2vec_core::index::{BruteForceIndex, LshIndex, VectorIndex};
 use t2vec_core::{T2Vec, T2VecConfig, Trainer};
 use t2vec_distance::{dtw::Dtw, edr::Edr, lcss::Lcss};
+use t2vec_obs as obs;
 use t2vec_spatial::point::Point;
 use t2vec_spatial::transform::{distort, downsample};
 use t2vec_tensor::rng::det_rng;
@@ -484,23 +485,31 @@ pub fn run(cfg: &HarnessConfig) -> ExpReport {
         cfg.rates.first() == Some(&0.0),
         "rate sweep must start at the clean anchor 0.0"
     );
+    let run_span = obs::span!(target: "eval.harness", "run"; seed = cfg.scale.seed);
     let mut rng = det_rng(cfg.scale.seed);
-    let city = cfg.kind.build(&mut rng);
-    let dataset = DatasetBuilder::new(&city)
-        .trips(cfg.scale.trips)
-        .min_len(cfg.scale.min_len)
-        .split(cfg.scale.train_frac, cfg.scale.val_frac)
-        .build(&mut rng);
-    let mut trainer = Trainer::new(
-        &cfg.model,
-        &dataset.train,
-        &dataset.val,
-        cfg.scale.seed ^ TRAIN_SEED_SALT,
-    )
-    .expect("harness training setup failed");
-    while trainer.step_epoch().is_some() {}
-    let model = trainer.snapshot();
-    let (_, report) = trainer.finish();
+    let dataset = {
+        let _span = obs::span!(target: "eval.harness", "dataset");
+        let city = cfg.kind.build(&mut rng);
+        DatasetBuilder::new(&city)
+            .trips(cfg.scale.trips)
+            .min_len(cfg.scale.min_len)
+            .split(cfg.scale.train_frac, cfg.scale.val_frac)
+            .build(&mut rng)
+    };
+    let (model, report) = {
+        let _span = obs::span!(target: "eval.harness", "train");
+        let mut trainer = Trainer::new(
+            &cfg.model,
+            &dataset.train,
+            &dataset.val,
+            cfg.scale.seed ^ TRAIN_SEED_SALT,
+        )
+        .expect("harness training setup failed");
+        while trainer.step_epoch().is_some() {}
+        let model = trainer.snapshot();
+        let (_, report) = trainer.finish();
+        (model, report)
+    };
     let meta = RunMeta {
         seed: cfg.scale.seed,
         trips: cfg.scale.trips,
@@ -512,15 +521,50 @@ pub fn run(cfg: &HarnessConfig) -> ExpReport {
         iterations: report.iterations,
         best_val_loss: f64::from(report.best_val_loss),
     };
+    obs::info!(target: "eval.harness", "training complete";
+        epochs = meta.epochs,
+        iterations = meta.iterations,
+        best_val_loss = meta.best_val_loss,
+    );
+    let phase = |name: &'static str| obs::span!(target: "eval.harness", name);
+    let exp1_dropping = {
+        let _s = phase("exp1_dropping");
+        exp1_self_similarity(cfg, &model, &dataset, true)
+    };
+    let exp1_distorting = {
+        let _s = phase("exp1_distorting");
+        exp1_self_similarity(cfg, &model, &dataset, false)
+    };
+    let exp2_cross_dropping = {
+        let _s = phase("exp2_cross_dropping");
+        exp2_cross_similarity(cfg, &model, &dataset, true)
+    };
+    let exp2_cross_distorting = {
+        let _s = phase("exp2_cross_distorting");
+        exp2_cross_similarity(cfg, &model, &dataset, false)
+    };
+    let exp3_knn_dropping = {
+        let _s = phase("exp3_knn_dropping");
+        exp3_knn_precision(cfg, &model, &dataset, true)
+    };
+    let exp3_knn_distorting = {
+        let _s = phase("exp3_knn_distorting");
+        exp3_knn_precision(cfg, &model, &dataset, false)
+    };
+    let lsh = {
+        let _s = phase("lsh_recall");
+        lsh_recall(cfg, &model, &dataset)
+    };
+    drop(run_span);
     ExpReport {
         meta,
-        exp1_dropping: exp1_self_similarity(cfg, &model, &dataset, true),
-        exp1_distorting: exp1_self_similarity(cfg, &model, &dataset, false),
-        exp2_cross_dropping: exp2_cross_similarity(cfg, &model, &dataset, true),
-        exp2_cross_distorting: exp2_cross_similarity(cfg, &model, &dataset, false),
-        exp3_knn_dropping: exp3_knn_precision(cfg, &model, &dataset, true),
-        exp3_knn_distorting: exp3_knn_precision(cfg, &model, &dataset, false),
-        lsh: lsh_recall(cfg, &model, &dataset),
+        exp1_dropping,
+        exp1_distorting,
+        exp2_cross_dropping,
+        exp2_cross_distorting,
+        exp3_knn_dropping,
+        exp3_knn_distorting,
+        lsh,
     }
 }
 

@@ -26,6 +26,7 @@ use crate::param::{apply_grad_mats, reduce_grad_sets, GradSet};
 use crate::seq2seq::Seq2Seq;
 use rand::rngs::StdRng;
 use rand::{Rng, RngExt, SeedableRng};
+use t2vec_obs as obs;
 use t2vec_spatial::vocab::{NeighborTable, Token};
 use t2vec_tensor::opt::Adam;
 use t2vec_tensor::parallel;
@@ -105,16 +106,28 @@ pub fn run_epoch(
             .iter()
             .map(|s| f64::from(s.loss) * s.target_tokens as f64)
             .sum::<f64>();
+        // Time the serial tail of the step (batch-order gradient
+        // reduction + Adam update); latency goes only to obs sinks.
+        let reduce_t0 = std::time::Instant::now();
         let mut reduced = reduce_grad_sets(&sets);
         let mut params = model.params_mut();
         apply_grad_mats(&mut params, &mut reduced.grads, &hp.adam, hp.grad_clip);
+        obs::histogram!("nn.train.grad_reduce_ns").record_duration(reduce_t0.elapsed());
         steps += 1;
     }
-    EpochOutcome {
+    let outcome = EpochOutcome {
         train_loss: (epoch_loss / tokens.max(1) as f64) as f32,
         tokens,
         steps,
-    }
+    };
+    obs::counter!("nn.train.tokens").add(outcome.tokens as u64);
+    obs::counter!("nn.train.steps").add(outcome.steps as u64);
+    obs::debug!(target: "nn.train", "epoch complete";
+        train_loss = outcome.train_loss,
+        tokens = outcome.tokens,
+        steps = outcome.steps,
+    );
+    outcome
 }
 
 #[cfg(test)]

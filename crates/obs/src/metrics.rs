@@ -1,0 +1,367 @@
+//! Process-global metrics registry: counters, gauges and log-scale
+//! histograms.
+//!
+//! Handles are `&'static` (leaked once per name) so hot paths pay one
+//! atomic op per update with no locking; the registry mutex is only
+//! touched on first lookup and on [`snapshot`]/[`emit`]. The
+//! `counter!`/`gauge!`/`histogram!` macros add a per-call-site
+//! `OnceLock` cache on top so even the `BTreeMap` lookup happens once.
+//!
+//! Metric *values* must be deterministic data (MACs, tokens, bytes,
+//! candidate counts) or be clearly latency-only (`*_ns` histograms);
+//! either way they flow exclusively to sinks, never back into
+//! computation — see the crate-level determinism invariant.
+
+use crate::{dispatch, enabled, Event, EventKind, FieldValue, Level};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)`, up to bucket 64 for values with
+/// the top bit set.
+pub const HIST_BUCKETS: usize = 65;
+
+/// Monotonically increasing u64.
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins f64 (stored as bits).
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    fn new() -> Gauge {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Lock-free histogram over u64 values with fixed power-of-two buckets.
+///
+/// Keeps an independent total `count` so tests can verify that the sum
+/// of bucket counts matches the number of recorded values even under
+/// concurrent hammering.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        let buckets: Vec<AtomicU64> = (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros(v)`
+    /// (i.e. one past the position of the highest set bit).
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i` (0 for buckets 0 and 1).
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        if i <= 1 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Minimum recorded value, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.min.load(Ordering::Relaxed))
+        }
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Compact `index:count` rendering of the non-empty buckets, e.g.
+    /// `"0:2,11:17,12:3"`. Bucket `i` covers `[2^(i-1), 2^i)`.
+    pub fn nonzero_buckets(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.bucket_counts().into_iter().enumerate() {
+            if c > 0 {
+                if !out.is_empty() {
+                    out.push(',');
+                }
+                out.push_str(&format!("{i}:{c}"));
+            }
+        }
+        out
+    }
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+static REGISTRY: Mutex<BTreeMap<&'static str, Metric>> = Mutex::new(BTreeMap::new());
+
+/// Fetch-or-register the counter named `name`.
+///
+/// Panics if `name` is already registered as a different metric kind —
+/// that is a programming error worth failing loudly on.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Box::leak(Box::new(Counter::new()))))
+    {
+        Metric::Counter(c) => c,
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Fetch-or-register the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Box::leak(Box::new(Gauge::new()))))
+    {
+        Metric::Gauge(g) => g,
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// Fetch-or-register the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Histogram(Box::leak(Box::new(Histogram::new()))))
+    {
+        Metric::Histogram(h) => h,
+        _ => panic!("metric {name:?} already registered with a different kind"),
+    }
+}
+
+/// One registry entry's current state.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub name: &'static str,
+    /// `"counter"`, `"gauge"` or `"histogram"`.
+    pub kind: &'static str,
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// Read every registered metric, sorted by name (BTreeMap order).
+pub fn snapshot() -> Vec<Snapshot> {
+    let reg = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    reg.iter()
+        .map(|(name, metric)| match metric {
+            Metric::Counter(c) => Snapshot {
+                name,
+                kind: "counter",
+                fields: vec![("value", FieldValue::U64(c.get()))],
+            },
+            Metric::Gauge(g) => Snapshot {
+                name,
+                kind: "gauge",
+                fields: vec![("value", FieldValue::F64(g.get()))],
+            },
+            Metric::Histogram(h) => {
+                let mut fields = vec![
+                    ("count", FieldValue::U64(h.count())),
+                    ("sum", FieldValue::U64(h.sum())),
+                ];
+                if let Some(min) = h.min() {
+                    fields.push(("min", FieldValue::U64(min)));
+                }
+                if let Some(max) = h.max() {
+                    fields.push(("max", FieldValue::U64(max)));
+                }
+                fields.push(("buckets", FieldValue::Str(h.nonzero_buckets())));
+                Snapshot {
+                    name,
+                    kind: "histogram",
+                    fields,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Emit the whole registry as [`EventKind::Metric`] events at `Debug`
+/// under target `"metrics"`. Call at the end of a run (the CLI and the
+/// experiment binaries do) so JSONL sinks capture final totals.
+pub fn emit() {
+    if !enabled("metrics", Level::Debug) {
+        return;
+    }
+    let ts_ns = crate::now_ns();
+    for snap in snapshot() {
+        let mut fields = vec![("metric_kind", FieldValue::Str(snap.kind.to_string()))];
+        fields.extend(snap.fields);
+        dispatch(Event {
+            kind: EventKind::Metric,
+            level: Level::Debug,
+            target: "metrics",
+            message: snap.name.to_string(),
+            fields,
+            elapsed_ns: None,
+            depth: 0,
+            ts_ns,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = counter("test.metrics.counter");
+        let before = c.get();
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), before + 6);
+        // Same name returns the same handle.
+        assert_eq!(counter("test.metrics.counter").get(), before + 6);
+
+        let g = gauge("test.metrics.gauge");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lower_bound(0), 0);
+        assert_eq!(Histogram::bucket_lower_bound(2), 2);
+        assert_eq!(Histogram::bucket_lower_bound(11), 1024);
+
+        let h = histogram("test.metrics.hist");
+        for v in [0u64, 1, 3, 1024, 1500] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 2528);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1500));
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.iter().sum::<u64>(), h.count());
+        assert_eq!(buckets[0], 1); // 0
+        assert_eq!(buckets[1], 1); // 1
+        assert_eq!(buckets[2], 1); // 3
+        assert_eq!(buckets[11], 2); // 1024, 1500
+        assert_eq!(h.nonzero_buckets(), "0:1,1:1,2:1,11:2");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        counter("test.metrics.kind_clash");
+        gauge("test.metrics.kind_clash");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        counter("test.snap.a").add(1);
+        gauge("test.snap.b").set(1.0);
+        let snaps = snapshot();
+        let names: Vec<_> = snaps.iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let a = snaps.iter().find(|s| s.name == "test.snap.a").unwrap();
+        assert_eq!(a.kind, "counter");
+    }
+}

@@ -1,0 +1,265 @@
+//! Built-in event sinks: stderr pretty-printer, JSONL file writer and
+//! in-memory capture for tests.
+
+use crate::{Event, EventKind, FieldValue, Level, Sink};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Human-readable one-line-per-event printer on stderr.
+///
+/// Has its own verbosity cap independent of the global filter, so a
+/// JSONL sink can receive `debug`/`trace` records while the terminal
+/// stays at `info` (or `warn` under `--quiet`).
+pub struct StderrSink {
+    verbosity: Level,
+}
+
+impl StderrSink {
+    pub fn new() -> StderrSink {
+        StderrSink::with_verbosity(Level::Trace)
+    }
+
+    pub fn with_verbosity(verbosity: Level) -> StderrSink {
+        StderrSink { verbosity }
+    }
+}
+
+impl Default for StderrSink {
+    fn default() -> Self {
+        StderrSink::new()
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        if event.level > self.verbosity {
+            return;
+        }
+        // Span-enter records add little over their exit twin on a
+        // terminal; keep the pretty stream to events, exits and metrics.
+        if event.kind == EventKind::SpanEnter {
+            return;
+        }
+        let mut line = String::with_capacity(96);
+        let secs = event.ts_ns as f64 / 1e9;
+        line.push_str(&format!(
+            "[{secs:9.3}s {:5} {}] ",
+            event.level.as_str().to_ascii_uppercase(),
+            event.target
+        ));
+        for _ in 0..event.depth {
+            line.push_str("  ");
+        }
+        line.push_str(&event.message);
+        if let Some(ns) = event.elapsed_ns {
+            line.push_str(&format!(" ({})", fmt_duration_ns(ns)));
+        }
+        for (k, v) in &event.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line.push('\n');
+        // Single write so concurrent threads do not interleave lines;
+        // ignore errors (observability must never take the process down).
+        let _ = io::stderr().lock().write_all(line.as_bytes());
+    }
+}
+
+fn fmt_duration_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// One JSON object per line, written (and flushed) per event so the
+/// stream survives an abrupt process exit. The JSON is hand-rolled
+/// because obs is dependency-free by design; `escape_json` covers the
+/// full control-character range required by RFC 8259.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink> {
+        if let Some(parent) = path.as_ref().parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut line = String::with_capacity(160);
+        line.push_str("{\"kind\":\"");
+        line.push_str(event.kind.as_str());
+        line.push_str("\",\"ts_ns\":");
+        line.push_str(&event.ts_ns.to_string());
+        line.push_str(",\"level\":\"");
+        line.push_str(event.level.as_str());
+        line.push_str("\",\"target\":\"");
+        push_escaped(&mut line, event.target);
+        line.push_str("\",\"msg\":\"");
+        push_escaped(&mut line, &event.message);
+        line.push('"');
+        if event.depth > 0 {
+            line.push_str(&format!(",\"depth\":{}", event.depth));
+        }
+        if let Some(ns) = event.elapsed_ns {
+            line.push_str(&format!(",\"elapsed_ns\":{ns}"));
+        }
+        if !event.fields.is_empty() {
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in event.fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push('"');
+                push_escaped(&mut line, k);
+                line.push_str("\":");
+                push_json_value(&mut line, v);
+            }
+            line.push('}');
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+fn push_json_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => out.push_str(&n.to_string()),
+        FieldValue::I64(n) => out.push_str(&n.to_string()),
+        FieldValue::F64(x) => {
+            if x.is_finite() {
+                // f64 Display is shortest-roundtrip in Rust; always
+                // valid JSON for finite values.
+                let s = x.to_string();
+                out.push_str(&s);
+            } else {
+                // NaN/inf are not representable in JSON.
+                out.push_str("null");
+            }
+        }
+        FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        FieldValue::Str(s) => {
+            out.push('"');
+            push_escaped(out, s);
+            out.push('"');
+        }
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Captures every event in memory; made for assertions in tests.
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// Clone out everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Drain and return everything captured so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    pub fn clear(&self) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        let mut s = String::new();
+        push_escaped(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    #[test]
+    fn json_values() {
+        let mut s = String::new();
+        push_json_value(&mut s, &FieldValue::F64(1.5));
+        s.push(' ');
+        push_json_value(&mut s, &FieldValue::F64(f64::NAN));
+        s.push(' ');
+        push_json_value(&mut s, &FieldValue::Str("x\"y".into()));
+        s.push(' ');
+        push_json_value(&mut s, &FieldValue::Bool(true));
+        assert_eq!(s, "1.5 null \"x\\\"y\" true");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration_ns(12), "12ns");
+        assert_eq!(fmt_duration_ns(1_500), "1.5us");
+        assert_eq!(fmt_duration_ns(2_500_000), "2.50ms");
+        assert_eq!(fmt_duration_ns(3_200_000_000), "3.20s");
+    }
+}

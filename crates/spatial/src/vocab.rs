@@ -88,13 +88,21 @@ impl Vocab {
         for p in points {
             *counts.entry(grid.cell_of(p)).or_insert(0) += 1;
         }
+        let total_cells = counts.len();
         let mut hot: Vec<CellId> = counts
             .into_iter()
             .filter(|&(_, c)| c > delta)
             .map(|(cell, _)| cell)
             .collect();
         hot.sort_unstable();
-        Self::from_parts(grid, delta, hot)
+        let vocab = Self::from_parts(grid, delta, hot);
+        t2vec_obs::debug!(target: "spatial.vocab", "hot-cell vocabulary built";
+            touched_cells = total_cells,
+            hot_cells = vocab.num_hot_cells(),
+            vocab_size = vocab.size(),
+            delta = delta,
+        );
+        vocab
     }
 
     fn from_parts(grid: Grid, delta: usize, hot_cells: Vec<CellId>) -> Self {

@@ -14,6 +14,8 @@ use crate::parallel;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
+use std::time::Instant;
+use t2vec_obs as obs;
 
 /// Output columns per cache block: the active `KC×NC` B-panel
 /// (`256·1024·4 B = 1 MiB`) stays resident in a typical L2.
@@ -31,6 +33,38 @@ const MC: usize = 64;
 /// per-step GRU matmul (`1×256 · 256×768` ≈ 0.2 M) stays serial, the
 /// batched ones (`64×256 · 256×768` ≈ 12.6 M) parallelise.
 const PAR_THRESHOLD: usize = 1 << 21;
+
+/// Throughput instrumentation for the three blocked matmul kernels:
+/// counts every call's multiply-add volume, and times only the
+/// parallel-eligible calls (≥ [`PAR_THRESHOLD`] MACs, hundreds of
+/// microseconds each) so the per-token GRU-step multiplies don't pay
+/// two clock reads per call. MACs/s for the large kernels is
+/// `tensor.matmul.large_macs / (tensor.matmul.large_ns sum)`. Values
+/// only ever flow to obs sinks — see the determinism invariant in
+/// `t2vec-obs`.
+struct MacsTimer {
+    macs: u64,
+    start: Option<Instant>,
+}
+
+impl MacsTimer {
+    fn start(m: usize, k: usize, n: usize) -> MacsTimer {
+        let macs = (m as u64) * (k as u64) * (n as u64);
+        obs::counter!("tensor.matmul.calls").incr();
+        obs::counter!("tensor.matmul.macs").add(macs);
+        let start = (macs >= PAR_THRESHOLD as u64).then(Instant::now);
+        MacsTimer { macs, start }
+    }
+}
+
+impl Drop for MacsTimer {
+    fn drop(&mut self) {
+        if let Some(t0) = self.start {
+            obs::histogram!("tensor.matmul.large_ns").record_duration(t0.elapsed());
+            obs::counter!("tensor.matmul.large_macs").add(self.macs);
+        }
+    }
+}
 
 /// Dot product with eight independent accumulators, letting the compiler
 /// vectorise the reduction (a single-accumulator loop cannot be
@@ -401,6 +435,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        let _obs = MacsTimer::start(m, k, n);
         let mut out = Matrix::zeros(m, n);
         let (a, b) = (&self.data, &other.data);
         let kernel = |rows: Range<usize>, panel: &mut [f32]| matmul_panel(a, b, k, n, rows, panel);
@@ -427,6 +462,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.rows);
+        let _obs = MacsTimer::start(m, k, n);
         let mut out = Matrix::zeros(m, n);
         let (a, b) = (&self.data, &other.data);
         let kernel =
@@ -453,6 +489,7 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let (k, m, n) = (self.rows, self.cols, other.cols);
+        let _obs = MacsTimer::start(m, k, n);
         let mut out = Matrix::zeros(m, n);
         let (a, b) = (&self.data, &other.data);
         let kernel = |rows: Range<usize>, panel: &mut [f32]| {

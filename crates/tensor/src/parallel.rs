@@ -38,6 +38,7 @@
 use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use t2vec_obs as obs;
 
 /// Hard upper bound on the worker count; protects against a typo'd
 /// `T2VEC_THREADS=4000` spawning thousands of OS threads.
@@ -137,6 +138,20 @@ fn split_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
     ranges
 }
 
+/// Region-occupancy metrics: how often parallel regions open, how often
+/// they collapse to the inline path (nested or single-unit), and the
+/// worker-count distribution of the regions that do fan out. Plain
+/// atomic counters — values are deterministic functions of the
+/// workload and thread configuration, and they only flow to obs sinks.
+fn record_region(workers: usize) {
+    obs::counter!("tensor.par.regions").incr();
+    if workers <= 1 {
+        obs::counter!("tensor.par.inline_regions").incr();
+    } else {
+        obs::histogram!("tensor.par.workers").record(workers as u64);
+    }
+}
+
 /// Runs `body` with the nested-parallelism flag set, restoring it after.
 fn with_worker_flag<T>(body: impl FnOnce() -> T) -> T {
     IN_WORKER.with(|w| {
@@ -163,6 +178,7 @@ where
 {
     assert_eq!(out.len(), rows * row_len, "panel buffer/shape mismatch");
     let workers = effective_workers(rows);
+    record_region(workers);
     if workers <= 1 {
         with_worker_flag(|| kernel(0..rows, out));
         return;
@@ -201,6 +217,7 @@ where
     F: Fn(usize, &T) -> U + Sync,
 {
     let workers = effective_workers(items.len());
+    record_region(workers);
     if workers <= 1 {
         return with_worker_flag(|| items.iter().enumerate().map(|(i, t)| f(i, t)).collect());
     }

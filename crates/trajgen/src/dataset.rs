@@ -133,11 +133,18 @@ impl<'a> DatasetBuilder<'a> {
         let val_end = train_end + (n as f64 * self.val_frac) as usize;
         let test = trips.split_off(val_end);
         let val = trips.split_off(train_end);
-        Dataset {
+        let ds = Dataset {
             train: trips,
             val,
             test,
-        }
+        };
+        t2vec_obs::debug!(target: "trajgen.dataset", "dataset generated";
+            train = ds.train.len(),
+            val = ds.val.len(),
+            test = ds.test.len(),
+            rejected_attempts = attempts - n,
+        );
+        ds
     }
 }
 

@@ -10,6 +10,10 @@
 //! cargo run --release --example clustering
 //! ```
 
+// Examples print their results; the clippy.toml print ban targets
+// library crates (see DESIGN.md §10).
+#![allow(clippy::disallowed_macros)]
+
 use t2vec::prelude::*;
 
 fn main() {

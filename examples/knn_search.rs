@@ -7,6 +7,10 @@
 //! cargo run --release --example knn_search
 //! ```
 
+// Examples print their results; the clippy.toml print ban targets
+// library crates (see DESIGN.md §10).
+#![allow(clippy::disallowed_macros)]
+
 use std::time::Instant;
 use t2vec::prelude::*;
 

@@ -5,6 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples print their results; the clippy.toml print ban targets
+// library crates (see DESIGN.md §10).
+#![allow(clippy::disallowed_macros)]
+
 use t2vec::prelude::*;
 use t2vec_core::model::vec_dist;
 

@@ -6,6 +6,10 @@
 //! cargo run --release --example robustness
 //! ```
 
+// Examples print their results; the clippy.toml print ban targets
+// library crates (see DESIGN.md §10).
+#![allow(clippy::disallowed_macros)]
+
 use t2vec::prelude::*;
 use t2vec_eval::experiments::{mean_rank_of, most_similar_workload};
 use t2vec_eval::method::{DpMethod, Method, T2VecMethod};

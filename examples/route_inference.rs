@@ -6,6 +6,10 @@
 //! cargo run --release --example route_inference
 //! ```
 
+// Examples print their results; the clippy.toml print ban targets
+// library crates (see DESIGN.md §10).
+#![allow(clippy::disallowed_macros)]
+
 use t2vec::prelude::*;
 use t2vec_spatial::point::polyline_length;
 

@@ -12,6 +12,15 @@
 //! Trajectory CSV format: `trip_id,start,x,y` with one sample point per
 //! line, coordinates in meters in a local plane (project lon/lat with
 //! `GeoPoint::project` first).
+//!
+//! Observability: `--log-level SPEC` / `--metrics-out FILE` (or the
+//! `T2VEC_LOG` / `T2VEC_METRICS_OUT` environment variables) control the
+//! structured event stream; `--quiet` silences the per-epoch training
+//! heartbeat, `--progress` keeps it even under `--quiet`'s log level.
+
+// Binaries may print; the workspace-wide clippy.toml ban targets
+// library crates (diagnostics there must go through t2vec-obs).
+#![allow(clippy::disallowed_macros)]
 
 use rand::RngExt;
 use std::fs::File;
@@ -32,7 +41,7 @@ impl Opts {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{a}'"));
             };
-            if name == "lsh" || name == "resume" {
+            if name == "lsh" || name == "resume" || name == "quiet" || name == "progress" {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -64,7 +73,11 @@ fn usage() -> &'static str {
      \n           [--checkpoint-dir DIR [--checkpoint-every N] [--keep K] [--resume]]\
      \n  encode   --model FILE --data FILE --out FILE\
      \n  knn      --model FILE --db FILE --query FILE [--k N] [--lsh]\
-     \n  stats    --data FILE"
+     \n  stats    --data FILE\
+     \n\
+     \n  global:  [--log-level SPEC] [--metrics-out FILE] [--quiet] [--progress]\
+     \n           SPEC is like T2VEC_LOG: error|warn|info|debug|trace or\
+     \n           target=level directives, e.g. 'info,nn.train=debug'"
 }
 
 fn main() -> ExitCode {
@@ -80,6 +93,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    init_obs(&opts);
     let result = match cmd.as_str() {
         "generate" => generate(&opts),
         "train" => train(&opts),
@@ -88,6 +102,8 @@ fn main() -> ExitCode {
         "stats" => stats(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
+    t2vec::obs::metrics::emit();
+    t2vec::obs::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -95,6 +111,29 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Installs the observability pipeline from flags + environment. Flags
+/// win over environment variables; both feed the same
+/// `t2vec_obs::init_from_env` path so CLI runs and library consumers
+/// behave identically.
+fn init_obs(opts: &Opts) {
+    if let Some(spec) = opts.flags.get("log-level") {
+        std::env::set_var("T2VEC_LOG", spec);
+    }
+    if let Some(path) = opts.flags.get("metrics-out") {
+        std::env::set_var("T2VEC_METRICS_OUT", path);
+    }
+    let quiet = opts.flags.contains_key("quiet");
+    let progress = opts.flags.contains_key("progress");
+    // `--quiet` drops the default to warnings; `--progress` re-opens
+    // the cli.train heartbeat target on top of that.
+    let default_spec = match (quiet, progress) {
+        (true, true) => "warn,cli.train=info",
+        (true, false) => "warn",
+        _ => "info",
+    };
+    t2vec::obs::init_from_env(default_spec);
 }
 
 fn load_trajectories(path: &str) -> Result<Vec<Trajectory>, String> {
@@ -173,7 +212,25 @@ fn train(opts: &Opts) -> Result<(), String> {
     } else {
         Trainer::new(&config, tr, val, setup_seed).map_err(|e| e.to_string())?
     };
-    while trainer.step_epoch().is_some() {
+    while let Some(stats) = trainer.step_epoch() {
+        // One-line heartbeat per epoch (suppress with --quiet). All the
+        // numbers come from the trainer's observability surface; none of
+        // this can perturb the training computation.
+        if let Some(tp) = trainer.throughput().last() {
+            let done = trainer.throughput().len();
+            let mean_secs =
+                trainer.throughput().iter().map(|t| t.seconds).sum::<f64>() / done as f64;
+            let remaining = trainer.max_epochs().saturating_sub(trainer.epochs_done());
+            t2vec::obs::info!(target: "cli.train",
+                "epoch {:>3}/{}  train {:.4}  val {:.4}  {:.0} tok/s  eta {:.0}s",
+                stats.epoch + 1,
+                trainer.max_epochs(),
+                stats.train_loss,
+                stats.val_loss,
+                tp.tokens_per_sec(),
+                mean_secs * remaining as f64
+            );
+        }
         if let Some(store) = &store {
             if trainer.epochs_done() % every == 0 {
                 let path = store

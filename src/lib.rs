@@ -17,6 +17,8 @@
 //!   indexes (brute force and LSH), k-means clustering.
 //! * [`eval`] — metrics and the runners that regenerate every table and
 //!   figure of the paper.
+//! * [`obs`] — structured tracing, metrics and leveled logging with a
+//!   hard determinism invariant (observability never changes results).
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@ pub use t2vec_core as core;
 pub use t2vec_distance as distance;
 pub use t2vec_eval as eval;
 pub use t2vec_nn as nn;
+pub use t2vec_obs as obs;
 pub use t2vec_spatial as spatial;
 pub use t2vec_tensor as tensor;
 pub use t2vec_trajgen as trajgen;

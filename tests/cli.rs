@@ -176,6 +176,97 @@ fn cli_train_checkpoints_and_resumes() {
 }
 
 #[test]
+fn cli_train_metrics_out_writes_parseable_jsonl() {
+    let data = tmp("obs-trips.csv");
+    let model = tmp("obs-model.json");
+    let metrics = tmp("obs-metrics.jsonl");
+    let dir = tmp("obs-ckpt-dir");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let (ok, _, stderr) = run(&[
+        "generate",
+        "--city",
+        "tiny",
+        "--trips",
+        "60",
+        "--min-len",
+        "6",
+        "--out",
+        &data,
+        "--seed",
+        "9",
+    ]);
+    assert!(ok, "generate failed: {stderr}");
+
+    // Train with checkpoints, a metrics file and the heartbeat on.
+    let (ok, _, stderr) = run(&[
+        "train",
+        "--data",
+        &data,
+        "--preset",
+        "tiny",
+        "--out",
+        &model,
+        "--seed",
+        "9",
+        "--checkpoint-dir",
+        &dir,
+        "--metrics-out",
+        &metrics,
+    ]);
+    assert!(ok, "train failed: {stderr}");
+    // Heartbeat: one line per epoch on stderr, with loss + throughput.
+    assert!(
+        stderr.contains("cli.train") && stderr.contains("tok/s"),
+        "missing training heartbeat: {stderr}"
+    );
+
+    // The metrics stream parses line by line and contains the epoch
+    // spans, matmul throughput counters and checkpoint I/O events the
+    // observability contract promises.
+    let jsonl = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let mut saw_epoch_span = false;
+    let mut saw_matmul_macs = false;
+    let mut saw_ckpt_save = false;
+    for (i, line) in jsonl.lines().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("metrics line {} is not JSON: {e}\n{line}", i + 1));
+        let field = |key: &str| v.get(key).map(|val| format!("{val:?}")).unwrap_or_default();
+        let kind = field("kind");
+        let msg = field("msg");
+        let target = field("target");
+        if kind.contains("span_exit") && msg.contains("epoch") && target.contains("core.trainer") {
+            saw_epoch_span = true;
+        }
+        if kind.contains("metric") && msg.contains("tensor.matmul.macs") {
+            saw_matmul_macs = true;
+        }
+        if target.contains("core.checkpoint") && msg.contains("checkpoint saved") {
+            saw_ckpt_save = true;
+        }
+    }
+    assert!(saw_epoch_span, "no trainer epoch span in metrics stream");
+    assert!(saw_matmul_macs, "no matmul MAC counter in metrics stream");
+    assert!(saw_ckpt_save, "no checkpoint save event in metrics stream");
+
+    // --quiet suppresses the heartbeat but not the result line.
+    let (ok, stdout, stderr) = run(&[
+        "train", "--data", &data, "--preset", "tiny", "--out", &model, "--seed", "9", "--quiet",
+    ]);
+    assert!(ok, "quiet train failed: {stderr}");
+    assert!(
+        !stderr.contains("tok/s"),
+        "--quiet must suppress the heartbeat: {stderr}"
+    );
+    assert!(stdout.contains("trained on"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+    for f in [&data, &model, &metrics] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
 fn cli_reports_usage_on_no_args() {
     let (ok, _, stderr) = run(&[]);
     assert!(!ok);

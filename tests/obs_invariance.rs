@@ -1,0 +1,141 @@
+//! The observability determinism invariant, enforced end to end (see
+//! `crates/obs`): enabling or disabling tracing/metrics at any level and
+//! any thread count never changes a single byte of the canonical
+//! experiment report or of a checkpoint file. Wall-clock time may flow
+//! into the event stream only.
+//!
+//! The harness matrix here is (obs off, obs trace + JSONL + memory
+//! sink) × (1, 4 worker threads); every cell must be byte-identical to
+//! the checked-in `GOLDEN_EXP.json` (the same file
+//! `tests/paper_experiments.rs` gates with observability off).
+
+use std::fs;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use t2vec_core::checkpoint::CheckpointStore;
+use t2vec_core::{T2VecConfig, Trainer};
+use t2vec_eval::harness::{self, HarnessConfig};
+use t2vec_obs::{self as obs, EventKind, Filter, JsonlSink, MemorySink, Sink};
+use t2vec_tensor::parallel;
+use t2vec_tensor::rng::det_rng;
+use t2vec_trajgen::city::City;
+use t2vec_trajgen::dataset::{Dataset, DatasetBuilder};
+
+/// The obs configuration is process-global; tests in this binary must
+/// not reconfigure it concurrently.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn obs_off() {
+    obs::set_sinks(Vec::new());
+    obs::set_filter(Filter::off());
+}
+
+fn golden() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("GOLDEN_EXP.json");
+    fs::read_to_string(&path)
+        .expect("read GOLDEN_EXP.json")
+        .trim_end()
+        .to_string()
+}
+
+#[test]
+fn harness_report_is_byte_identical_across_obs_and_threads() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let cfg = HarnessConfig::tiny();
+    let golden = golden();
+    let jsonl_path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("obs_invariance.jsonl");
+    let memory = Arc::new(MemorySink::new());
+
+    for (label, traced) in [("off", false), ("trace", true)] {
+        for threads in [1usize, 4] {
+            if traced {
+                obs::set_filter(Filter::parse("trace"));
+                let jsonl: Arc<dyn Sink> =
+                    Arc::new(JsonlSink::create(&jsonl_path).expect("create JSONL sink"));
+                obs::set_sinks(vec![jsonl, memory.clone()]);
+            } else {
+                obs_off();
+            }
+            parallel::set_threads(threads);
+            let report = harness::run(&cfg);
+            obs_off();
+            assert_eq!(
+                report.to_canonical_json(),
+                golden,
+                "canonical report diverged from GOLDEN_EXP.json at obs={label}, {threads} threads"
+            );
+        }
+    }
+    parallel::set_threads(1);
+
+    // The traced runs must actually have observed something — an empty
+    // event stream would make the byte-identity above vacuous.
+    let events = memory.take();
+    assert!(
+        events.iter().any(|e| {
+            e.kind == EventKind::SpanExit && e.target == "eval.harness" && e.elapsed_ns.is_some()
+        }),
+        "memory sink saw no eval.harness span exits"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == EventKind::SpanExit && e.message == "epoch"),
+        "memory sink saw no trainer epoch spans"
+    );
+    assert!(
+        obs::metrics::counter("tensor.matmul.macs").get() > 0,
+        "matmul MAC counter never moved during a traced training run"
+    );
+
+    // Every JSONL line must be well-formed JSON (the file holds the last
+    // traced run; per-line flushing guarantees it is complete).
+    let jsonl = fs::read_to_string(&jsonl_path).expect("read JSONL output");
+    assert!(!jsonl.is_empty(), "JSONL sink wrote nothing");
+    for (i, line) in jsonl.lines().enumerate() {
+        serde_json::from_str::<serde_json::Value>(line)
+            .unwrap_or_else(|e| panic!("JSONL line {} is not valid JSON: {e}\n{line}", i + 1));
+    }
+}
+
+fn tiny_dataset(seed: u64) -> Dataset {
+    let mut rng = det_rng(seed);
+    let city = City::tiny(&mut rng);
+    DatasetBuilder::new(&city)
+        .trips(40)
+        .min_len(6)
+        .build(&mut rng)
+}
+
+fn train_and_checkpoint(dir: &Path) -> Vec<u8> {
+    let mut config = T2VecConfig::tiny();
+    config.max_epochs = 2;
+    let ds = tiny_dataset(21);
+    let store = CheckpointStore::open(dir, 2).expect("open store");
+    let mut trainer = Trainer::new(&config, &ds.train, &ds.val, 33).expect("trainer setup");
+    while trainer.step_epoch().is_some() {
+        store.save(&trainer.checkpoint()).expect("save checkpoint");
+    }
+    let files = store.checkpoint_files();
+    let (last, _) = files.last().expect("at least one checkpoint");
+    fs::read(last).expect("read checkpoint bytes")
+}
+
+#[test]
+fn checkpoint_bytes_are_identical_with_obs_at_trace() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR"));
+
+    obs_off();
+    let baseline = train_and_checkpoint(&tmp.join("ckpt-obs-off"));
+
+    obs::set_filter(Filter::parse("trace"));
+    obs::set_sinks(vec![Arc::new(MemorySink::new())]);
+    let traced = train_and_checkpoint(&tmp.join("ckpt-obs-trace"));
+    obs_off();
+
+    assert_eq!(
+        baseline, traced,
+        "checkpoint bytes changed when observability was enabled at trace"
+    );
+}

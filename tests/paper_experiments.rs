@@ -24,6 +24,10 @@
 //! `target/paper_experiments/report-{1,4}t.json` so CI can upload them
 //! for diffing against the golden file on failure.
 
+// The golden-regeneration notice prints directly: it must reach the
+// developer regardless of any T2VEC_LOG filtering.
+#![allow(clippy::disallowed_macros)]
+
 use std::fs;
 use std::path::{Path, PathBuf};
 use t2vec_eval::harness::{self, ExpReport, HarnessConfig};
@@ -39,6 +43,10 @@ fn artifact_dir() -> PathBuf {
 
 #[test]
 fn paper_experiments_match_golden_and_trends() {
+    // Honour T2VEC_LOG / T2VEC_METRICS_OUT so CI can run this gate with
+    // full observability on (the golden match below then doubles as the
+    // determinism-invariance check); silent when neither is set.
+    t2vec::obs::init_from_env("off");
     let cfg = HarnessConfig::tiny();
 
     parallel::set_threads(1);
@@ -89,4 +97,8 @@ fn paper_experiments_match_golden_and_trends() {
 
     // Tier 2: the paper's qualitative findings hold.
     harness::assert_trends(&report_1t);
+
+    // Final metric totals into the (possibly installed) sinks.
+    t2vec::obs::metrics::emit();
+    t2vec::obs::flush();
 }
