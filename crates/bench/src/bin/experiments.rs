@@ -10,6 +10,12 @@
 //!      bench_pr1            (never implied by `all`: measures the
 //!                            matmul / encode / train-step throughput
 //!                            and writes BENCH_PR1.json to the CWD)
+//!      bench_pr5            (never implied by `all`: measures the
+//!                            bucketed-fused inference engine against
+//!                            the per-trajectory fused and split-gate
+//!                            encode paths plus the fused vs unfused
+//!                            GRU step latency, and writes
+//!                            BENCH_PR5.json to the CWD)
 //!      bench_exp            (never implied by `all`: runs the seeded
 //!                            paper-experiment harness and writes its
 //!                            canonical report to the CWD — at
@@ -194,6 +200,10 @@ fn main() {
     // Opt-in only: writes a file, so `all` does not imply it.
     if args.ids.iter().any(|x| x == "bench_pr1") {
         bench_pr1();
+    }
+    // Opt-in only: writes BENCH_PR5.json.
+    if args.ids.iter().any(|x| x == "bench_pr5") {
+        bench_pr5();
     }
     // Opt-in only: writes GOLDEN_EXP.json / EXP_QUICK.json.
     if args.ids.iter().any(|x| x == "bench_exp") {
@@ -494,6 +504,213 @@ fn bench_pr1() {
     let json = serde_json::to_string(&report).expect("serialise report");
     std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
     println!("wrote BENCH_PR1.json");
+}
+
+/// Measures the PR-5 inference engine at the BENCH_PR1 encode shape
+/// (same tiny pipeline, same 256 trajectories) across three encode
+/// paths:
+///
+/// 1. **split** — a per-trajectory loop through [`SplitGruStack`], the
+///    per-gate-matmul step design the fused layout replaces (six
+///    allocating gate matmuls per layer-step);
+/// 2. **per-traj** — the shipping `T2Vec::encode` loop (fused weights,
+///    still one trajectory and one allocation batch at a time);
+/// 3. **bucketed** — the `T2Vec::encode_batch` engine (length buckets,
+///    prepacked weights, zero-alloc workspace steps).
+///
+/// All three produce bitwise-identical representations (asserted before
+/// timing). Also records the fused `PackedGruStack::step_into` against
+/// the unfused `GruStack::step_raw` at the paper's stack shape. Writes
+/// everything to `BENCH_PR5.json`.
+fn bench_pr5() {
+    use t2vec_nn::gru::{GruStack, PackedGruStack, SplitGruStack};
+    use t2vec_tensor::Workspace;
+
+    println!("---- BENCH_PR5: bucketed-fused inference engine ----");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let nt = 4usize;
+
+    // -- 1. Encode throughput: per-trajectory loop vs bucketed engine --
+    // Identical recipe to bench_pr1's encode section so the numbers are
+    // comparable across the two reports.
+    let mut rng = det_rng(510);
+    let city = City::tiny(&mut rng);
+    let ds = DatasetBuilder::new(&city)
+        .trips(60)
+        .min_len(8)
+        .build(&mut rng);
+    let mut config = T2VecConfig::tiny();
+    config.grad_accum = 4;
+    config.max_epochs = 2;
+    parallel::set_threads(1);
+    let mut rng = det_rng(511);
+    let (model, _report) =
+        T2Vec::train_with_report(&config, &ds.train, &ds.val, &mut rng).expect("tiny training");
+    let mut trajs: Vec<Vec<_>> = Vec::new();
+    while trajs.len() < 256 {
+        trajs.extend(ds.test.iter().map(|t| t.points.clone()));
+    }
+    trajs.truncate(256);
+
+    // The split-gate baseline: the same per-trajectory loop as
+    // `Seq2Seq::encode_tokens`, but stepping per-gate weight matrices —
+    // the pre-fusion design bench_pr5's headline speedup is measured
+    // against (ISSUE 5 motivation). Tokenisation is inside the loop to
+    // match what `model.encode` pays.
+    let s2s = model.seq2seq();
+    let split_fwd = SplitGruStack::split(s2s.encoder());
+    let split_bwd = s2s.encoder_bwd().map(SplitGruStack::split);
+    let encode_split = |points: &[t2vec_spatial::Point]| -> Vec<f32> {
+        let tokens = model.vocab().tokenize(points);
+        let mut fwd = s2s.encoder().zero_state(1);
+        for tok in &tokens {
+            let x = s2s.embedding().lookup_raw(std::slice::from_ref(tok));
+            split_fwd.step_raw(&x, &mut fwd);
+        }
+        let mut repr = fwd.last().expect("non-empty stack").row(0).to_vec();
+        if let (Some(split), Some(stack)) = (&split_bwd, s2s.encoder_bwd()) {
+            let mut bwd = stack.zero_state(1);
+            for tok in tokens.iter().rev() {
+                let x = s2s.embedding().lookup_raw(std::slice::from_ref(tok));
+                split.step_raw(&x, &mut bwd);
+            }
+            repr.extend_from_slice(bwd.last().expect("non-empty stack").row(0));
+        }
+        repr
+    };
+    // All three paths must agree bit-for-bit before being compared on
+    // speed — otherwise the bench would race different computations.
+    let batch_reprs = model.encode_batch(&trajs);
+    for (t, batch_repr) in trajs.iter().zip(&batch_reprs) {
+        assert_eq!(&encode_split(t), batch_repr, "split vs bucketed mismatch");
+        assert_eq!(
+            &model.encode(t),
+            batch_repr,
+            "per-traj vs bucketed mismatch"
+        );
+    }
+
+    let measure_paths = |threads: usize| {
+        parallel::set_threads(threads);
+        let split = time_mean_secs(|| {
+            for t in &trajs {
+                black_box(encode_split(t));
+            }
+        });
+        let single = time_mean_secs(|| {
+            for t in &trajs {
+                black_box(model.encode(t));
+            }
+        });
+        let bucketed = time_mean_secs(|| {
+            black_box(model.encode_batch(&trajs));
+        });
+        (split, single, bucketed)
+    };
+    let (split_1t, single_1t, bucketed_1t) = measure_paths(1);
+    let (split_nt, single_nt, bucketed_nt) = measure_paths(nt);
+    let per_s = |secs: f64| trajs.len() as f64 / secs;
+    for (label, split, single, bucketed) in [
+        ("1t", split_1t, single_1t, bucketed_1t),
+        ("4t", split_nt, single_nt, bucketed_nt),
+    ] {
+        println!(
+            "encode {label} ({} trajs, hidden {}): split {:.0} traj/s | per-traj fused {:.0} traj/s | bucketed {:.0} traj/s ({:.2}x vs split, {:.2}x vs per-traj)",
+            trajs.len(),
+            config.hidden,
+            per_s(split),
+            per_s(single),
+            per_s(bucketed),
+            split / bucketed,
+            single / bucketed
+        );
+    }
+
+    // -- 2. Fused vs unfused GRU step at the paper's stack shape --
+    // (3 layers of hidden 256, §V-B.) The fused path folds the six gate
+    // matmuls per layer into two prepacked fused-gate matmuls writing
+    // into workspace buffers; step_raw is the historical per-call path.
+    // Always serial: per-step parallelism lives at the bucket level.
+    parallel::set_threads(1);
+    let mut step_rows = Vec::new();
+    let mut rng = det_rng(513);
+    let stack = GruStack::new("bench", 256, 256, 3, &mut rng);
+    let packed = PackedGruStack::pack(&stack);
+    for &batch in &[1usize, 64] {
+        let x = init::uniform(batch, 256, 1.0, &mut rng);
+        let mut states = stack.zero_state(batch);
+        let unfused = time_mean_secs(|| {
+            black_box(stack.step_raw(&x, &mut states));
+        });
+        let mut states = stack.zero_state(batch);
+        let mut ws = Workspace::new();
+        packed.step_into(&x, &mut states, &mut ws); // warm the arena
+        let fused = time_mean_secs(|| {
+            packed.step_into(&x, &mut states, &mut ws);
+            black_box(&states);
+        });
+        println!(
+            "gru step (3x256, batch {batch}): unfused {:.1} us | fused {:.1} us ({:.2}x)",
+            unfused * 1e6,
+            fused * 1e6,
+            unfused / fused
+        );
+        step_rows.push(obj(vec![
+            ("batch", Value::UInt(batch as u64)),
+            ("layers", Value::UInt(3)),
+            ("hidden", Value::UInt(256)),
+            ("unfused_us", Value::Float(unfused * 1e6)),
+            ("fused_us", Value::Float(fused * 1e6)),
+            ("speedup_fused_vs_unfused", Value::Float(unfused / fused)),
+        ]));
+    }
+
+    let report = obj(vec![
+        (
+            "source",
+            Value::Str("crates/bench/src/bin/experiments.rs bench_pr5".into()),
+        ),
+        (
+            "host",
+            obj(vec![
+                ("available_parallelism", Value::UInt(host_threads as u64)),
+                ("bench_threads", Value::UInt(nt as u64)),
+            ]),
+        ),
+        (
+            "encode",
+            obj(vec![
+                ("trajectories", Value::UInt(trajs.len() as u64)),
+                ("hidden", Value::UInt(config.hidden as u64)),
+                ("split_per_s_1t", Value::Float(per_s(split_1t))),
+                ("per_traj_per_s_1t", Value::Float(per_s(single_1t))),
+                ("bucketed_per_s_1t", Value::Float(per_s(bucketed_1t))),
+                ("split_per_s_4t", Value::Float(per_s(split_nt))),
+                ("per_traj_per_s_4t", Value::Float(per_s(single_nt))),
+                ("bucketed_per_s_4t", Value::Float(per_s(bucketed_nt))),
+                (
+                    "speedup_bucketed_vs_split_1t",
+                    Value::Float(split_1t / bucketed_1t),
+                ),
+                (
+                    "speedup_bucketed_vs_split_4t",
+                    Value::Float(split_nt / bucketed_nt),
+                ),
+                (
+                    "speedup_bucketed_vs_per_traj_1t",
+                    Value::Float(single_1t / bucketed_1t),
+                ),
+                (
+                    "speedup_bucketed_vs_per_traj_4t",
+                    Value::Float(single_nt / bucketed_nt),
+                ),
+            ]),
+        ),
+        ("gru_step", Value::Array(step_rows)),
+    ]);
+    let json = serde_json::to_string(&report).expect("serialise report");
+    std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
+    println!("wrote BENCH_PR5.json");
 }
 
 fn table2(args: &Args) {

@@ -10,7 +10,6 @@ use t2vec_nn::Seq2Seq;
 use t2vec_spatial::point::Point;
 use t2vec_spatial::transform::{distort, downsample};
 use t2vec_spatial::vocab::{NeighborTable, Token, Vocab};
-use t2vec_tensor::parallel;
 use t2vec_tensor::Tape;
 use t2vec_trajgen::Trajectory;
 
@@ -161,6 +160,12 @@ impl T2Vec {
         &self.vocab
     }
 
+    /// The underlying seq2seq model (read-only, e.g. for benchmark
+    /// harnesses that drive alternative encode loops).
+    pub fn seq2seq(&self) -> &Seq2Seq {
+        &self.model
+    }
+
     /// The representation dimension `|v|`.
     pub fn repr_dim(&self) -> usize {
         self.model.repr_dim()
@@ -172,35 +177,19 @@ impl T2Vec {
         self.model.encode_tokens(&self.vocab.tokenize(points))
     }
 
-    /// Encodes many trajectories, batching sequences of equal token
-    /// length through the encoder and fanning work across threads.
-    /// Output order matches input order.
+    /// Encodes many trajectories through the length-bucketed fused
+    /// inference engine (`t2vec_nn::infer`): sequences are sorted by
+    /// token length, stepped as whole `batch×hidden` matrices with
+    /// active-prefix shrinking, and buckets fan out across threads.
+    /// Output order matches input order; each vector is bitwise
+    /// identical to [`T2Vec::encode`] of the same trajectory.
     pub fn encode_batch(&self, trajectories: &[Vec<Point>]) -> Vec<Vec<f32>> {
         let tokenised: Vec<Vec<Token>> = trajectories
             .iter()
             .map(|t| self.vocab.tokenize(t))
             .collect();
-        // Bucket indexes by token length so each bucket encodes as one
-        // rectangular batch, then shard buckets across workers.
-        let mut buckets: std::collections::HashMap<usize, Vec<usize>> =
-            std::collections::HashMap::new();
-        for (i, toks) in tokenised.iter().enumerate() {
-            buckets.entry(toks.len()).or_default().push(i);
-        }
-        let buckets: Vec<Vec<usize>> = buckets.into_values().collect();
-        let encoded: Vec<Vec<(usize, Vec<f32>)>> = parallel::par_map(&buckets, |_, bucket| {
-            let seqs: Vec<&[Token]> = bucket.iter().map(|&i| tokenised[i].as_slice()).collect();
-            bucket
-                .iter()
-                .copied()
-                .zip(self.model.encode_tokens_batch(&seqs))
-                .collect()
-        });
-        let mut out: Vec<Vec<f32>> = vec![Vec::new(); trajectories.len()];
-        for (i, v) in encoded.into_iter().flatten() {
-            out[i] = v;
-        }
-        out
+        let seqs: Vec<&[Token]> = tokenised.iter().map(Vec::as_slice).collect();
+        self.model.encode_tokens_batch(&seqs)
     }
 
     /// Decodes the most likely route for a (possibly sparse) trajectory
@@ -368,14 +357,38 @@ mod tests {
     }
 
     #[test]
-    fn encode_batch_matches_single() {
+    fn encode_batch_bitwise_matches_single() {
+        // The bucketed fused engine guarantees exact equality with the
+        // per-trajectory path — not a tolerance.
         let (model, _, ds) = trained();
         let trajs: Vec<Vec<Point>> = ds.test.iter().take(5).map(|t| t.points.clone()).collect();
         let batch = model.encode_batch(&trajs);
         for (t, bv) in trajs.iter().zip(batch.iter()) {
-            let sv = model.encode(t);
-            for (a, b) in sv.iter().zip(bv.iter()) {
-                assert!((a - b).abs() < 1e-4, "batch/single encode mismatch");
+            assert_eq!(&model.encode(t), bv, "batch/single encode mismatch");
+        }
+    }
+
+    proptest::proptest! {
+        /// Ragged length mixes — prefixes of varying length, including
+        /// length-1 and duplicate lengths — must encode bitwise equal to
+        /// the single path regardless of bucket composition.
+        #[test]
+        fn encode_batch_bitwise_on_ragged_lengths(
+            lens in proptest::collection::vec(1usize..12, 1..8),
+            pick in 0usize..1000
+        ) {
+            let (model, _, ds) = trained();
+            let trajs: Vec<Vec<Point>> = lens
+                .iter()
+                .enumerate()
+                .map(|(j, &l)| {
+                    let src = &ds.test[(pick + j) % ds.test.len()].points;
+                    src[..l.min(src.len())].to_vec()
+                })
+                .collect();
+            let batch = model.encode_batch(&trajs);
+            for (t, bv) in trajs.iter().zip(batch.iter()) {
+                proptest::prop_assert_eq!(&model.encode(t), bv);
             }
         }
     }

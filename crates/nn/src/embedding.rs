@@ -72,6 +72,13 @@ impl Embedding {
         let indices: Vec<usize> = tokens.iter().map(Token::idx).collect();
         self.table.value.gather_rows(&indices)
     }
+
+    /// Borrowed view of one token's embedding row — the zero-allocation
+    /// lookup the batched inference engine copies from each timestep.
+    #[inline]
+    pub fn vector(&self, tok: Token) -> &[f32] {
+        self.table.value.row(tok.idx())
+    }
 }
 
 #[cfg(test)]

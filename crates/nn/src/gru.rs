@@ -21,7 +21,8 @@
 use crate::param::Param;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use t2vec_tensor::{init, Matrix, Tape, Var};
+use t2vec_obs as obs;
+use t2vec_tensor::{init, Matrix, Tape, Var, Workspace};
 
 /// One GRU layer.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -120,6 +121,272 @@ impl GruCell {
 #[inline]
 fn sigmoid(x: f32) -> f32 {
     1.0 / (1.0 + (-x).exp())
+}
+
+/// One GRU layer prepacked for batched inference.
+///
+/// The fused `(input × 3H)` projections are cloned out of their tape
+/// [`crate::param::Param`]s into plain dense matrices owned by the
+/// cell, in the row-major layout [`Matrix::matmul_into`]'s fused-axpy
+/// nest streams through contiguously. (A transposed layout fed to
+/// [`Matrix::matmul_transpose_into`] was benchmarked too: its
+/// one-accumulator-per-element dot chain is latency-bound and loses to
+/// the axpy nest on every GRU shape.) `matmul_into` runs the *same*
+/// loop nest as `matmul`, which makes [`PackedGruCell::step_into`]
+/// bitwise identical to [`GruCell::step_raw`] (asserted by proptest
+/// below) — packing changes allocation behaviour, not numerics.
+///
+/// Packed weights are derived at engine construction and never
+/// serialised; checkpoints keep the canonical `GruCell` layout.
+#[derive(Debug, Clone)]
+pub struct PackedGruCell {
+    wx: Matrix,
+    wh: Matrix,
+    b: Matrix,
+    input_dim: usize,
+    hidden: usize,
+}
+
+impl PackedGruCell {
+    /// Packs a cell's weights into the dense inference layout.
+    pub fn pack(cell: &GruCell) -> Self {
+        Self {
+            wx: cell.wx.value.clone(),
+            wh: cell.wh.value.clone(),
+            b: cell.b.value.clone(),
+            input_dim: cell.input_dim,
+            hidden: cell.hidden,
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Fused inference step, in place: `h = GRU(x, h)`.
+    ///
+    /// `gx`/`gh` are `(batch × 3H)` scratch buffers (caller-owned, from a
+    /// [`Workspace`]); nothing is allocated here. Bitwise identical to
+    /// [`GruCell::step_raw`]: the two matmuls reduce in the same k-order,
+    /// and the gate passes below apply the same per-element expressions —
+    /// they are only *regrouped* so the `exp`/`tanh` calls run in tight
+    /// loops and the pure-arithmetic passes (adds, the sigmoid divides,
+    /// the state blend) vectorise. Per-element float ops are exactly
+    /// rounded whatever their neighbours do, so regrouping across
+    /// elements cannot change a single bit.
+    pub fn step_into(&self, x: &Matrix, h: &mut Matrix, gx: &mut Matrix, gh: &mut Matrix) {
+        let hidden = self.hidden;
+        let batch = x.rows();
+        debug_assert_eq!(x.cols(), self.input_dim, "input width mismatch");
+        debug_assert_eq!(h.shape(), (batch, hidden), "state shape mismatch");
+        debug_assert_eq!(gx.shape(), (batch, 3 * hidden), "gx scratch shape");
+        debug_assert_eq!(gh.shape(), (batch, 3 * hidden), "gh scratch shape");
+        obs::counter!("nn.gru.fused_step.macs")
+            .add((batch * (self.input_dim + hidden) * 3 * hidden) as u64);
+        x.matmul_into(&self.wx, gx);
+        gx.add_row_broadcast_assign(&self.b);
+        h.matmul_into(&self.wh, gh);
+        for row in 0..batch {
+            let gxr = gx.row_mut(row);
+            let ghr = gh.row(row);
+            // z/r gates: overwrite gx[0..2H] with sigmoid(gx + gh),
+            // computed as the identical 1/(1 + exp(-(a + b))) sequence.
+            for k in 0..2 * hidden {
+                gxr[k] = -(gxr[k] + ghr[k]);
+            }
+            for v in gxr[..2 * hidden].iter_mut() {
+                *v = v.exp();
+            }
+            for v in gxr[..2 * hidden].iter_mut() {
+                *v = 1.0 / (1.0 + *v);
+            }
+            // candidate pre-activation: gx_n + r ∘ gh_n, then tanh.
+            for k in 0..hidden {
+                gxr[2 * hidden + k] += gxr[hidden + k] * ghr[2 * hidden + k];
+            }
+            for v in gxr[2 * hidden..3 * hidden].iter_mut() {
+                *v = v.tanh();
+            }
+            // h' = (1 − z)∘n + z∘h, same expression as the unfused step.
+            let o = h.row_mut(row);
+            for k in 0..hidden {
+                let z = gxr[k];
+                o[k] = (1.0 - z) * gxr[2 * hidden + k] + z * o[k];
+            }
+        }
+    }
+}
+
+/// The pre-fusion reference layout: one weight matrix **per gate**, six
+/// matmuls per step.
+///
+/// This is the textbook formulation from the module header — `Wxz`,
+/// `Wxr`, `Wxn` applied separately — and the design the fused
+/// `(input × 3H)` layout replaces. It exists so benchmarks and tests can
+/// quantify exactly what gate fusion buys: `bench_pr5` drives a
+/// per-trajectory encode through this step as the unfused baseline.
+///
+/// Splitting is bitwise-lossless: each output element of a matmul is a
+/// k-ordered reduction over *its own column* of the weight matrix, so
+/// slicing the fused matrix into per-gate column blocks leaves every
+/// element's reduction — and therefore every gate value — untouched
+/// (asserted by proptest below).
+#[derive(Debug, Clone)]
+pub struct SplitGruCell {
+    wxz: Matrix,
+    wxr: Matrix,
+    wxn: Matrix,
+    whz: Matrix,
+    whr: Matrix,
+    whn: Matrix,
+    bz: Matrix,
+    br: Matrix,
+    bn: Matrix,
+    hidden: usize,
+}
+
+/// Copies columns `[start, start + width)` of `m` into a new matrix.
+fn slice_cols(m: &Matrix, start: usize, width: usize) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), width);
+    for r in 0..m.rows() {
+        out.row_mut(r)
+            .copy_from_slice(&m.row(r)[start..start + width]);
+    }
+    out
+}
+
+impl SplitGruCell {
+    /// Splits a cell's fused `[z | r | n]` weights into per-gate blocks.
+    pub fn split(cell: &GruCell) -> Self {
+        let h = cell.hidden;
+        Self {
+            wxz: slice_cols(&cell.wx.value, 0, h),
+            wxr: slice_cols(&cell.wx.value, h, h),
+            wxn: slice_cols(&cell.wx.value, 2 * h, h),
+            whz: slice_cols(&cell.wh.value, 0, h),
+            whr: slice_cols(&cell.wh.value, h, h),
+            whn: slice_cols(&cell.wh.value, 2 * h, h),
+            bz: slice_cols(&cell.b.value, 0, h),
+            br: slice_cols(&cell.b.value, h, h),
+            bn: slice_cols(&cell.b.value, 2 * h, h),
+            hidden: h,
+        }
+    }
+
+    /// Unfused inference step: six gate matmuls, each allocating its
+    /// `(batch × hidden)` pre-activation. Numerically identical to
+    /// [`GruCell::step_raw`] — only the work layout differs.
+    pub fn step_raw(&self, x: &Matrix, h: &Matrix) -> Matrix {
+        let hidden = self.hidden;
+        let gz = x.matmul(&self.wxz).add_row_broadcast(&self.bz);
+        let hz = h.matmul(&self.whz);
+        let gr = x.matmul(&self.wxr).add_row_broadcast(&self.br);
+        let hr = h.matmul(&self.whr);
+        let gn = x.matmul(&self.wxn).add_row_broadcast(&self.bn);
+        let hn = h.matmul(&self.whn);
+        let mut out = Matrix::zeros(h.rows(), hidden);
+        for row in 0..h.rows() {
+            let (gzr, hzr) = (gz.row(row), hz.row(row));
+            let (grr, hrr) = (gr.row(row), hr.row(row));
+            let (gnr, hnr) = (gn.row(row), hn.row(row));
+            let prev = h.row(row);
+            let o = out.row_mut(row);
+            for k in 0..hidden {
+                let z = sigmoid(gzr[k] + hzr[k]);
+                let r = sigmoid(grr[k] + hrr[k]);
+                let n = (gnr[k] + r * hnr[k]).tanh();
+                o[k] = (1.0 - z) * n + z * prev[k];
+            }
+        }
+        out
+    }
+}
+
+/// A stack of [`SplitGruCell`]s — the unfused baseline counterpart of
+/// [`PackedGruStack`], stepped exactly like [`GruStack::step_raw`].
+#[derive(Debug, Clone)]
+pub struct SplitGruStack {
+    layers: Vec<SplitGruCell>,
+}
+
+impl SplitGruStack {
+    /// Splits every layer of a [`GruStack`].
+    pub fn split(stack: &GruStack) -> Self {
+        Self {
+            layers: stack.layers.iter().map(SplitGruCell::split).collect(),
+        }
+    }
+
+    /// Unfused inference step: updates `states` in place, returns a
+    /// reference to the top-layer state.
+    ///
+    /// # Panics
+    /// Panics if `states` does not have one entry per layer.
+    pub fn step_raw<'s>(&self, x: &Matrix, states: &'s mut [Matrix]) -> &'s Matrix {
+        assert_eq!(states.len(), self.layers.len(), "state count mismatch");
+        let mut input = x.clone();
+        for (layer, state) in self.layers.iter().zip(states.iter_mut()) {
+            let new_state = layer.step_raw(&input, state);
+            input = new_state.clone();
+            *state = new_state;
+        }
+        states.last().expect("non-empty stack")
+    }
+}
+
+/// A stack of [`PackedGruCell`]s for batched inference.
+#[derive(Debug, Clone)]
+pub struct PackedGruStack {
+    layers: Vec<PackedGruCell>,
+}
+
+impl PackedGruStack {
+    /// Packs every layer of a [`GruStack`].
+    pub fn pack(stack: &GruStack) -> Self {
+        Self {
+            layers: stack.layers.iter().map(PackedGruCell::pack).collect(),
+        }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.layers[0].hidden()
+    }
+
+    /// Fused inference step: updates each layer's `(batch × hidden)`
+    /// state in place; layer `l > 0` reads layer `l−1`'s *new* state,
+    /// matching [`GruStack::step_raw`]. Scratch comes from `ws`, so the
+    /// step allocates nothing once the workspace has warmed up.
+    ///
+    /// # Panics
+    /// Panics if `states` does not have one entry per layer.
+    pub fn step_into(&self, x: &Matrix, states: &mut [Matrix], ws: &mut Workspace) {
+        assert_eq!(states.len(), self.layers.len(), "state count mismatch");
+        let batch = x.rows();
+        let h3 = 3 * self.hidden();
+        // Scratch (unzeroed) is safe: `matmul_into` overwrites every
+        // element of gx/gh before the gate passes read them.
+        let mut gx = ws.take_scratch(batch, h3);
+        let mut gh = ws.take_scratch(batch, h3);
+        for l in 0..self.layers.len() {
+            let (prev, rest) = states.split_at_mut(l);
+            let input = if l == 0 { x } else { &prev[l - 1] };
+            self.layers[l].step_into(input, &mut rest[0], &mut gx, &mut gh);
+        }
+        ws.recycle(gx);
+        ws.recycle(gh);
+    }
 }
 
 impl<'t> BoundGruCell<'t> {
@@ -262,6 +529,7 @@ impl<'t> BoundGruStack<'t> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use t2vec_tensor::gradcheck::check_scalar_fn;
     use t2vec_tensor::rng::det_rng;
 
@@ -373,5 +641,76 @@ mod tests {
     fn zero_layers_panics() {
         let mut rng = det_rng(7);
         let _ = GruStack::new("s", 2, 3, 0, &mut rng);
+    }
+
+    proptest! {
+        /// The fused/prepacked step must be **bitwise** identical to the
+        /// unfused reference — every output element is the same
+        /// k-ordered dot product. This identity is what lets the
+        /// batched inference engine replace the per-trajectory path
+        /// without perturbing GOLDEN_EXP.json.
+        #[test]
+        fn fused_cell_step_bitwise_matches_unfused(
+            in_dim in 1usize..9, hidden in 1usize..9, batch in 1usize..6,
+            seed in 0u64..1000
+        ) {
+            let mut rng = det_rng(seed);
+            let cell = GruCell::new("g", in_dim, hidden, &mut rng);
+            let packed = PackedGruCell::pack(&cell);
+            let x = init::uniform(batch, in_dim, 1.0, &mut rng);
+            let mut h = init::uniform(batch, hidden, 0.5, &mut rng);
+            let reference = cell.step_raw(&x, &h);
+            let mut gx = Matrix::zeros(batch, 3 * hidden);
+            let mut gh = Matrix::zeros(batch, 3 * hidden);
+            packed.step_into(&x, &mut h, &mut gx, &mut gh);
+            prop_assert_eq!(h.as_slice(), reference.as_slice());
+        }
+
+        /// The per-gate split baseline must be bitwise identical to both
+        /// the fused `step_raw` and the packed `step_into`: column
+        /// slicing never touches any element's k-reduction, so all three
+        /// work layouts compute the same bits.
+        #[test]
+        fn split_cell_step_bitwise_matches_fused(
+            in_dim in 1usize..9, hidden in 1usize..9, batch in 1usize..6,
+            seed in 0u64..1000
+        ) {
+            let mut rng = det_rng(seed);
+            let cell = GruCell::new("g", in_dim, hidden, &mut rng);
+            let split = SplitGruCell::split(&cell);
+            let packed = PackedGruCell::pack(&cell);
+            let x = init::uniform(batch, in_dim, 1.0, &mut rng);
+            let mut h = init::uniform(batch, hidden, 0.5, &mut rng);
+            let reference = cell.step_raw(&x, &h);
+            let unfused = split.step_raw(&x, &h);
+            prop_assert_eq!(unfused.as_slice(), reference.as_slice());
+            let mut gx = Matrix::zeros(batch, 3 * hidden);
+            let mut gh = Matrix::zeros(batch, 3 * hidden);
+            packed.step_into(&x, &mut h, &mut gx, &mut gh);
+            prop_assert_eq!(h.as_slice(), reference.as_slice());
+        }
+
+        /// Same identity through a multi-layer stack over several steps
+        /// (state feedback would amplify any divergence).
+        #[test]
+        fn fused_stack_steps_bitwise_match_unfused(
+            layers in 1usize..4, steps in 1usize..6, batch in 1usize..4,
+            seed in 0u64..1000
+        ) {
+            let mut rng = det_rng(seed);
+            let stack = GruStack::new("s", 3, 5, layers, &mut rng);
+            let packed = PackedGruStack::pack(&stack);
+            let mut ref_states = stack.zero_state(batch);
+            let mut fused_states = stack.zero_state(batch);
+            let mut ws = Workspace::new();
+            for _ in 0..steps {
+                let x = init::uniform(batch, 3, 1.0, &mut rng);
+                stack.step_raw(&x, &mut ref_states);
+                packed.step_into(&x, &mut fused_states, &mut ws);
+                for (a, b) in ref_states.iter().zip(fused_states.iter()) {
+                    prop_assert_eq!(a.as_slice(), b.as_slice());
+                }
+            }
+        }
     }
 }

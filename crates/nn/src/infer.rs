@@ -1,0 +1,205 @@
+//! Batched inference engine: length-bucketed encoding with fused,
+//! zero-allocation GRU steps.
+//!
+//! Serving trajectory embeddings means running the §IV-D encoder over
+//! large corpora (index builds) and query streams. The training-oriented
+//! paths step one trajectory at a time through `1×hidden` matmuls and
+//! allocate fresh buffers every timestep; this module replaces that for
+//! inference with:
+//!
+//! * **prepacked weights** — [`PackedGruStack`] stores each layer's fused
+//!   gate projections as dense tape-free matrices the in-place step
+//!   kernel streams through contiguously;
+//! * **length bucketing** — trajectories are sorted by length
+//!   (descending) and stepped as whole `batch×hidden` matrices; as short
+//!   sequences finish, the active rows form a shrinking prefix
+//!   (pack-padded-sequence style), so no step wastes work on padding;
+//! * **a [`Workspace`] arena** — states, embedded inputs and gate
+//!   pre-activations are recycled buffers, so the per-timestep loop
+//!   performs no heap allocation after warmup (asserted by the
+//!   allocation-guard test).
+//!
+//! Everything here is **bitwise identical** to the unfused
+//! one-trajectory-at-a-time path: the packed kernel reduces in `matmul`'s
+//! k-order, and every other kernel involved is row-independent, so
+//! batching rows together cannot change any element. The GOLDEN
+//! regression gate and the exact batch-vs-single tests rely on this.
+
+use crate::embedding::Embedding;
+use crate::gru::{GruStack, PackedGruStack};
+use t2vec_obs as obs;
+use t2vec_spatial::vocab::Token;
+use t2vec_tensor::{Matrix, Workspace};
+
+/// Maximum trajectories per bucket. Matches the training batch size and
+/// keeps the per-bucket state footprint (`rows × hidden × layers`)
+/// L2-resident at the paper's hidden size.
+pub const MAX_BUCKET_ROWS: usize = 64;
+
+/// Immutable, prepacked encoder weights shared by every worker during a
+/// bulk encode. Derived from the canonical [`GruStack`] weights at
+/// construction — never serialised, so checkpoints are unaffected.
+pub struct PackedEncoder<'m> {
+    embedding: &'m Embedding,
+    fwd: PackedGruStack,
+    bwd: Option<PackedGruStack>,
+}
+
+impl<'m> PackedEncoder<'m> {
+    /// Packs the (possibly bidirectional) encoder for batched inference.
+    pub fn new(embedding: &'m Embedding, fwd: &GruStack, bwd: Option<&GruStack>) -> Self {
+        Self {
+            embedding,
+            fwd: PackedGruStack::pack(fwd),
+            bwd: bwd.map(PackedGruStack::pack),
+        }
+    }
+
+    /// Representation width: top-layer hidden state(s), both directions
+    /// concatenated when bidirectional.
+    pub fn repr_dim(&self) -> usize {
+        self.fwd.hidden() + self.bwd.as_ref().map_or(0, PackedGruStack::hidden)
+    }
+
+    /// Encodes one bucket of trajectories, returning representations
+    /// aligned with `idxs` (indices into `seqs`, sorted by length
+    /// descending so the active rows always form a prefix).
+    ///
+    /// # Panics
+    /// Debug-asserts the descending length order.
+    pub fn encode_bucket(
+        &self,
+        seqs: &[&[Token]],
+        idxs: &[usize],
+        ws: &mut Workspace,
+    ) -> Vec<Vec<f32>> {
+        debug_assert!(
+            idxs.windows(2)
+                .all(|w| seqs[w[0]].len() >= seqs[w[1]].len()),
+            "bucket must be sorted by length descending"
+        );
+        if idxs.is_empty() {
+            return Vec::new();
+        }
+        obs::counter!("nn.encode.buckets").incr();
+        obs::histogram!("nn.encode.bucket_rows").record(idxs.len() as u64);
+        let fwd = self.run_direction(seqs, idxs, false, ws);
+        match &self.bwd {
+            None => fwd,
+            Some(_) => {
+                let bwd = self.run_direction(seqs, idxs, true, ws);
+                fwd.into_iter()
+                    .zip(bwd)
+                    .map(|(mut f, b)| {
+                        f.extend_from_slice(&b);
+                        f
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Steps one direction over the bucket and returns each row's final
+    /// top-layer state. At step `t` the active rows are exactly those
+    /// with `len > t` — a prefix, thanks to the descending sort — and a
+    /// row's state is harvested the moment it leaves the prefix. The
+    /// backward direction reads each sequence from its own end
+    /// (`s[len−1−t]`), so short sequences still consume their full
+    /// reversed token order.
+    fn run_direction(
+        &self,
+        seqs: &[&[Token]],
+        idxs: &[usize],
+        reverse: bool,
+        ws: &mut Workspace,
+    ) -> Vec<Vec<f32>> {
+        let stack = if reverse {
+            self.bwd.as_ref().expect("backward stack")
+        } else {
+            &self.fwd
+        };
+        let bucket = idxs.len();
+        let layers = stack.num_layers();
+        let top = layers - 1;
+        let max_len = seqs[idxs[0]].len();
+        let mut states: Vec<Matrix> = (0..layers)
+            .map(|_| ws.take(bucket, stack.hidden()))
+            .collect();
+        // States must start zeroed (h₀ = 0); the input buffer is fully
+        // overwritten with embedding rows each step, so scratch is safe.
+        let mut x = ws.take_scratch(bucket, self.embedding.dim());
+        let mut finals: Vec<Vec<f32>> = vec![Vec::new(); bucket];
+        let mut active = bucket;
+        for t in 0..max_len {
+            while active > 0 && seqs[idxs[active - 1]].len() <= t {
+                active -= 1;
+                finals[active] = states[top].row(active).to_vec();
+            }
+            if active == 0 {
+                break;
+            }
+            if states[0].rows() != active {
+                for s in states.iter_mut() {
+                    s.resize_rows(active);
+                }
+                x.resize_rows(active);
+            }
+            for pos in 0..active {
+                let s = seqs[idxs[pos]];
+                let tok = if reverse { s[s.len() - 1 - t] } else { s[t] };
+                x.row_mut(pos).copy_from_slice(self.embedding.vector(tok));
+            }
+            stack.step_into(&x, &mut states, ws);
+        }
+        for (pos, f) in finals.iter_mut().enumerate().take(active) {
+            *f = states[top].row(pos).to_vec();
+        }
+        ws.recycle(x);
+        for s in states {
+            ws.recycle(s);
+        }
+        finals
+    }
+}
+
+/// A [`PackedEncoder`] plus an owned [`Workspace`]: the convenience
+/// handle for a single-threaded caller (benchmarks, tests, streaming
+/// query encoding). `Seq2Seq::encode_tokens_batch` instead shares one
+/// `PackedEncoder` across workers with a workspace per bucket.
+pub struct EncodeEngine<'m> {
+    packed: PackedEncoder<'m>,
+    ws: Workspace,
+}
+
+impl<'m> EncodeEngine<'m> {
+    /// Wraps prepacked weights with a fresh workspace.
+    pub fn new(packed: PackedEncoder<'m>) -> Self {
+        Self {
+            packed,
+            ws: Workspace::new(),
+        }
+    }
+
+    /// Encodes arbitrary-length trajectories: sorts by length
+    /// (descending, stable so equal lengths keep input order), buckets
+    /// into [`MAX_BUCKET_ROWS`]-row groups, and returns representations
+    /// in the *input* order. Empty sequences encode to zero vectors.
+    pub fn encode_batch(&mut self, seqs: &[&[Token]]) -> Vec<Vec<f32>> {
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(seqs[i].len()));
+        let mut out = vec![Vec::new(); seqs.len()];
+        for bucket in order.chunks(MAX_BUCKET_ROWS) {
+            let reprs = self.packed.encode_bucket(seqs, bucket, &mut self.ws);
+            for (&i, r) in bucket.iter().zip(reprs) {
+                out[i] = r;
+            }
+        }
+        obs::gauge!("nn.encode.arena_high_water_bytes").set(self.ws.high_water_bytes() as f64);
+        out
+    }
+
+    /// Peak scratch bytes the workspace has held.
+    pub fn arena_high_water_bytes(&self) -> usize {
+        self.ws.high_water_bytes()
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`loss`] — the three training losses: `L1` (plain NLL, Eq. 4), `L2`
 //!   (exact spatial-proximity-aware loss, Eq. 5) and `L3` (the K-nearest
 //!   + NCE approximation, Eq. 7);
+//! * [`infer`] — the batched inference engine: prepacked fused-gate
+//!   weights, length-bucketed encoding with active-prefix shrinking,
+//!   and a zero-allocation steady-state step loop;
 //! * [`batch`] — length-bucketed minibatching of training pairs;
 //! * [`skipgram`] — Algorithm 1: skip-gram with negative sampling over
 //!   spatially sampled cell contexts, used to pre-train the embedding;
@@ -27,12 +30,14 @@
 pub mod batch;
 pub mod embedding;
 pub mod gru;
+pub mod infer;
 pub mod loss;
 pub mod param;
 pub mod seq2seq;
 pub mod skipgram;
 pub mod train;
 
+pub use infer::{EncodeEngine, PackedEncoder};
 pub use loss::LossKind;
 pub use param::{GradSet, Param};
 pub use seq2seq::{Seq2Seq, Seq2SeqConfig};

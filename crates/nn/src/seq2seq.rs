@@ -11,12 +11,14 @@
 use crate::batch::Batch;
 use crate::embedding::Embedding;
 use crate::gru::{BoundGruStack, GruStack};
+use crate::infer::{EncodeEngine, PackedEncoder, MAX_BUCKET_ROWS};
 use crate::loss::{step_loss, LossKind};
 use crate::param::{GradSet, Param};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use t2vec_obs as obs;
 use t2vec_spatial::vocab::{NeighborTable, Token};
-use t2vec_tensor::{init, Matrix, Tape, Var};
+use t2vec_tensor::{init, parallel, Matrix, Tape, Var, Workspace};
 
 /// Architecture hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -229,47 +231,63 @@ impl Seq2Seq {
         states.last().expect("non-empty stack").row(0).to_vec()
     }
 
-    /// Encodes a batch of *equal-length* token sequences in one pass
-    /// (used by the bulk encoder in `t2vec-core`).
-    ///
-    /// # Panics
-    /// Panics if the sequences do not share a length.
+    /// Prepacks the encoder weights for batched inference (see
+    /// [`crate::infer`]). Cheap relative to encoding a bucket; pack once
+    /// and reuse across many trajectories.
+    pub fn packed_encoder(&self) -> PackedEncoder<'_> {
+        PackedEncoder::new(&self.embedding, &self.encoder, self.encoder_bwd.as_ref())
+    }
+
+    /// A single-owner inference engine: prepacked weights plus a
+    /// reusable scratch workspace.
+    pub fn encode_engine(&self) -> EncodeEngine<'_> {
+        EncodeEngine::new(self.packed_encoder())
+    }
+
+    /// The token embedding table (read-only, for external encode loops
+    /// such as the unfused baseline in `t2vec-bench`).
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// The forward encoder stack (read-only).
+    pub fn encoder(&self) -> &GruStack {
+        &self.encoder
+    }
+
+    /// The backward encoder stack, when bidirectional (read-only).
+    pub fn encoder_bwd(&self) -> Option<&GruStack> {
+        self.encoder_bwd.as_ref()
+    }
+
+    /// Encodes a batch of token sequences of **any** lengths via the
+    /// length-bucketed fused engine (used by the bulk encoder in
+    /// `t2vec-core`): sequences are sorted by length descending (stable),
+    /// chunked into [`MAX_BUCKET_ROWS`]-row buckets that step as one
+    /// matrix with active-prefix shrinking, and buckets fan out across
+    /// [`parallel`] workers. Results come back in input order and are
+    /// bitwise identical to [`Seq2Seq::encode_tokens`] per sequence.
     pub fn encode_tokens_batch(&self, seqs: &[&[Token]]) -> Vec<Vec<f32>> {
         if seqs.is_empty() {
             return Vec::new();
         }
-        let len = seqs[0].len();
-        assert!(
-            seqs.iter().all(|s| s.len() == len),
-            "batch sequences must share a length"
-        );
-        if len == 0 {
-            return vec![vec![0.0; self.config.hidden]; seqs.len()];
-        }
-        let mut fwd = self.encoder.zero_state(seqs.len());
-        let mut step_tokens = Vec::with_capacity(seqs.len());
-        for t in 0..len {
-            step_tokens.clear();
-            step_tokens.extend(seqs.iter().map(|s| s[t]));
-            let x = self.embedding.lookup_raw(&step_tokens);
-            self.encoder.step_raw(&x, &mut fwd);
-        }
-        let top = match &self.encoder_bwd {
-            None => fwd.last().expect("non-empty stack").clone(),
-            Some(bwd_stack) => {
-                let mut bwd = bwd_stack.zero_state(seqs.len());
-                for t in (0..len).rev() {
-                    step_tokens.clear();
-                    step_tokens.extend(seqs.iter().map(|s| s[t]));
-                    let x = self.embedding.lookup_raw(&step_tokens);
-                    bwd_stack.step_raw(&x, &mut bwd);
-                }
-                fwd.last()
-                    .expect("non-empty stack")
-                    .concat_cols(bwd.last().expect("non-empty stack"))
+        let packed = self.packed_encoder();
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(seqs[i].len()));
+        let buckets: Vec<&[usize]> = order.chunks(MAX_BUCKET_ROWS).collect();
+        let per_bucket = parallel::par_map(&buckets, |_, bucket| {
+            let mut ws = Workspace::new();
+            let reprs = packed.encode_bucket(seqs, bucket, &mut ws);
+            obs::gauge!("nn.encode.arena_high_water_bytes").set(ws.high_water_bytes() as f64);
+            reprs
+        });
+        let mut out = vec![Vec::new(); seqs.len()];
+        for (bucket, reprs) in buckets.iter().zip(per_bucket) {
+            for (&i, r) in bucket.iter().zip(reprs) {
+                out[i] = r;
             }
-        };
-        (0..seqs.len()).map(|b| top.row(b).to_vec()).collect()
+        }
+        out
     }
 
     /// Beam-search decode: the `beam_width` most likely token sequences
@@ -302,7 +320,33 @@ impl Seq2Seq {
             if beams.iter().all(|b| b.done) {
                 break;
             }
+            // One decoder step + ONE projection matmul over all live
+            // beams at once: stack the per-layer states row-wise, embed
+            // every beam's previous token together, and log-softmax the
+            // whole `(live × vocab)` logit block. Every kernel involved
+            // is row-independent, so row `li` is bitwise identical to
+            // stepping beam `li` alone.
+            let live: Vec<usize> = beams
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.done)
+                .map(|(i, _)| i)
+                .collect();
+            let prevs: Vec<Token> = live
+                .iter()
+                .map(|&i| beams[i].tokens.last().copied().unwrap_or(Token::BOS))
+                .collect();
+            let x = self.embedding.lookup_raw(&prevs);
+            let mut stacked: Vec<Matrix> = (0..self.decoder.num_layers())
+                .map(|l| {
+                    let rows: Vec<&Matrix> = live.iter().map(|&i| &beams[i].states[l]).collect();
+                    Matrix::vstack(&rows)
+                })
+                .collect();
+            let h = self.decoder.step_raw(&x, &mut stacked).clone();
+            let logp = h.matmul_transpose(&self.w_out.value).log_softmax_rows();
             let mut candidates: Vec<Beam> = Vec::new();
+            let mut li = 0;
             for beam in &beams {
                 if beam.done {
                     candidates.push(Beam {
@@ -313,18 +357,16 @@ impl Seq2Seq {
                     });
                     continue;
                 }
-                let prev = beam.tokens.last().copied().unwrap_or(Token::BOS);
-                let x = self.embedding.lookup_raw(&[prev]);
-                let mut new_states = beam.states.clone();
-                let h = self.decoder.step_raw(&x, &mut new_states).clone();
-                let logits = h.matmul_transpose(&self.w_out.value);
-                let logp = logits.log_softmax_rows();
+                let new_states: Vec<Matrix> = stacked
+                    .iter()
+                    .map(|m| Matrix::row_vector(m.row(li)))
+                    .collect();
                 // Top beam_width expansions of this beam.
                 let mut scored: Vec<(usize, f32)> = (0..logp.cols())
                     .filter(|&i| {
                         i != Token::PAD.idx() && i != Token::BOS.idx() && i != Token::UNK.idx()
                     })
-                    .map(|i| (i, logp.get(0, i)))
+                    .map(|i| (i, logp.get(li, i)))
                     .collect();
                 scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 for &(idx, lp) in scored.iter().take(beam_width) {
@@ -341,6 +383,7 @@ impl Seq2Seq {
                         done,
                     });
                 }
+                li += 1;
             }
             candidates.sort_by(|a, b| {
                 b.logp
@@ -399,7 +442,9 @@ impl Seq2Seq {
         for _ in 0..max_len {
             let x = self.embedding.lookup_raw(&[prev]);
             let h = self.decoder.step_raw(&x, &mut dec_states);
-            // logits = h · Wᵀ; pick argmax, never PAD/BOS.
+            // logits = h · Wᵀ; argmax over the RAW logits, never
+            // PAD/BOS. Softmax is strictly monotone per row, so no
+            // normalisation belongs on this path.
             let logits = h.matmul_transpose(&self.w_out.value);
             let mut best = Token::EOS;
             let mut best_score = f32::NEG_INFINITY;
@@ -559,20 +604,47 @@ mod tests {
     }
 
     #[test]
-    fn batch_encode_matches_single_encode() {
+    fn batch_encode_bitwise_matches_single_encode() {
         let (vocab, _, model) = tiny_setup();
         let toks: Vec<Token> = vocab.hot_tokens().take(6).collect();
         let a = &toks[0..4];
         let b = &toks[2..6];
         let batch = model.encode_tokens_batch(&[a, b]);
-        let single_a = model.encode_tokens(a);
-        let single_b = model.encode_tokens(b);
-        for (x, y) in batch[0].iter().zip(single_a.iter()) {
-            assert!((x - y).abs() < 1e-5);
+        // The bucketed fused path is bitwise identical to the unfused
+        // per-trajectory path — exact equality, not tolerance.
+        assert_eq!(batch[0], model.encode_tokens(a));
+        assert_eq!(batch[1], model.encode_tokens(b));
+    }
+
+    #[test]
+    fn batch_encode_handles_ragged_lengths_bitwise() {
+        // Mixed lengths — including empty, length-1 and duplicates —
+        // exercise the active-prefix shrinking of the bucketed engine.
+        let (vocab, _, model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().collect();
+        let seqs: Vec<&[Token]> = vec![
+            &toks[0..3],
+            &toks[0..0], // empty -> zero vector
+            &toks[5..6], // length 1
+            &toks[2..9],
+            &toks[4..7], // duplicate length of seqs[0]
+            &toks[10..11],
+        ];
+        let batch = model.encode_tokens_batch(&seqs);
+        for (s, got) in seqs.iter().zip(batch.iter()) {
+            assert_eq!(got, &model.encode_tokens(s), "mismatch for len {}", s.len());
         }
-        for (x, y) in batch[1].iter().zip(single_b.iter()) {
-            assert!((x - y).abs() < 1e-5);
-        }
+    }
+
+    #[test]
+    fn encode_engine_matches_batch_path() {
+        let (vocab, _, model) = tiny_setup();
+        let toks: Vec<Token> = vocab.hot_tokens().collect();
+        let seqs: Vec<&[Token]> = vec![&toks[0..5], &toks[3..4], &toks[1..8]];
+        let mut engine = model.encode_engine();
+        let via_engine = engine.encode_batch(&seqs);
+        assert_eq!(via_engine, model.encode_tokens_batch(&seqs));
+        assert!(engine.arena_high_water_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Steady-state allocation guard for the batched inference engine.
+//!
+//! A counting global allocator proves the fused GRU step loop performs
+//! **zero heap allocations after warmup**: the `_into` kernels write
+//! into recycled [`Workspace`] buffers, the embedding lookup copies
+//! rows in place, and active-prefix shrinking only ever truncates
+//! (capacity is retained). Counters are thread-local so the guard is
+//! immune to allocations on other test threads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use t2vec_nn::embedding::Embedding;
+use t2vec_nn::gru::{GruStack, PackedGruStack};
+use t2vec_nn::infer::PackedEncoder;
+use t2vec_spatial::vocab::Token;
+use t2vec_tensor::rng::det_rng;
+use t2vec_tensor::{init, Workspace};
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.with(Cell::get)
+}
+
+/// The core zero-alloc claim: after the first step warms the workspace
+/// (and the obs counter slots), every further fused stack step is
+/// allocation-free.
+#[test]
+fn fused_stack_step_is_alloc_free_after_warmup() {
+    let mut rng = det_rng(1);
+    let stack = GruStack::new("s", 16, 24, 3, &mut rng);
+    let packed = PackedGruStack::pack(&stack);
+    let mut states = stack.zero_state(8);
+    let x = init::uniform(8, 16, 1.0, &mut rng);
+    let mut ws = Workspace::new();
+    packed.step_into(&x, &mut states, &mut ws); // warmup
+    let before = allocations();
+    for _ in 0..100 {
+        packed.step_into(&x, &mut states, &mut ws);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "steady-state fused GRU steps must not touch the heap"
+    );
+}
+
+/// Whole-bucket encodes allocate only for the harvested outputs (one
+/// `Vec` per trajectory), never per timestep: encoding 8× longer
+/// sequences performs exactly the same number of allocations.
+#[test]
+fn bucket_encode_allocations_are_length_independent() {
+    let mut rng = det_rng(2);
+    let emb = Embedding::new("emb", 32, 16, &mut rng);
+    let fwd = GruStack::new("f", 16, 24, 2, &mut rng);
+    let bwd = GruStack::new("b", 16, 24, 2, &mut rng);
+    let packed = PackedEncoder::new(&emb, &fwd, Some(&bwd));
+    let idxs: Vec<usize> = (0..6).collect();
+    let count_for = |len: usize, ws: &mut Workspace| {
+        let seqs: Vec<Vec<Token>> = (0..6)
+            .map(|j| (0..len).map(|i| Token(((i + j) % 20 + 4) as u32)).collect())
+            .collect();
+        let refs: Vec<&[Token]> = seqs.iter().map(Vec::as_slice).collect();
+        packed.encode_bucket(&refs, &idxs, ws); // warm the arena for this shape
+        let before = allocations();
+        packed.encode_bucket(&refs, &idxs, ws);
+        allocations() - before
+    };
+    let mut ws = Workspace::new();
+    let short = count_for(8, &mut ws);
+    let long = count_for(64, &mut ws);
+    assert_eq!(
+        short, long,
+        "allocation count grew with sequence length — a per-step allocation leaked in"
+    );
+}

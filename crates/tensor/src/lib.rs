@@ -42,6 +42,8 @@ pub mod opt;
 pub mod parallel;
 pub mod rng;
 pub mod tape;
+pub mod workspace;
 
 pub use matrix::Matrix;
 pub use tape::{Gradients, Tape, Var};
+pub use workspace::Workspace;

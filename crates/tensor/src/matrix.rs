@@ -111,6 +111,31 @@ fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
     }
 }
 
+/// Dot product accumulated in ascending-`k` quads — the exact reduction
+/// order [`matmul_panel`] applies to every output element (`KC` is a
+/// multiple of 4, so its depth-block boundaries always align with quad
+/// boundaries). [`Matrix::matmul_transpose_into`] uses this instead of
+/// the 8-lane [`dot`] so the prepacked inference path is **bitwise
+/// identical** to `matmul` against the untransposed weights.
+#[inline]
+fn dot_k4(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "dot_k4 length mismatch");
+    let n = a.len();
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut acc = 0.0f32;
+    let mut kk = 0;
+    while kk + 4 <= n {
+        acc +=
+            a[kk] * b[kk] + a[kk + 1] * b[kk + 1] + a[kk + 2] * b[kk + 2] + a[kk + 3] * b[kk + 3];
+        kk += 4;
+    }
+    while kk < n {
+        acc += a[kk] * b[kk];
+        kk += 1;
+    }
+    acc
+}
+
 /// Blocked `A·B` over the output rows in `rows`, writing into `panel`
 /// (the row-major sub-buffer for exactly those rows).
 ///
@@ -501,6 +526,173 @@ impl Matrix {
             kernel(0..m, &mut out.data);
         }
         out
+    }
+
+    /// `self (m×k) · other (k×n) -> (m×n)` written into `out` — the
+    /// zero-allocation kernel behind the prepacked inference path.
+    ///
+    /// Runs the same `KC`-deep / `NC`-wide fused-`axpy` loop nest as
+    /// [`Matrix::matmul`], reading A rows in place instead of packing a
+    /// slab — the operand values and per-element reduction order are
+    /// unchanged, so the result is **bitwise identical** to
+    /// `self.matmul(other)`: the property the fused GRU step and the
+    /// GOLDEN regression gate rely on.
+    ///
+    /// Always serial: the batched-inference caller parallelises across
+    /// buckets, and spawning workers here would allocate (breaking the
+    /// steady-state zero-alloc guarantee).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or if `out` is not `(m×n)`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul_into shape mismatch: {}x{} · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        assert_eq!(out.shape(), (m, n), "matmul_into output must be {m}x{n}");
+        let _obs = MacsTimer::start(m, k, n);
+        out.data.fill(0.0);
+        let (a, b) = (&self.data, &other.data);
+        for pc in (0..k).step_by(KC) {
+            let kw = KC.min(k - pc);
+            for jc in (0..n).step_by(NC) {
+                let jw = NC.min(n - jc);
+                for i in 0..m {
+                    let a_row = &a[i * k + pc..i * k + pc + kw];
+                    let out_row = &mut out.data[i * n + jc..i * n + jc + jw];
+                    let mut kk = 0;
+                    while kk + 4 <= kw {
+                        let bb = (pc + kk) * n + jc;
+                        axpy4(
+                            out_row,
+                            [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]],
+                            &b[bb..bb + jw],
+                            &b[bb + n..bb + n + jw],
+                            &b[bb + 2 * n..bb + 2 * n + jw],
+                            &b[bb + 3 * n..bb + 3 * n + jw],
+                        );
+                        kk += 4;
+                    }
+                    while kk < kw {
+                        let bb = (pc + kk) * n + jc;
+                        axpy1(out_row, a_row[kk], &b[bb..bb + jw]);
+                        kk += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `self (m×k) · otherᵀ (n×k) -> (m×n)` written into `out`, with
+    /// `other` holding transposed weights (each output column's `k`
+    /// values contiguous); every element is one dot of two contiguous
+    /// rows, tiled `MC` high so each B-row loads once per tile.
+    ///
+    /// Unlike [`Matrix::matmul_transpose`] (8-lane striped [`dot`]), the
+    /// reduction here is the ascending-`k` quad order of
+    /// [`matmul_panel`], making the result **bitwise identical** to
+    /// `self.matmul(W)` where `other = Wᵀ`. The fused GRU step uses
+    /// [`Matrix::matmul_into`] instead — the single-accumulator `dot`
+    /// chain here is latency-bound and benches well below the fused-axpy
+    /// nest — but the op stays available for callers that already hold
+    /// transposed weights. Always serial, zero-allocation.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or if `out` is not `(m×n)`.
+    pub fn matmul_transpose_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_into shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        assert_eq!(
+            out.shape(),
+            (m, n),
+            "matmul_transpose_into output must be {m}x{n}"
+        );
+        let _obs = MacsTimer::start(m, k, n);
+        for ic in (0..m).step_by(MC) {
+            let ie = (ic + MC).min(m);
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                for i in ic..ie {
+                    out.data[i * n + j] = dot_k4(&self.data[i * k..(i + 1) * k], b_row);
+                }
+            }
+        }
+    }
+
+    /// `out = self + other` without allocating (shapes must all match).
+    pub fn add_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_into shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "add_into output shape mismatch");
+        for ((o, &a), &b) in out
+            .data
+            .iter_mut()
+            .zip(self.data.iter())
+            .zip(other.data.iter())
+        {
+            *o = a + b;
+        }
+    }
+
+    /// In-place [`Matrix::add_row_broadcast`]: adds the `(1, cols)` row
+    /// vector `bias` to every row of `self` without allocating.
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &b) in row.iter_mut().zip(bias.data.iter()) {
+                *o += b;
+            }
+        }
+    }
+
+    /// Changes the row count in place, keeping the leading rows.
+    ///
+    /// Shrinking keeps the prefix; growing zero-fills the new rows.
+    /// Capacity is never released, so shrinking and re-growing within a
+    /// previous high-water mark performs no heap allocation — this is
+    /// how the bucketed encoder's active-prefix buffers shrink as short
+    /// sequences finish.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.data.resize(rows * self.cols, 0.0);
+        self.rows = rows;
+    }
+
+    /// Re-shapes the buffer to `(rows, cols)` and zeroes every element,
+    /// reusing the existing capacity when it suffices (the
+    /// [`crate::workspace::Workspace`] arena's recycling primitive).
+    pub fn reset_shape(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Re-shapes the buffer to `(rows, cols)` **without zeroing** —
+    /// element contents are unspecified (a mix of stale values and
+    /// zero-fill). Backs [`crate::workspace::Workspace::take_scratch`]
+    /// for buffers that are fully overwritten before being read.
+    pub fn reshape_scratch(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        if self.data.len() > n {
+            self.data.truncate(n);
+        } else {
+            self.data.resize(n, 0.0);
+        }
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// The backing buffer's capacity in elements (for arena accounting).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
     }
 
     /// Reference `self · other` — the unblocked, single-threaded triple
@@ -1039,7 +1231,103 @@ mod tests {
         assert_eq!(serial.2.as_slice(), parallel.2.as_slice());
     }
 
+    /// The prepacked inference kernel must be bitwise-equal to `matmul`
+    /// on depths that cross the `KC` block boundary (k = 513 spans two
+    /// full 256-deep blocks plus a 1-wide remainder) and rows crossing
+    /// `MC`, since the GOLDEN regression gate depends on this identity.
+    #[test]
+    fn matmul_transpose_into_bitwise_matches_matmul_across_blocks() {
+        let mut rng = crate::rng::det_rng(11);
+        for (m, k, n) in [(1, 513, 7), (70, 300, 9), (3, 256, 768), (2, 1, 1)] {
+            let a = crate::init::uniform(m, k, 1.0, &mut rng);
+            let w = crate::init::uniform(k, n, 1.0, &mut rng);
+            let wt = w.transpose();
+            let mut out = Matrix::full(m, n, f32::NAN); // stale contents must not leak
+            a.matmul_transpose_into(&wt, &mut out);
+            assert_eq!(out.as_slice(), a.matmul(&w).as_slice());
+        }
+    }
+
+    /// Same bitwise contract for the in-place fused-axpy kernel the GRU
+    /// step actually uses: identical to `matmul` across KC/NC/MC block
+    /// boundaries, with stale output contents fully overwritten.
+    #[test]
+    fn matmul_into_bitwise_matches_matmul_across_blocks() {
+        let mut rng = crate::rng::det_rng(13);
+        for (m, k, n) in [(1, 513, 7), (70, 300, 9), (3, 256, 768), (2, 1, 1)] {
+            let a = crate::init::uniform(m, k, 1.0, &mut rng);
+            let w = crate::init::uniform(k, n, 1.0, &mut rng);
+            let mut out = Matrix::full(m, n, f32::NAN); // stale contents must not leak
+            a.matmul_into(&w, &mut out);
+            assert_eq!(out.as_slice(), a.matmul(&w).as_slice());
+        }
+    }
+
+    #[test]
+    fn add_into_and_broadcast_assign_match_allocating_twins() {
+        let mut rng = crate::rng::det_rng(12);
+        let a = crate::init::uniform(5, 7, 1.0, &mut rng);
+        let b = crate::init::uniform(5, 7, 1.0, &mut rng);
+        let bias = crate::init::uniform(1, 7, 1.0, &mut rng);
+        let mut out = Matrix::zeros(5, 7);
+        a.add_into(&b, &mut out);
+        assert_eq!(out.as_slice(), a.add(&b).as_slice());
+        let mut c = a.clone();
+        c.add_row_broadcast_assign(&bias);
+        assert_eq!(c.as_slice(), a.add_row_broadcast(&bias).as_slice());
+    }
+
+    #[test]
+    fn resize_rows_keeps_prefix_and_capacity() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let cap = m.capacity();
+        m.resize_rows(1);
+        assert_eq!(m.shape(), (1, 2));
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.capacity(), cap, "shrinking must not release capacity");
+        m.resize_rows(3);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0], "grown rows are zero-filled");
+        assert_eq!(m.capacity(), cap);
+        m.reset_shape(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(m.capacity(), cap);
+    }
+
     proptest! {
+        /// Bitwise (not approximate) agreement between the prepacked
+        /// inference kernel and `matmul` — each element is the same
+        /// k-ordered reduction.
+        #[test]
+        fn matmul_transpose_into_bitwise_matches_matmul(
+            m in 1usize..12, k in 1usize..80, n in 1usize..24,
+            seed in 0u64..1000
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(m, k, 1.0, &mut rng);
+            let w = crate::init::uniform(k, n, 1.0, &mut rng);
+            let wt = w.transpose();
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_transpose_into(&wt, &mut out);
+            prop_assert_eq!(out.as_slice(), a.matmul(&w).as_slice());
+        }
+
+        /// Bitwise agreement between the in-place fused-axpy kernel and
+        /// `matmul` — same loop nest, same reduction order.
+        #[test]
+        fn matmul_into_bitwise_matches_matmul(
+            m in 1usize..12, k in 1usize..80, n in 1usize..24,
+            seed in 0u64..1000
+        ) {
+            let mut rng = crate::rng::det_rng(seed);
+            let a = crate::init::uniform(m, k, 1.0, &mut rng);
+            let w = crate::init::uniform(k, n, 1.0, &mut rng);
+            let mut out = Matrix::zeros(m, n);
+            a.matmul_into(&w, &mut out);
+            prop_assert_eq!(out.as_slice(), a.matmul(&w).as_slice());
+        }
+
         #[test]
         fn blocked_matmul_matches_naive(
             m in 1usize..20, k in 1usize..40, n in 1usize..40,

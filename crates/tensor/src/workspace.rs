@@ -1,0 +1,178 @@
+//! A scratch-buffer arena for steady-state zero-allocation inference.
+//!
+//! The batched GRU encoder reuses the same handful of `(batch × dim)`
+//! buffers (gate pre-activations, embedded inputs, hidden states) every
+//! timestep. Allocating them per step dominated the skinny inference
+//! shapes, so hot loops instead [`Workspace::take`] a matrix, write into
+//! it with the `_into` kernels, and [`Workspace::recycle`] it when done.
+//! Once every request size has been seen, `take` is a free-list pop and
+//! `recycle` a push — no heap traffic (the allocation-guard test in
+//! `t2vec-nn` asserts exactly this).
+//!
+//! Lifetime rules (see `DESIGN.md` §11):
+//! * a taken matrix is owned by the caller until recycled — the arena
+//!   never aliases live buffers;
+//! * `take` always returns a **zeroed** matrix of the requested shape;
+//!   `take_scratch` returns the shape with **unspecified contents** and
+//!   must only be used for buffers that are fully overwritten before
+//!   being read;
+//! * buffers must be recycled into the workspace they came from, or the
+//!   capacity bookkeeping (and reuse) is lost, though nothing unsafe
+//!   happens — a dropped buffer is simply reallocated next time.
+
+use crate::Matrix;
+
+/// A free-list of recycled [`Matrix`] buffers plus high-water
+/// accounting. Not thread-safe by design: each encode worker owns one.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    free: Vec<Matrix>,
+    in_use_bytes: usize,
+    high_water_bytes: usize,
+}
+
+impl Workspace {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed `(rows × cols)` matrix, reusing a recycled buffer when
+    /// one is large enough (best fit: the smallest sufficient capacity;
+    /// otherwise the largest available buffer grows, so repeated
+    /// same-shape cycles converge to zero allocations after the first).
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let mut m = self.take_reshaped(rows, cols);
+        m.as_mut_slice().fill(0.0);
+        m
+    }
+
+    /// Like [`Workspace::take`] but with **unspecified contents** — no
+    /// zeroing pass. For buffers every element of which is overwritten
+    /// before being read (gate pre-activations filled by `matmul_into`,
+    /// embedded-input rows copied in per step), skipping the memset
+    /// removes the last per-step cost that scales with buffer size.
+    pub fn take_scratch(&mut self, rows: usize, cols: usize) -> Matrix {
+        self.take_reshaped(rows, cols)
+    }
+
+    fn take_reshaped(&mut self, rows: usize, cols: usize) -> Matrix {
+        let need = rows * cols;
+        let mut pick: Option<usize> = None;
+        for (i, m) in self.free.iter().enumerate() {
+            let better = match pick {
+                None => true,
+                Some(p) => {
+                    let (pc, mc) = (self.free[p].capacity(), m.capacity());
+                    if pc >= need {
+                        mc >= need && mc < pc
+                    } else {
+                        mc > pc
+                    }
+                }
+            };
+            if better {
+                pick = Some(i);
+            }
+        }
+        let mut m = match pick {
+            Some(i) => self.free.swap_remove(i),
+            None => Matrix::zeros(0, 0),
+        };
+        m.reshape_scratch(rows, cols);
+        self.in_use_bytes += m.capacity() * std::mem::size_of::<f32>();
+        let free_bytes: usize = self
+            .free
+            .iter()
+            .map(|f| f.capacity() * std::mem::size_of::<f32>())
+            .sum();
+        self.high_water_bytes = self.high_water_bytes.max(self.in_use_bytes + free_bytes);
+        m
+    }
+
+    /// Returns a buffer to the free list for later reuse.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.in_use_bytes = self
+            .in_use_bytes
+            .saturating_sub(m.capacity() * std::mem::size_of::<f32>());
+        self.free.push(m);
+    }
+
+    /// Peak bytes ever resident in the arena (live + free buffers) —
+    /// exported as the `nn.encode.arena_high_water_bytes` gauge.
+    pub fn high_water_bytes(&self) -> usize {
+        self.high_water_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_and_shaped() {
+        let mut ws = Workspace::new();
+        let m = ws.take(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn recycle_then_take_reuses_capacity() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take(8, 8);
+        m.as_mut_slice()[0] = 5.0;
+        let cap = m.capacity();
+        ws.recycle(m);
+        // Smaller request reuses the same buffer (no fresh allocation)
+        // and comes back zeroed despite the earlier write.
+        let m2 = ws.take(2, 8);
+        assert_eq!(m2.capacity(), cap);
+        assert!(m2.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.take(10, 10);
+        let small = ws.take(2, 2);
+        let (big_cap, small_cap) = (big.capacity(), small.capacity());
+        assert!(big_cap > small_cap);
+        ws.recycle(big);
+        ws.recycle(small);
+        // A 2x2 request must take the small buffer, keeping the big one
+        // free for a later large request.
+        let m = ws.take(2, 2);
+        assert_eq!(m.capacity(), small_cap);
+        let m2 = ws.take(10, 10);
+        assert_eq!(m2.capacity(), big_cap);
+    }
+
+    #[test]
+    fn take_scratch_reuses_without_zeroing_cost() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take(2, 4);
+        m.as_mut_slice().fill(7.0);
+        let cap = m.capacity();
+        ws.recycle(m);
+        // Same best-fit reuse as `take`, but contents are unspecified —
+        // only the shape is guaranteed.
+        let s = ws.take_scratch(2, 3);
+        assert_eq!(s.shape(), (2, 3));
+        assert_eq!(s.capacity(), cap);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut ws = Workspace::new();
+        let a = ws.take(4, 4);
+        let b = ws.take(4, 4);
+        let peak = ws.high_water_bytes();
+        assert!(peak >= 2 * 16 * std::mem::size_of::<f32>());
+        ws.recycle(a);
+        ws.recycle(b);
+        let _c = ws.take(4, 4);
+        // Reuse must not raise the peak.
+        assert_eq!(ws.high_water_bytes(), peak);
+    }
+}
