@@ -16,6 +16,12 @@
 //!                            encode paths plus the fused vs unfused
 //!                            GRU step latency, and writes
 //!                            BENCH_PR5.json to the CWD)
+//!      bench_pr6            (never implied by `all`: measures the
+//!                            explicit SIMD kernel layer against the
+//!                            forced scalar reference tier on matmul,
+//!                            the brute-force kNN scan, and the DTW/EDR
+//!                            dynamic programs, and writes
+//!                            BENCH_PR6.json to the CWD)
 //!      bench_exp            (never implied by `all`: runs the seeded
 //!                            paper-experiment harness and writes its
 //!                            canonical report to the CWD — at
@@ -204,6 +210,10 @@ fn main() {
     // Opt-in only: writes BENCH_PR5.json.
     if args.ids.iter().any(|x| x == "bench_pr5") {
         bench_pr5();
+    }
+    // Opt-in only: writes BENCH_PR6.json.
+    if args.ids.iter().any(|x| x == "bench_pr6") {
+        bench_pr6();
     }
     // Opt-in only: writes GOLDEN_EXP.json / EXP_QUICK.json.
     if args.ids.iter().any(|x| x == "bench_exp") {
@@ -711,6 +721,239 @@ fn bench_pr5() {
     let json = serde_json::to_string(&report).expect("serialise report");
     std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
     println!("wrote BENCH_PR5.json");
+}
+
+/// Measures the PR-6 SIMD kernel layer (`t2vec_tensor::simd`) on the
+/// three rewired surfaces, forcing the scalar reference tier vs the
+/// auto-detected ISA around otherwise-identical closures:
+///
+/// 1. **matmul** at the BENCH_PR1 GRU shapes (the `axpy4` microkernel);
+/// 2. **brute-force kNN scan** over 10 000 × 256-dim vectors, both the
+///    per-query `knn` loop and the query-blocked `knn_batch` (the
+///    `sq_dist` kernel plus memory-traffic blocking);
+/// 3. **DTW / EDR** dynamic programs on harness-scale random walks (the
+///    `dist_row` / `elem_min` / `matches_row` f64 kernels).
+///
+/// Every timed pair is also checked bitwise-identical across backends
+/// before it is recorded — a speedup from a kernel that changed the
+/// answer would be meaningless. Single-threaded throughout so speedups
+/// are kernel effects, not scheduling. Writes `BENCH_PR6.json`.
+fn bench_pr6() {
+    use t2vec_core::index::{BruteForceIndex, VectorIndex};
+    use t2vec_distance::{dtw::Dtw, edr::Edr, TrajDistance};
+    use t2vec_spatial::point::Point;
+    use t2vec_tensor::simd::{self, Backend};
+
+    let fast = simd::detected();
+    println!(
+        "---- BENCH_PR6: SIMD kernel layer (scalar vs {}) ----",
+        fast.name()
+    );
+    parallel::set_threads(1);
+    // Times one closure under an explicitly forced backend, restoring
+    // the auto-detected one afterwards.
+    let timed = |be: Backend, f: &mut dyn FnMut()| {
+        assert!(simd::set_backend(be), "backend {} unsupported", be.name());
+        let secs = time_mean_secs(f);
+        assert!(simd::set_backend(simd::detected()));
+        secs
+    };
+
+    // -- 1. matmul at the BENCH_PR1 shapes --
+    let mut matmul_rows = Vec::new();
+    for &(m, k, n) in &[
+        (1usize, 256usize, 768usize),
+        (64, 256, 768),
+        (64, 256, 18000),
+    ] {
+        let mut rng = det_rng(42);
+        let a = init::uniform(m, k, 1.0, &mut rng);
+        let b = init::uniform(k, n, 1.0, &mut rng);
+        assert!(simd::set_backend(Backend::Scalar));
+        let reference = a.matmul(&b);
+        assert!(simd::set_backend(fast));
+        let product = a.matmul(&b);
+        assert_eq!(
+            reference.as_slice(),
+            product.as_slice(),
+            "matmul {m}x{k}x{n} must be bitwise backend-invariant"
+        );
+        let scalar = timed(Backend::Scalar, &mut || {
+            black_box(a.matmul(&b));
+        });
+        let simd_t = timed(fast, &mut || {
+            black_box(a.matmul(&b));
+        });
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        println!(
+            "matmul {m}x{k}x{n}: scalar {:.2} GFLOP/s | {} {:.2} GFLOP/s | speedup {:.2}x",
+            flops / scalar / 1e9,
+            fast.name(),
+            flops / simd_t / 1e9,
+            scalar / simd_t
+        );
+        matmul_rows.push(obj(vec![
+            ("shape", Value::Str(format!("{m}x{k}x{n}"))),
+            ("scalar_gflops", Value::Float(flops / scalar / 1e9)),
+            ("simd_gflops", Value::Float(flops / simd_t / 1e9)),
+            ("speedup_simd_vs_scalar", Value::Float(scalar / simd_t)),
+        ]));
+    }
+
+    // -- 2. brute-force kNN scan: 10k stored vectors, 256-dim --
+    let (store_n, dim, n_queries, k) = (10_000usize, 256usize, 64usize, 10usize);
+    let mut rng = det_rng(600);
+    let mut index = BruteForceIndex::new();
+    for _ in 0..store_n {
+        let m = init::uniform(1, dim, 1.0, &mut rng);
+        index.add(m.as_slice().to_vec());
+    }
+    let queries: Vec<Vec<f32>> = (0..n_queries)
+        .map(|_| init::uniform(1, dim, 1.0, &mut rng).as_slice().to_vec())
+        .collect();
+    assert!(simd::set_backend(Backend::Scalar));
+    let knn_ref: Vec<_> = queries.iter().map(|q| index.knn(q, k)).collect();
+    assert!(simd::set_backend(fast));
+    assert_eq!(
+        knn_ref,
+        index.knn_batch(&queries, k),
+        "knn_batch on {} must be bitwise equal to scalar per-query knn",
+        fast.name()
+    );
+    let scan = |idx: &BruteForceIndex| {
+        for q in &queries {
+            black_box(idx.knn(q, k));
+        }
+    };
+    let knn_scalar = timed(Backend::Scalar, &mut || scan(&index));
+    let knn_simd = timed(fast, &mut || scan(&index));
+    let batch_scalar = timed(Backend::Scalar, &mut || {
+        black_box(index.knn_batch(&queries, k));
+    });
+    let batch_simd = timed(fast, &mut || {
+        black_box(index.knn_batch(&queries, k));
+    });
+    let qps = |secs: f64| n_queries as f64 / secs;
+    println!(
+        "knn scan {store_n}x{dim} (k={k}): scalar {:.0} q/s | {} {:.0} q/s | speedup {:.2}x",
+        qps(knn_scalar),
+        fast.name(),
+        qps(knn_simd),
+        knn_scalar / knn_simd
+    );
+    println!(
+        "knn_batch {store_n}x{dim} (k={k}): scalar {:.0} q/s | {} {:.0} q/s | speedup {:.2}x | vs single-query {:.2}x",
+        qps(batch_scalar),
+        fast.name(),
+        qps(batch_simd),
+        batch_scalar / batch_simd,
+        knn_simd / batch_simd
+    );
+    let knn_report = obj(vec![
+        ("stored", Value::UInt(store_n as u64)),
+        ("dim", Value::UInt(dim as u64)),
+        ("queries", Value::UInt(n_queries as u64)),
+        ("k", Value::UInt(k as u64)),
+        ("scalar_q_per_s", Value::Float(qps(knn_scalar))),
+        ("simd_q_per_s", Value::Float(qps(knn_simd))),
+        (
+            "speedup_simd_vs_scalar",
+            Value::Float(knn_scalar / knn_simd),
+        ),
+        ("batch_scalar_q_per_s", Value::Float(qps(batch_scalar))),
+        ("batch_simd_q_per_s", Value::Float(qps(batch_simd))),
+        (
+            "batch_speedup_simd_vs_scalar",
+            Value::Float(batch_scalar / batch_simd),
+        ),
+        (
+            "speedup_batch_vs_single_query",
+            Value::Float(knn_simd / batch_simd),
+        ),
+    ]);
+
+    // -- 3. DTW / EDR at harness trajectory scale --
+    fn random_walk(n: usize, rng: &mut impl rand::Rng) -> Vec<Point> {
+        use rand::RngExt;
+        let mut p = Point::new(
+            rng.random_range(-100.0..100.0),
+            rng.random_range(-100.0..100.0),
+        );
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(p);
+            p = Point::new(
+                p.x + rng.random_range(-20.0..20.0),
+                p.y + rng.random_range(-20.0..20.0),
+            );
+        }
+        out
+    }
+    let mut rng = det_rng(601);
+    let walks: Vec<Vec<Point>> = (0..32).map(|_| random_walk(128, &mut rng)).collect();
+    let measures: Vec<(&str, Box<dyn TrajDistance>)> = vec![
+        ("DTW", Box::new(Dtw::new())),
+        ("EDR", Box::new(Edr::new(15.0))),
+    ];
+    let mut dp_rows = Vec::new();
+    for (name, measure) in &measures {
+        assert!(simd::set_backend(Backend::Scalar));
+        let reference: Vec<f64> = walks
+            .windows(2)
+            .map(|w| measure.dist(&w[0], &w[1]))
+            .collect();
+        assert!(simd::set_backend(fast));
+        for (w, &want) in walks.windows(2).zip(&reference) {
+            let got = measure.dist(&w[0], &w[1]);
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{name} must be bitwise backend-invariant"
+            );
+        }
+        let sweep = || {
+            for w in walks.windows(2) {
+                black_box(measure.dist(&w[0], &w[1]));
+            }
+        };
+        let scalar = timed(Backend::Scalar, &mut || sweep());
+        let simd_t = timed(fast, &mut || sweep());
+        let pairs_per_s = |secs: f64| (walks.len() - 1) as f64 / secs;
+        println!(
+            "{name} (128x128 walks): scalar {:.0} pairs/s | {} {:.0} pairs/s | speedup {:.2}x",
+            pairs_per_s(scalar),
+            fast.name(),
+            pairs_per_s(simd_t),
+            scalar / simd_t
+        );
+        dp_rows.push(obj(vec![
+            ("measure", Value::Str((*name).into())),
+            ("traj_len", Value::UInt(128)),
+            ("scalar_pairs_per_s", Value::Float(pairs_per_s(scalar))),
+            ("simd_pairs_per_s", Value::Float(pairs_per_s(simd_t))),
+            ("speedup_simd_vs_scalar", Value::Float(scalar / simd_t)),
+        ]));
+    }
+
+    let report = obj(vec![
+        (
+            "source",
+            Value::Str("crates/bench/src/bin/experiments.rs bench_pr6".into()),
+        ),
+        (
+            "host",
+            obj(vec![
+                ("detected_backend", Value::Str(fast.name().into())),
+                ("threads", Value::UInt(1)),
+            ]),
+        ),
+        ("matmul", Value::Array(matmul_rows)),
+        ("knn_scan", knn_report),
+        ("distance_dp", Value::Array(dp_rows)),
+    ]);
+    let json = serde_json::to_string(&report).expect("serialise report");
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+    println!("wrote BENCH_PR6.json");
 }
 
 fn table2(args: &Args) {

@@ -8,8 +8,10 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use t2vec_obs as obs;
 use t2vec_tensor::rng::standard_normal;
+use t2vec_tensor::simd;
 
 /// Common interface of the vector indexes.
 pub trait VectorIndex {
@@ -29,9 +31,32 @@ pub trait VectorIndex {
     }
 }
 
-/// Squared Euclidean distance.
+/// Squared Euclidean distance via the SIMD layer's fixed reduction tree
+/// (bitwise-identical across backends, see `t2vec_tensor::simd`).
 fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+    simd::sq_dist_f32(a, b)
+}
+
+/// `total_cmp` gives a total order (NaN distances sort last instead of
+/// scrambling the comparison sort); equal distances break ties by
+/// ascending id so results are deterministic across candidate orders.
+fn by_dist_then_id(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
+    a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0))
+}
+
+/// Keeps the `k` smallest scored pairs under [`by_dist_then_id`], sorted
+/// ascending. Output is identical to a full sort + truncate — the
+/// comparator is a total order and ids are distinct, so the k smallest
+/// are unique regardless of `select_nth_unstable_by`'s pivoting — but
+/// the scan costs O(n + k log k) instead of O(n log n).
+fn select_top_k(scored: &mut Vec<(usize, f32)>, k: usize) {
+    if scored.len() > k {
+        if k > 0 {
+            scored.select_nth_unstable_by(k - 1, by_dist_then_id);
+        }
+        scored.truncate(k);
+    }
+    scored.sort_unstable_by(by_dist_then_id);
 }
 
 fn top_k(
@@ -40,14 +65,12 @@ fn top_k(
     query: &[f32],
     k: usize,
 ) -> Vec<(usize, f32)> {
+    simd::record_dispatch();
     let mut scored: Vec<(usize, f32)> = candidates
         .map(|id| (id, sq_dist(&vectors[id], query)))
         .collect();
-    // `total_cmp` gives a total order (NaN distances sort last instead
-    // of scrambling the comparison sort); equal distances break ties by
-    // ascending id so results are deterministic across candidate orders.
-    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-    scored.truncate(k);
+    obs::counter!("index.scan.vectors").add(scored.len() as u64);
+    select_top_k(&mut scored, k);
     for s in &mut scored {
         s.1 = s.1.sqrt();
     }
@@ -75,7 +98,45 @@ impl BruteForceIndex {
     pub fn vector(&self, id: usize) -> &[f32] {
         &self.vectors[id]
     }
+
+    /// Exact k-NN for a batch of queries in one pass over the stored
+    /// vectors: queries are processed in blocks of [`QUERY_BLOCK`], so
+    /// each stored vector is fetched from memory once per block instead
+    /// of once per query. Per `(query, vector)` pair the distance call
+    /// is exactly the one [`VectorIndex::knn`] makes, so every result
+    /// row is **bitwise identical** to the corresponding single-query
+    /// `knn` — this is purely a memory-traffic optimisation.
+    pub fn knn_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<(usize, f32)>> {
+        let t0 = std::time::Instant::now();
+        simd::record_dispatch();
+        let n = self.vectors.len();
+        let mut out = Vec::with_capacity(queries.len());
+        for block in queries.chunks(QUERY_BLOCK) {
+            let mut scored: Vec<Vec<(usize, f32)>> = vec![Vec::with_capacity(n); block.len()];
+            for (id, v) in self.vectors.iter().enumerate() {
+                for (qi, q) in block.iter().enumerate() {
+                    scored[qi].push((id, sq_dist(v, q)));
+                }
+            }
+            obs::counter!("index.scan.vectors").add((n * block.len()) as u64);
+            for mut s in scored {
+                select_top_k(&mut s, k);
+                for e in &mut s {
+                    e.1 = e.1.sqrt();
+                }
+                out.push(s);
+            }
+        }
+        obs::histogram!("index.brute.batch_query_ns").record_duration(t0.elapsed());
+        out
+    }
 }
+
+/// Queries per stored-vector pass in [`BruteForceIndex::knn_batch`]: at
+/// 256-dim f32 queries a block is 16 KiB of query data — L1-resident
+/// alongside one stored vector — while the 10⁴×256 store streams once
+/// per 16 queries instead of once per query.
+const QUERY_BLOCK: usize = 16;
 
 impl VectorIndex for BruteForceIndex {
     fn add(&mut self, v: Vec<f32>) -> usize {
@@ -136,8 +197,7 @@ impl LshIndex {
     fn signature(&self, table: usize, v: &[f32]) -> u64 {
         let mut sig = 0u64;
         for (bit, plane) in self.planes[table].iter().enumerate() {
-            let dot: f32 = plane.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
-            if dot >= 0.0 {
+            if simd::dot_f32(plane, v) >= 0.0 {
                 sig |= 1 << bit;
             }
         }
@@ -147,18 +207,30 @@ impl LshIndex {
     /// Number of candidate vectors examined for `query` (diagnostic —
     /// the sub-linearity the index buys).
     pub fn candidate_count(&self, query: &[f32]) -> usize {
-        self.candidates(query).len()
+        self.with_candidates(query, |cands| cands.len())
     }
 
-    fn candidates(&self, query: &[f32]) -> std::collections::HashSet<usize> {
-        let mut set = std::collections::HashSet::new();
-        for table in 0..self.planes.len() {
-            let sig = self.signature(table, query);
-            if let Some(ids) = self.buckets[table].get(&sig) {
-                set.extend(ids.iter().copied());
-            }
+    /// Collects the query's bucket union into a thread-local scratch
+    /// buffer, sort-dedups it, and hands the ascending-id slice to `f`.
+    /// Deterministic by construction (no hash-set iteration order) and
+    /// allocation-free once the scratch has reached its high-water mark.
+    fn with_candidates<R>(&self, query: &[f32], f: impl FnOnce(&[usize]) -> R) -> R {
+        thread_local! {
+            static LSH_CANDIDATES: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
         }
-        set
+        LSH_CANDIDATES.with(|cell| {
+            let mut cands = cell.borrow_mut();
+            cands.clear();
+            for table in 0..self.planes.len() {
+                let sig = self.signature(table, query);
+                if let Some(ids) = self.buckets[table].get(&sig) {
+                    cands.extend_from_slice(ids);
+                }
+            }
+            cands.sort_unstable();
+            cands.dedup();
+            f(&cands)
+        })
     }
 }
 
@@ -176,17 +248,18 @@ impl VectorIndex for LshIndex {
 
     fn knn(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
         let t0 = std::time::Instant::now();
-        let cands = self.candidates(query);
-        // Candidate-set size is a function of the data and signatures
-        // only (deterministic); the latency histogram is sink-only.
-        obs::histogram!("index.lsh.candidates").record(cands.len() as u64);
-        let out = if cands.is_empty() {
-            // Degenerate fallback: exact scan (keeps the API total).
-            obs::counter!("index.lsh.fallback_scans").incr();
-            top_k(0..self.vectors.len(), &self.vectors, query, k)
-        } else {
-            top_k(cands.into_iter(), &self.vectors, query, k)
-        };
+        let out = self.with_candidates(query, |cands| {
+            // Candidate-set size is a function of the data and signatures
+            // only (deterministic); the latency histogram is sink-only.
+            obs::histogram!("index.lsh.candidates").record(cands.len() as u64);
+            if cands.is_empty() {
+                // Degenerate fallback: exact scan (keeps the API total).
+                obs::counter!("index.lsh.fallback_scans").incr();
+                top_k(0..self.vectors.len(), &self.vectors, query, k)
+            } else {
+                top_k(cands.iter().copied(), &self.vectors, query, k)
+            }
+        });
         obs::histogram!("index.lsh.query_ns").record_duration(t0.elapsed());
         out
     }
@@ -347,5 +420,51 @@ mod tests {
     fn lsh_zero_bits_panics() {
         let mut rng = det_rng(11);
         let _ = LshIndex::new(4, 0, 2, &mut rng);
+    }
+
+    /// The batched scan is a memory-traffic optimisation only: every
+    /// result row must be bitwise-equal to the single-query scan,
+    /// including on ragged batch sizes around the query block.
+    #[test]
+    fn knn_batch_bitwise_matches_single_query_knn() {
+        let idx = BruteForceIndex::from_vectors(random_vectors(300, 16, 21));
+        for nq in [1, 7, 8, 9, 17] {
+            let queries = random_vectors(nq, 16, 22);
+            let batched = idx.knn_batch(&queries, 10);
+            assert_eq!(batched.len(), nq);
+            for (q, row) in queries.iter().zip(&batched) {
+                assert_eq!(row, &idx.knn(q, 10));
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_empty_cases() {
+        let idx = BruteForceIndex::from_vectors(random_vectors(10, 4, 23));
+        assert!(idx.knn_batch(&[], 3).is_empty());
+        let empty = BruteForceIndex::new();
+        assert_eq!(
+            empty.knn_batch(&random_vectors(2, 4, 24), 3),
+            vec![vec![], vec![]]
+        );
+    }
+
+    /// The sorted-dedup scratch hands candidates over in ascending-id
+    /// order with no duplicates, on every call (steady state included).
+    #[test]
+    fn lsh_candidates_sorted_deduped_and_stable() {
+        let mut rng = det_rng(30);
+        let mut lsh = LshIndex::new(8, 4, 6, &mut rng);
+        for v in random_vectors(400, 8, 31) {
+            lsh.add(v);
+        }
+        for q in random_vectors(20, 8, 32) {
+            let first = lsh.with_candidates(&q, |c| c.to_vec());
+            let again = lsh.with_candidates(&q, |c| c.to_vec());
+            assert_eq!(first, again, "candidate set must be call-stable");
+            for w in first.windows(2) {
+                assert!(w[0] < w[1], "candidates must be strictly ascending");
+            }
+        }
     }
 }

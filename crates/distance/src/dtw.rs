@@ -7,9 +7,10 @@
 //! it on trajectory data, but it remains the canonical quadratic baseline
 //! and is included in our benchmarks of the `O(n²)` cost.
 
-use crate::{empty_rule, TrajDistance};
+use crate::{empty_rule, record_dp, split_xy, TrajDistance};
 use serde::{Deserialize, Serialize};
 use t2vec_spatial::point::Point;
+use t2vec_tensor::simd;
 
 /// Dynamic Time Warping with an optional Sakoe–Chiba band.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -41,12 +42,21 @@ impl TrajDistance for Dtw {
             return d;
         }
         let (n, m) = (a.len(), b.len());
+        record_dp(n * m);
         // Effective band: at least |n - m| so a path exists.
         let band = self
             .band
             .map(|w| w.max(n.abs_diff(m)))
             .unwrap_or(usize::MAX);
-        // Rolling rows of the DP matrix.
+        // Row-tiled fill: per row the cost row and the vertical/diagonal
+        // predecessor minimum vectorise through `t2vec_tensor::simd`;
+        // only the horizontal `curr[j-1]` dependency stays serial. Per
+        // cell the operations and their order are exactly those of the
+        // classic cell loop (`cost + min(min(prev[j-1], prev[j]),
+        // curr[j-1])`), so the result is bitwise-unchanged.
+        let (bx, by) = split_xy(b);
+        let mut cost = vec![0.0f64; m];
+        let mut emin = vec![0.0f64; m];
         let mut prev = vec![f64::INFINITY; m + 1];
         let mut curr = vec![f64::INFINITY; m + 1];
         prev[0] = 0.0;
@@ -62,10 +72,13 @@ impl TrajDistance for Dtw {
             } else {
                 (i + band).min(m)
             };
-            for j in lo..=hi {
-                let cost = a[i - 1].dist(&b[j - 1]);
-                let best = prev[j - 1].min(prev[j]).min(curr[j - 1]);
-                curr[j] = cost + best;
+            let w = hi + 1 - lo;
+            let (ax, ay) = (a[i - 1].x, a[i - 1].y);
+            simd::dist_row_f64(ax, ay, &bx[lo - 1..], &by[lo - 1..], &mut cost[..w]);
+            simd::elem_min_f64(&prev[lo - 1..], &prev[lo..], &mut emin[..w]);
+            for (jj, j) in (lo..=hi).enumerate() {
+                let best = emin[jj].min(curr[j - 1]);
+                curr[j] = cost[jj] + best;
             }
             std::mem::swap(&mut prev, &mut curr);
         }

@@ -5,9 +5,10 @@
 //! `g`. Unlike DTW, ERP is a metric (it satisfies the triangle
 //! inequality), which the tests verify empirically.
 
-use crate::TrajDistance;
+use crate::{record_dp, split_xy, TrajDistance};
 use serde::{Deserialize, Serialize};
 use t2vec_spatial::point::Point;
+use t2vec_tensor::simd;
 
 /// Edit distance with Real Penalty.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -50,19 +51,37 @@ impl TrajDistance for Erp {
             return non_empty.iter().map(|p| p.dist(&self.gap)).sum();
         }
         let (n, m) = (a.len(), b.len());
+        record_dp(n * m);
+        // Row-tiled fill through `t2vec_tensor::simd`: the per-row cost
+        // row, the `prev[j-1] + cost` match candidates, the `prev[j] +
+        // gap_a` candidates, and their minimum all vectorise; only the
+        // horizontal `curr[j-1] + gap_b[j-1]` dependency stays serial.
+        // Per cell the adds and the min association are exactly the
+        // classic `min(min(match, gap_a), gap_b)`, so the result is
+        // bitwise-unchanged.
+        let (bx, by) = split_xy(b);
+        // b's gap costs are row-invariant: compute them once.
+        let mut gap_b = vec![0.0f64; m];
+        simd::dist_row_f64(self.gap.x, self.gap.y, &bx, &by, &mut gap_b);
+        let mut cost = vec![0.0f64; m];
+        let mut mrow = vec![0.0f64; m];
+        let mut trow = vec![0.0f64; m];
+        let mut emin = vec![0.0f64; m];
         let mut prev = vec![0.0f64; m + 1];
         let mut curr = vec![0.0f64; m + 1];
         // dp[0][j]: all of b matched to gaps.
         for j in 1..=m {
-            prev[j] = prev[j - 1] + b[j - 1].dist(&self.gap);
+            prev[j] = prev[j - 1] + gap_b[j - 1];
         }
         for i in 1..=n {
-            curr[0] = prev[0] + a[i - 1].dist(&self.gap);
+            let gap_a = a[i - 1].dist(&self.gap);
+            curr[0] = prev[0] + gap_a;
+            simd::dist_row_f64(a[i - 1].x, a[i - 1].y, &bx, &by, &mut cost);
+            simd::elem_add_f64(&prev[..m], &cost, &mut mrow);
+            simd::add_scalar_f64(&prev[1..], gap_a, &mut trow);
+            simd::elem_min_f64(&mrow, &trow, &mut emin);
             for j in 1..=m {
-                let match_cost = prev[j - 1] + a[i - 1].dist(&b[j - 1]);
-                let gap_a = prev[j] + a[i - 1].dist(&self.gap);
-                let gap_b = curr[j - 1] + b[j - 1].dist(&self.gap);
-                curr[j] = match_cost.min(gap_a).min(gap_b);
+                curr[j] = emin[j - 1].min(curr[j - 1] + gap_b[j - 1]);
             }
             std::mem::swap(&mut prev, &mut curr);
         }

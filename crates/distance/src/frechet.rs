@@ -6,9 +6,10 @@
 //! completes the family of classical measures and is useful as an
 //! additional sanity baseline in the examples.
 
-use crate::{empty_rule, TrajDistance};
+use crate::{empty_rule, record_dp, split_xy, TrajDistance};
 use serde::{Deserialize, Serialize};
 use t2vec_spatial::point::Point;
+use t2vec_tensor::simd;
 
 /// Discrete Fréchet distance.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -31,27 +32,38 @@ impl TrajDistance for DiscreteFrechet {
             return d;
         }
         let m = b.len();
+        record_dp(a.len() * m);
+        // Row-tiled fill through `t2vec_tensor::simd`: the distance row
+        // and the `min(prev[j-1], prev[j])` predecessor pairs vectorise;
+        // the horizontal `curr[j-1]` dependency stays serial. The only
+        // change from the classic cell loop is re-associating the
+        // three-way predecessor min to `min(min(prev[j-1], prev[j]),
+        // curr[j-1])` — `min` over non-NaN values is a pure selection,
+        // so the chosen *value* (hence every downstream bit) is
+        // order-independent and the result is bitwise-unchanged.
+        let (bx, by) = split_xy(b);
+        let mut d = vec![0.0f64; m];
+        let mut pmin = vec![0.0f64; m];
         let mut prev = vec![f64::INFINITY; m];
         let mut curr = vec![f64::INFINITY; m];
         for (i, pa) in a.iter().enumerate() {
-            for j in 0..m {
-                let d = pa.dist(&b[j]);
-                let reach = if i == 0 && j == 0 {
-                    d
-                } else {
-                    let mut best = f64::INFINITY;
-                    if i > 0 {
-                        best = best.min(prev[j]);
-                    }
-                    if j > 0 {
-                        best = best.min(curr[j - 1]);
-                    }
-                    if i > 0 && j > 0 {
-                        best = best.min(prev[j - 1]);
-                    }
-                    best.max(d)
-                };
-                curr[j] = reach;
+            simd::dist_row_f64(pa.x, pa.y, &bx, &by, &mut d);
+            if i == 0 {
+                // First row: reach is the prefix maximum of the
+                // distance row (only the left neighbour exists).
+                curr[0] = d[0];
+                for j in 1..m {
+                    curr[j] = curr[j - 1].max(d[j]);
+                }
+            } else {
+                if m > 1 {
+                    simd::elem_min_f64(&prev[..m - 1], &prev[1..], &mut pmin[1..]);
+                }
+                curr[0] = prev[0].max(d[0]);
+                for j in 1..m {
+                    let best = pmin[j].min(curr[j - 1]);
+                    curr[j] = best.max(d[j]);
+                }
             }
             std::mem::swap(&mut prev, &mut curr);
         }

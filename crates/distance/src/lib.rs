@@ -52,6 +52,24 @@ pub(crate) fn empty_rule(a: &[Point], b: &[Point]) -> Option<f64> {
     }
 }
 
+/// Deinterleaves a point sequence into structure-of-arrays `(xs, ys)`
+/// buffers — the layout the row-tiled SIMD kernels in
+/// `t2vec_tensor::simd` consume. Done once per DP (`O(m)` against the
+/// `O(n·m)` fill it enables).
+pub(crate) fn split_xy(pts: &[Point]) -> (Vec<f64>, Vec<f64>) {
+    (
+        pts.iter().map(|p| p.x).collect(),
+        pts.iter().map(|p| p.y).collect(),
+    )
+}
+
+/// Records one DP invocation for the observability satellite: which SIMD
+/// backend dispatched, and how many `O(n·m)` cells the fill visited.
+pub(crate) fn record_dp(cells: usize) {
+    t2vec_tensor::simd::record_dispatch();
+    t2vec_obs::counter!("distance.dp.cells").add(cells as u64);
+}
+
 #[cfg(test)]
 pub(crate) mod testutil {
     use rand::{Rng, RngExt};

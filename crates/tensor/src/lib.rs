@@ -18,6 +18,9 @@
 //! * [`parallel`] — scoped-thread helpers behind the cache-blocked
 //!   kernels and the data-parallel training loop; worker count comes
 //!   from `T2VEC_THREADS` or [`std::thread::available_parallelism`].
+//! * [`simd`] — the explicit SIMD kernel layer (SSE2/AVX2/NEON behind
+//!   runtime dispatch, scalar reference fallback, `T2VEC_SIMD`
+//!   override); every backend is bitwise-identical to scalar.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod matrix;
 pub mod opt;
 pub mod parallel;
 pub mod rng;
+pub mod simd;
 pub mod tape;
 pub mod workspace;
 

@@ -11,6 +11,7 @@
 //! `*_naive` reference twin used by property tests and benchmarks.
 
 use crate::parallel;
+use crate::simd;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
@@ -52,6 +53,7 @@ impl MacsTimer {
         let macs = (m as u64) * (k as u64) * (n as u64);
         obs::counter!("tensor.matmul.calls").incr();
         obs::counter!("tensor.matmul.macs").add(macs);
+        simd::record_dispatch();
         let start = (macs >= PAR_THRESHOLD as u64).then(Instant::now);
         MacsTimer { macs, start }
     }
@@ -66,48 +68,159 @@ impl Drop for MacsTimer {
     }
 }
 
-/// Dot product with eight independent accumulators, letting the compiler
-/// vectorise the reduction (a single-accumulator loop cannot be
-/// auto-vectorised because float addition is not associative).
+/// Dot product through the [`crate::simd`] layer: the fixed
+/// 32-accumulator reduction tree, bitwise-identical on every backend
+/// (and to the scalar reference when `T2VEC_SIMD=off`).
 ///
 /// # Panics
 /// Debug-asserts equal lengths; in release the shorter slice governs.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len(), "dot length mismatch");
-    let mut acc = [0.0f32; 8];
-    let chunks = a.len() / 8;
-    for i in 0..chunks {
-        let (x, y) = (&a[i * 8..i * 8 + 8], &b[i * 8..i * 8 + 8]);
-        for l in 0..8 {
-            acc[l] += x[l] * y[l];
-        }
-    }
-    let mut s = acc.iter().sum::<f32>();
-    for i in chunks * 8..a.len() {
-        s += a[i] * b[i];
-    }
-    s
+    simd::dot_f32(a, b)
 }
 
 /// `out[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j]` — four fused
 /// `axpy` updates in one pass, quartering the read/write traffic on
-/// `out` versus four separate rank-1 updates. The equal-length reslices
-/// let the compiler drop bounds checks and vectorise the body.
+/// `out` versus four separate rank-1 updates. Dispatches through
+/// [`crate::simd`]; element-wise, so every backend reproduces the scalar
+/// left-to-right sum bitwise.
 #[inline]
 fn axpy4(out: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
-    let n = out.len();
-    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
-    for j in 0..n {
-        out[j] += a[0] * b0[j] + a[1] * b1[j] + a[2] * b2[j] + a[3] * b3[j];
-    }
+    simd::axpy4_f32(out, a, b0, b1, b2, b3);
 }
 
 /// `out[j] += a · b[j]` — remainder step for depths not divisible by 4.
 #[inline]
 fn axpy1(out: &mut [f32], a: f32, b: &[f32]) {
-    for (o, &bv) in out.iter_mut().zip(b.iter()) {
-        *o += a * bv;
+    simd::axpy_f32(out, a, b);
+}
+
+/// One depth-block microkernel pass for a single output row: `kw` steps
+/// of `a_row` applied to `out_row` in ascending-`k` quads, against the
+/// `jw`-wide B column block at `(pc, jc)`.
+#[inline]
+fn row_pass(
+    a_row: &[f32],
+    out_row: &mut [f32],
+    b: &[f32],
+    pc: usize,
+    jc: usize,
+    jw: usize,
+    n: usize,
+) {
+    let kw = a_row.len();
+    let mut kk = 0;
+    while kk + 4 <= kw {
+        let bb = (pc + kk) * n + jc;
+        axpy4(
+            out_row,
+            [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]],
+            &b[bb..bb + jw],
+            &b[bb + n..bb + n + jw],
+            &b[bb + 2 * n..bb + 2 * n + jw],
+            &b[bb + 3 * n..bb + 3 * n + jw],
+        );
+        kk += 4;
+    }
+    while kk < kw {
+        let bb = (pc + kk) * n + jc;
+        axpy1(out_row, a_row[kk], &b[bb..bb + jw]);
+        kk += 1;
+    }
+}
+
+/// [`row_pass`] over two output rows at once, sharing every B fetch
+/// through [`simd::axpy4x2_f32`] (register-blocking over output rows —
+/// halves the B traffic that bounds the single-row kernel). Each row's
+/// per-element accumulation order is exactly [`row_pass`]'s, so pairing
+/// never changes a bit of either row.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn row_pair_pass(
+    a_row0: &[f32],
+    a_row1: &[f32],
+    out_row0: &mut [f32],
+    out_row1: &mut [f32],
+    b: &[f32],
+    pc: usize,
+    jc: usize,
+    jw: usize,
+    n: usize,
+) {
+    let kw = a_row0.len();
+    let mut kk = 0;
+    while kk + 4 <= kw {
+        let bb = (pc + kk) * n + jc;
+        simd::axpy4x2_f32(
+            out_row0,
+            out_row1,
+            [a_row0[kk], a_row0[kk + 1], a_row0[kk + 2], a_row0[kk + 3]],
+            [a_row1[kk], a_row1[kk + 1], a_row1[kk + 2], a_row1[kk + 3]],
+            &b[bb..bb + jw],
+            &b[bb + n..bb + n + jw],
+            &b[bb + 2 * n..bb + 2 * n + jw],
+            &b[bb + 3 * n..bb + 3 * n + jw],
+        );
+        kk += 4;
+    }
+    while kk < kw {
+        let bb = (pc + kk) * n + jc;
+        axpy1(out_row0, a_row0[kk], &b[bb..bb + jw]);
+        axpy1(out_row1, a_row1[kk], &b[bb..bb + jw]);
+        kk += 1;
+    }
+}
+
+/// [`row_pair_pass`] over four output rows: each B fetch feeds four
+/// accumulations and each out row is touched once per quad pass (see
+/// [`simd::axpy4x4_f32`]). Bitwise-identical to four [`row_pass`]es for
+/// the same reason pairing is: per-row operation order never changes.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn row_quad_pass(
+    a_rows: [&[f32]; 4],
+    out0: &mut [f32],
+    out1: &mut [f32],
+    out2: &mut [f32],
+    out3: &mut [f32],
+    b: &[f32],
+    pc: usize,
+    jc: usize,
+    jw: usize,
+    n: usize,
+) {
+    let kw = a_rows[0].len();
+    let mut kk = 0;
+    while kk + 4 <= kw {
+        let bb = (pc + kk) * n + jc;
+        let coeff = |r: usize| {
+            [
+                a_rows[r][kk],
+                a_rows[r][kk + 1],
+                a_rows[r][kk + 2],
+                a_rows[r][kk + 3],
+            ]
+        };
+        simd::axpy4x4_f32(
+            out0,
+            out1,
+            out2,
+            out3,
+            [coeff(0), coeff(1), coeff(2), coeff(3)],
+            &b[bb..bb + jw],
+            &b[bb + n..bb + n + jw],
+            &b[bb + 2 * n..bb + 2 * n + jw],
+            &b[bb + 3 * n..bb + 3 * n + jw],
+        );
+        kk += 4;
+    }
+    while kk < kw {
+        let bb = (pc + kk) * n + jc;
+        axpy1(out0, a_rows[0][kk], &b[bb..bb + jw]);
+        axpy1(out1, a_rows[1][kk], &b[bb..bb + jw]);
+        axpy1(out2, a_rows[2][kk], &b[bb..bb + jw]);
+        axpy1(out3, a_rows[3][kk], &b[bb..bb + jw]);
+        kk += 1;
     }
 }
 
@@ -154,27 +267,54 @@ fn matmul_panel(a: &[f32], b: &[f32], k: usize, n: usize, rows: Range<usize>, pa
         }
         for jc in (0..n).step_by(NC) {
             let jw = NC.min(n - jc);
-            for ri in 0..height {
+            // Output rows go in register-blocked quads so each B fetch
+            // feeds four accumulations (see `row_quad_pass`); leftovers
+            // take the pair then single-row kernels. Bitwise-equal
+            // whichever path a row lands on.
+            let mut ri = 0;
+            while ri + 4 <= height {
+                let quad = &mut panel[ri * n..(ri + 4) * n];
+                let (s0, rest) = quad.split_at_mut(n);
+                let (s1, rest) = rest.split_at_mut(n);
+                let (s2, s3) = rest.split_at_mut(n);
+                row_quad_pass(
+                    [
+                        &a_pack[ri * kw..(ri + 1) * kw],
+                        &a_pack[(ri + 1) * kw..(ri + 2) * kw],
+                        &a_pack[(ri + 2) * kw..(ri + 3) * kw],
+                        &a_pack[(ri + 3) * kw..(ri + 4) * kw],
+                    ],
+                    &mut s0[jc..jc + jw],
+                    &mut s1[jc..jc + jw],
+                    &mut s2[jc..jc + jw],
+                    &mut s3[jc..jc + jw],
+                    b,
+                    pc,
+                    jc,
+                    jw,
+                    n,
+                );
+                ri += 4;
+            }
+            while ri + 2 <= height {
+                let (head, tail) = panel.split_at_mut((ri + 1) * n);
+                row_pair_pass(
+                    &a_pack[ri * kw..(ri + 1) * kw],
+                    &a_pack[(ri + 1) * kw..(ri + 2) * kw],
+                    &mut head[ri * n + jc..ri * n + jc + jw],
+                    &mut tail[jc..jc + jw],
+                    b,
+                    pc,
+                    jc,
+                    jw,
+                    n,
+                );
+                ri += 2;
+            }
+            if ri < height {
                 let a_row = &a_pack[ri * kw..(ri + 1) * kw];
                 let out_row = &mut panel[ri * n + jc..ri * n + jc + jw];
-                let mut kk = 0;
-                while kk + 4 <= kw {
-                    let bb = (pc + kk) * n + jc;
-                    axpy4(
-                        out_row,
-                        [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]],
-                        &b[bb..bb + jw],
-                        &b[bb + n..bb + n + jw],
-                        &b[bb + 2 * n..bb + 2 * n + jw],
-                        &b[bb + 3 * n..bb + 3 * n + jw],
-                    );
-                    kk += 4;
-                }
-                while kk < kw {
-                    let bb = (pc + kk) * n + jc;
-                    axpy1(out_row, a_row[kk], &b[bb..bb + jw]);
-                    kk += 1;
-                }
+                row_pass(a_row, out_row, b, pc, jc, jw, n);
             }
         }
     }
@@ -476,7 +616,7 @@ impl Matrix {
     /// transpose.
     ///
     /// Each output element is one dot product of two contiguous rows
-    /// (8-accumulator reduction in [`dot`]); A-rows are tiled in
+    /// (fixed 32-accumulator reduction tree in [`dot`]); A-rows are tiled in
     /// `MC`-high blocks so each B-row loads once per tile rather than
     /// once per output row. Parallelises over output row-panels above
     /// [`PAR_THRESHOLD`] multiply-adds.
@@ -559,27 +699,52 @@ impl Matrix {
             let kw = KC.min(k - pc);
             for jc in (0..n).step_by(NC) {
                 let jw = NC.min(n - jc);
-                for i in 0..m {
+                // Row quads/pairs share B fetches exactly as in
+                // `matmul_panel`.
+                let mut i = 0;
+                while i + 4 <= m {
+                    let quad = &mut out.data[i * n..(i + 4) * n];
+                    let (s0, rest) = quad.split_at_mut(n);
+                    let (s1, rest) = rest.split_at_mut(n);
+                    let (s2, s3) = rest.split_at_mut(n);
+                    row_quad_pass(
+                        [
+                            &a[i * k + pc..i * k + pc + kw],
+                            &a[(i + 1) * k + pc..(i + 1) * k + pc + kw],
+                            &a[(i + 2) * k + pc..(i + 2) * k + pc + kw],
+                            &a[(i + 3) * k + pc..(i + 3) * k + pc + kw],
+                        ],
+                        &mut s0[jc..jc + jw],
+                        &mut s1[jc..jc + jw],
+                        &mut s2[jc..jc + jw],
+                        &mut s3[jc..jc + jw],
+                        b,
+                        pc,
+                        jc,
+                        jw,
+                        n,
+                    );
+                    i += 4;
+                }
+                while i + 2 <= m {
+                    let (head, tail) = out.data.split_at_mut((i + 1) * n);
+                    row_pair_pass(
+                        &a[i * k + pc..i * k + pc + kw],
+                        &a[(i + 1) * k + pc..(i + 1) * k + pc + kw],
+                        &mut head[i * n + jc..i * n + jc + jw],
+                        &mut tail[jc..jc + jw],
+                        b,
+                        pc,
+                        jc,
+                        jw,
+                        n,
+                    );
+                    i += 2;
+                }
+                if i < m {
                     let a_row = &a[i * k + pc..i * k + pc + kw];
                     let out_row = &mut out.data[i * n + jc..i * n + jc + jw];
-                    let mut kk = 0;
-                    while kk + 4 <= kw {
-                        let bb = (pc + kk) * n + jc;
-                        axpy4(
-                            out_row,
-                            [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]],
-                            &b[bb..bb + jw],
-                            &b[bb + n..bb + n + jw],
-                            &b[bb + 2 * n..bb + 2 * n + jw],
-                            &b[bb + 3 * n..bb + 3 * n + jw],
-                        );
-                        kk += 4;
-                    }
-                    while kk < kw {
-                        let bb = (pc + kk) * n + jc;
-                        axpy1(out_row, a_row[kk], &b[bb..bb + jw]);
-                        kk += 1;
-                    }
+                    row_pass(a_row, out_row, b, pc, jc, jw, n);
                 }
             }
         }
@@ -590,7 +755,7 @@ impl Matrix {
     /// values contiguous); every element is one dot of two contiguous
     /// rows, tiled `MC` high so each B-row loads once per tile.
     ///
-    /// Unlike [`Matrix::matmul_transpose`] (8-lane striped [`dot`]), the
+    /// Unlike [`Matrix::matmul_transpose`] (32-lane tree [`dot`]), the
     /// reduction here is the ascending-`k` quad order of
     /// [`matmul_panel`], making the result **bitwise identical** to
     /// `self.matmul(W)` where `other = Wᵀ`. The fused GRU step uses

@@ -1,0 +1,251 @@
+//! Bitwise SIMD == scalar equivalence for every kernel in
+//! `t2vec_tensor::simd`, on every backend this CPU supports.
+//!
+//! These tests use the `*_on` kernel variants (explicit backend) rather
+//! than the global dispatch, so they are safe under the parallel test
+//! runner and exercise each ISA regardless of `T2VEC_SIMD`.
+//!
+//! Shapes deliberately cover the awkward cases: empty, length 1, one
+//! below/at/above each lane width (4, 8) and the 32-element reduction
+//! chunk, plus unaligned slices (the kernels use unaligned loads, so an
+//! offset view of a buffer must produce identical bits).
+
+use proptest::prelude::*;
+use t2vec_tensor::rng::det_rng;
+use t2vec_tensor::simd::{self, Backend};
+
+/// Every backend the host can execute, scalar first.
+fn backends() -> Vec<Backend> {
+    [
+        Backend::Scalar,
+        Backend::Sse2,
+        Backend::Avx2,
+        Backend::Avx512,
+        Backend::Neon,
+    ]
+    .into_iter()
+    .filter(|b| b.supported())
+    .collect()
+}
+
+/// Lengths around every lane/chunk boundary the kernels care about.
+const AWKWARD: &[usize] = &[
+    0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 97,
+];
+
+fn f32_data(seed: u64, n: usize) -> Vec<f32> {
+    use rand::RngExt;
+    let mut rng = det_rng(seed);
+    (0..n).map(|_| rng.random_range(-4.0f32..4.0)).collect()
+}
+
+fn f64_data(seed: u64, n: usize) -> Vec<f64> {
+    use rand::RngExt;
+    let mut rng = det_rng(seed);
+    (0..n).map(|_| rng.random_range(-1e3f64..1e3)).collect()
+}
+
+/// Asserts every backend reproduces the scalar reference bitwise for one
+/// `(length, offset)` input shape. `off > 0` exercises unaligned slices.
+fn check_shape(seed: u64, n: usize, off: usize) {
+    let a_buf = f32_data(seed, n + off);
+    let b_buf = f32_data(seed ^ 0x9e37, n + off);
+    let (a, b) = (&a_buf[off..], &b_buf[off..]);
+    let ax_buf = f64_data(seed ^ 1, n + off);
+    let ay_buf = f64_data(seed ^ 2, n + off);
+    let (dx, dy) = (&ax_buf[off..], &ay_buf[off..]);
+    let da_buf = f64_data(seed ^ 3, n + off);
+    let db_buf = f64_data(seed ^ 4, n + off);
+    let (da, db) = (&da_buf[off..], &db_buf[off..]);
+    let (px, py, eps) = (
+        dx.first().copied().unwrap_or(0.5),
+        dy.first().copied().unwrap_or(-0.5),
+        250.0,
+    );
+
+    let dot_ref = simd::dot_f32_on(Backend::Scalar, a, b);
+    let sq_ref = simd::sq_dist_f32_on(Backend::Scalar, a, b);
+    let mut axpy_ref = a.to_vec();
+    simd::axpy_f32_on(Backend::Scalar, &mut axpy_ref, 1.25, b);
+    let mut axpy4_ref = a.to_vec();
+    simd::axpy4_f32_on(
+        Backend::Scalar,
+        &mut axpy4_ref,
+        [1.5, -0.25, 2.0, 0.75],
+        b,
+        a,
+        b,
+        a,
+    );
+    // The fused two-row kernel's contract: bitwise equal to two separate
+    // scalar axpy4 calls over the same b-rows.
+    let (x2a0, x2a1) = ([1.5f32, -0.25, 2.0, 0.75], [-0.5f32, 3.0, 0.125, -1.0]);
+    let mut x2_ref0 = a.to_vec();
+    let mut x2_ref1 = b.to_vec();
+    simd::axpy4_f32_on(Backend::Scalar, &mut x2_ref0, x2a0, b, a, b, a);
+    simd::axpy4_f32_on(Backend::Scalar, &mut x2_ref1, x2a1, b, a, b, a);
+    // ... and the four-row kernel: bitwise equal to four scalar axpy4s.
+    let x4a = [
+        x2a0,
+        x2a1,
+        [0.5f32, -2.0, 1.0, 0.25],
+        [4.0f32, 0.0, -0.75, 1.5],
+    ];
+    let mut x4_ref = [a.to_vec(), b.to_vec(), a.to_vec(), b.to_vec()];
+    for (row, coeff) in x4_ref.iter_mut().zip(x4a) {
+        simd::axpy4_f32_on(Backend::Scalar, row, coeff, b, a, b, a);
+    }
+    let mut dist_ref = vec![0.0f64; n];
+    simd::dist_row_f64_on(Backend::Scalar, px, py, dx, dy, &mut dist_ref);
+    let mut min_ref = vec![0.0f64; n];
+    simd::elem_min_f64_on(Backend::Scalar, da, db, &mut min_ref);
+    let mut add_ref = vec![0.0f64; n];
+    simd::elem_add_f64_on(Backend::Scalar, da, db, &mut add_ref);
+    let mut adds_ref = vec![0.0f64; n];
+    simd::add_scalar_f64_on(Backend::Scalar, da, 3.5, &mut adds_ref);
+    let mut match_ref = vec![0u8; n];
+    simd::matches_row_f64_on(Backend::Scalar, px, py, eps, dx, dy, &mut match_ref);
+
+    for be in backends() {
+        let ctx = format!("backend={} n={n} off={off} seed={seed}", be.name());
+        assert_eq!(
+            simd::dot_f32_on(be, a, b).to_bits(),
+            dot_ref.to_bits(),
+            "dot {ctx}"
+        );
+        assert_eq!(
+            simd::sq_dist_f32_on(be, a, b).to_bits(),
+            sq_ref.to_bits(),
+            "sq_dist {ctx}"
+        );
+        let mut out = a.to_vec();
+        simd::axpy_f32_on(be, &mut out, 1.25, b);
+        assert!(bits_eq_f32(&out, &axpy_ref), "axpy {ctx}");
+        let mut out4 = a.to_vec();
+        simd::axpy4_f32_on(be, &mut out4, [1.5, -0.25, 2.0, 0.75], b, a, b, a);
+        assert!(bits_eq_f32(&out4, &axpy4_ref), "axpy4 {ctx}");
+        let mut o0 = a.to_vec();
+        let mut o1 = b.to_vec();
+        simd::axpy4x2_f32_on(be, &mut o0, &mut o1, x2a0, x2a1, b, a, b, a);
+        assert!(bits_eq_f32(&o0, &x2_ref0), "axpy4x2 row0 {ctx}");
+        assert!(bits_eq_f32(&o1, &x2_ref1), "axpy4x2 row1 {ctx}");
+        let mut q0 = a.to_vec();
+        let mut q1 = b.to_vec();
+        let mut q2 = a.to_vec();
+        let mut q3 = b.to_vec();
+        simd::axpy4x4_f32_on(be, &mut q0, &mut q1, &mut q2, &mut q3, x4a, b, a, b, a);
+        for (r, got) in [&q0, &q1, &q2, &q3].into_iter().enumerate() {
+            assert!(bits_eq_f32(got, &x4_ref[r]), "axpy4x4 row{r} {ctx}");
+        }
+        let mut dist = vec![f64::NAN; n]; // stale contents must be overwritten
+        simd::dist_row_f64_on(be, px, py, dx, dy, &mut dist);
+        assert!(bits_eq_f64(&dist, &dist_ref), "dist_row {ctx}");
+        let mut emin = vec![f64::NAN; n];
+        simd::elem_min_f64_on(be, da, db, &mut emin);
+        assert!(bits_eq_f64(&emin, &min_ref), "elem_min {ctx}");
+        let mut eadd = vec![f64::NAN; n];
+        simd::elem_add_f64_on(be, da, db, &mut eadd);
+        assert!(bits_eq_f64(&eadd, &add_ref), "elem_add {ctx}");
+        let mut sadd = vec![f64::NAN; n];
+        simd::add_scalar_f64_on(be, da, 3.5, &mut sadd);
+        assert!(bits_eq_f64(&sadd, &adds_ref), "add_scalar {ctx}");
+        let mut mrow = vec![7u8; n];
+        simd::matches_row_f64_on(be, px, py, eps, dx, dy, &mut mrow);
+        assert_eq!(mrow, match_ref, "matches_row {ctx}");
+    }
+}
+
+fn bits_eq_f32(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bits_eq_f64(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+#[test]
+fn all_kernels_bitwise_equal_on_awkward_lengths() {
+    for &n in AWKWARD {
+        for off in [0usize, 1, 2, 3] {
+            check_shape(1000 + n as u64, n, off);
+        }
+    }
+}
+
+/// Exact equality at the matching threshold is where a sloppy vector
+/// predicate (`<` vs `<=`) would diverge: points exactly `eps` away on
+/// one axis must match on every backend.
+#[test]
+fn matches_row_boundary_equality() {
+    let eps = 2.0f64;
+    let bx = [3.0f64, 3.0 + f64::EPSILON * 8.0, 2.999, -1.0, 1.0];
+    let by = [0.5f64, 0.5, 0.5, 2.5, 0.5];
+    let mut reference = vec![0u8; bx.len()];
+    simd::matches_row_f64_on(Backend::Scalar, 1.0, 0.5, eps, &bx, &by, &mut reference);
+    assert_eq!(reference, vec![1, 0, 1, 1, 1]);
+    for be in backends() {
+        let mut got = vec![9u8; bx.len()];
+        simd::matches_row_f64_on(be, 1.0, 0.5, eps, &bx, &by, &mut got);
+        assert_eq!(got, reference, "backend {}", be.name());
+    }
+}
+
+/// `elem_min` ties (equal values) and signed zeros must agree with the
+/// scalar `minpd` semantics on every backend.
+#[test]
+fn elem_min_ties_and_signed_zero() {
+    let a = [1.0f64, -0.0, 0.0, 5.0, f64::INFINITY];
+    let b = [1.0f64, 0.0, -0.0, f64::INFINITY, 5.0];
+    let mut reference = vec![0.0f64; a.len()];
+    simd::elem_min_f64_on(Backend::Scalar, &a, &b, &mut reference);
+    for be in backends() {
+        let mut got = vec![f64::NAN; a.len()];
+        simd::elem_min_f64_on(be, &a, &b, &mut got);
+        assert!(bits_eq_f64(&got, &reference), "backend {}", be.name());
+    }
+}
+
+proptest! {
+    /// Random lengths/offsets/data: every backend bitwise-equals scalar.
+    #[test]
+    fn all_kernels_bitwise_equal_randomised(
+        seed in 0u64..300,
+        n in 0usize..140,
+        off in 0usize..4,
+    ) {
+        check_shape(seed, n, off);
+    }
+
+    /// The `dot` used by matmul must equal an exact (f64-free of f32
+    /// rounding? no — same-order f32) walk of the documented reduction
+    /// definition: 32 strided f32 accumulators, fixed tree, serial tail.
+    #[test]
+    fn dot_matches_documented_reduction_definition(seed in 0u64..300, n in 0usize..140) {
+        let a = f32_data(seed, n);
+        let b = f32_data(seed ^ 77, n);
+        let chunks = n / 32;
+        let mut acc = [0.0f32; 32];
+        for c in 0..chunks {
+            for l in 0..32 {
+                acc[l] += a[c * 32 + l] * b[c * 32 + l];
+            }
+        }
+        let mut t = [0.0f32; 16];
+        for k in 0..16 { t[k] = acc[k] + acc[k + 16]; }
+        let mut u = [0.0f32; 8];
+        for k in 0..8 { u[k] = t[k] + t[k + 8]; }
+        let mut v = [0.0f32; 4];
+        for k in 0..4 { v[k] = u[k] + u[k + 4]; }
+        let mut expect = (v[0] + v[2]) + (v[1] + v[3]);
+        for i in chunks * 32..n {
+            expect += a[i] * b[i];
+        }
+        for be in backends() {
+            prop_assert_eq!(
+                simd::dot_f32_on(be, &a, &b).to_bits(),
+                expect.to_bits(),
+                "backend {}", be.name()
+            );
+        }
+    }
+}
