@@ -22,6 +22,12 @@
 //!                            the brute-force kNN scan, and the DTW/EDR
 //!                            dynamic programs, and writes
 //!                            BENCH_PR6.json to the CWD)
+//!      bench_pr7            (never implied by `all`: drives the
+//!                            concurrent similarity service with the
+//!                            mixed read/write load generator at 90/10
+//!                            and 50/50 read fractions, and writes the
+//!                            p50/p99/QPS report to BENCH_PR7.json in
+//!                            the CWD)
 //!      bench_exp            (never implied by `all`: runs the seeded
 //!                            paper-experiment harness and writes its
 //!                            canonical report to the CWD — at
@@ -214,6 +220,10 @@ fn main() {
     // Opt-in only: writes BENCH_PR6.json.
     if args.ids.iter().any(|x| x == "bench_pr6") {
         bench_pr6();
+    }
+    // Opt-in only: writes BENCH_PR7.json.
+    if args.ids.iter().any(|x| x == "bench_pr7") {
+        bench_pr7();
     }
     // Opt-in only: writes GOLDEN_EXP.json / EXP_QUICK.json.
     if args.ids.iter().any(|x| x == "bench_exp") {
@@ -721,6 +731,122 @@ fn bench_pr5() {
     let json = serde_json::to_string(&report).expect("serialise report");
     std::fs::write("BENCH_PR5.json", &json).expect("write BENCH_PR5.json");
     println!("wrote BENCH_PR5.json");
+}
+
+/// Measures the PR-7 serving layer: stands up a [`SimilarityService`]
+/// around the bench_pr1 tiny pipeline (same city, same training
+/// recipe, so reports stay comparable), preloads the store, and drives
+/// it with [`t2vec_serve::loadgen`] under two read/write mixes —
+/// 90/10 (lookup-heavy steady state) and 50/50 (ingest-heavy) — at 1
+/// and 4 client threads each. Records p50/p99 latency per operation
+/// class plus QPS into `BENCH_PR7.json`.
+///
+/// Determinism note: the latency/QPS numbers are host measurements,
+/// but the *final store contents* of each run are seed-determined; the
+/// concurrency suite (crates/serve/tests) asserts that property, this
+/// bench just reports throughput.
+fn bench_pr7() {
+    use t2vec_serve::{loadgen, LoadgenConfig, ServeConfig, SimilarityService};
+
+    println!("---- BENCH_PR7: concurrent similarity service ----");
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Same tiny pipeline as bench_pr1/bench_pr5.
+    let mut rng = det_rng(510);
+    let city = City::tiny(&mut rng);
+    let ds = DatasetBuilder::new(&city)
+        .trips(60)
+        .min_len(8)
+        .build(&mut rng);
+    let mut config = T2VecConfig::tiny();
+    config.grad_accum = 4;
+    config.max_epochs = 2;
+    parallel::set_threads(1);
+    let mut rng = det_rng(511);
+    let (model, _report) =
+        T2Vec::train_with_report(&config, &ds.train, &ds.val, &mut rng).expect("tiny training");
+    let model = std::sync::Arc::new(model);
+
+    // Trajectory pool: every split, reused for preload, inserts and
+    // queries alike.
+    let pool: Vec<Vec<_>> = ds
+        .train
+        .iter()
+        .chain(ds.val.iter())
+        .chain(ds.test.iter())
+        .map(|t| t.points.clone())
+        .collect();
+
+    let mut mix_rows = Vec::new();
+    for &(read_fraction, label) in &[(0.9f64, "90/10"), (0.5, "50/50")] {
+        for &workers in &[1usize, 4] {
+            let service =
+                SimilarityService::new(std::sync::Arc::clone(&model), ServeConfig::default());
+            // Preload so reads scan a populated store.
+            for (i, t) in pool.iter().enumerate() {
+                service.insert(i as u64, t).expect("preload insert");
+            }
+            let cfg = LoadgenConfig {
+                workers,
+                ops_per_worker: 400 / workers,
+                read_fraction,
+                k: 10,
+                seed: 77,
+                id_base: 1 << 32,
+            };
+            let report = loadgen::run(&service, &pool, &cfg);
+            println!(
+                "mix {label} x{workers}t: {:.0} ops/s | read p50 {:.0} us p99 {:.0} us | write p50 {:.0} us p99 {:.0} us ({} reads, {} writes)",
+                report.qps,
+                report.read_latency.p50_us,
+                report.read_latency.p99_us,
+                report.write_latency.p50_us,
+                report.write_latency.p99_us,
+                report.reads,
+                report.writes
+            );
+            mix_rows.push(obj(vec![
+                ("mix", Value::Str(label.into())),
+                ("workers", Value::UInt(workers as u64)),
+                ("ops", Value::UInt(report.ops as u64)),
+                ("reads", Value::UInt(report.reads as u64)),
+                ("writes", Value::UInt(report.writes as u64)),
+                ("qps", Value::Float(report.qps)),
+                ("read_p50_us", Value::Float(report.read_latency.p50_us)),
+                ("read_p99_us", Value::Float(report.read_latency.p99_us)),
+                ("write_p50_us", Value::Float(report.write_latency.p50_us)),
+                ("write_p99_us", Value::Float(report.write_latency.p99_us)),
+                ("store_len_end", Value::UInt(report.store_len_end as u64)),
+            ]));
+        }
+    }
+
+    let report = obj(vec![
+        (
+            "source",
+            Value::Str("crates/bench/src/bin/experiments.rs bench_pr7".into()),
+        ),
+        (
+            "host",
+            obj(vec![(
+                "available_parallelism",
+                Value::UInt(host_threads as u64),
+            )]),
+        ),
+        (
+            "service",
+            obj(vec![
+                ("shards", Value::UInt(ServeConfig::default().shards as u64)),
+                ("repr_dim", Value::UInt(model.repr_dim() as u64)),
+                ("preload_entries", Value::UInt(pool.len() as u64)),
+                ("knn_k", Value::UInt(10)),
+            ]),
+        ),
+        ("mixes", Value::Array(mix_rows)),
+    ]);
+    let json = serde_json::to_string(&report).expect("serialise report");
+    std::fs::write("BENCH_PR7.json", &json).expect("write BENCH_PR7.json");
+    println!("wrote BENCH_PR7.json");
 }
 
 /// Measures the PR-6 SIMD kernel layer (`t2vec_tensor::simd`) on the

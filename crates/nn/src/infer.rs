@@ -27,6 +27,7 @@
 
 use crate::embedding::Embedding;
 use crate::gru::{GruStack, PackedGruStack};
+use std::borrow::Cow;
 use t2vec_obs as obs;
 use t2vec_spatial::vocab::Token;
 use t2vec_tensor::{Matrix, Workspace};
@@ -39,8 +40,13 @@ pub const MAX_BUCKET_ROWS: usize = 64;
 /// Immutable, prepacked encoder weights shared by every worker during a
 /// bulk encode. Derived from the canonical [`GruStack`] weights at
 /// construction — never serialised, so checkpoints are unaffected.
+///
+/// The embedding table is a [`Cow`]: borrowed in the common bulk-encode
+/// case (zero copies), owned after [`PackedEncoder::into_owned`] so
+/// long-running services can detach an engine handle from the model's
+/// lifetime and move it into worker threads.
 pub struct PackedEncoder<'m> {
-    embedding: &'m Embedding,
+    embedding: Cow<'m, Embedding>,
     fwd: PackedGruStack,
     bwd: Option<PackedGruStack>,
 }
@@ -49,9 +55,20 @@ impl<'m> PackedEncoder<'m> {
     /// Packs the (possibly bidirectional) encoder for batched inference.
     pub fn new(embedding: &'m Embedding, fwd: &GruStack, bwd: Option<&GruStack>) -> Self {
         Self {
-            embedding,
+            embedding: Cow::Borrowed(embedding),
             fwd: PackedGruStack::pack(fwd),
             bwd: bwd.map(PackedGruStack::pack),
+        }
+    }
+
+    /// Detaches the encoder from the source model by cloning the
+    /// embedding table (the packed stacks are already owned). The
+    /// weights are byte-identical, so encode results are unchanged.
+    pub fn into_owned(self) -> PackedEncoder<'static> {
+        PackedEncoder {
+            embedding: Cow::Owned(self.embedding.into_owned()),
+            fwd: self.fwd,
+            bwd: self.bwd,
         }
     }
 
@@ -178,6 +195,21 @@ impl<'m> EncodeEngine<'m> {
             packed,
             ws: Workspace::new(),
         }
+    }
+
+    /// Detaches the engine from the source model's lifetime (see
+    /// [`PackedEncoder::into_owned`]); the warmed-up workspace arena is
+    /// kept.
+    pub fn into_owned(self) -> EncodeEngine<'static> {
+        EncodeEngine {
+            packed: self.packed.into_owned(),
+            ws: self.ws,
+        }
+    }
+
+    /// Representation width produced per trajectory.
+    pub fn repr_dim(&self) -> usize {
+        self.packed.repr_dim()
     }
 
     /// Encodes arbitrary-length trajectories: sorts by length

@@ -1,0 +1,203 @@
+//! Query admission batching: collect in-flight encode requests and run
+//! them through the length-bucketed inference engine as one batch.
+//!
+//! Individually, concurrent encode requests would each pay a
+//! `1×hidden` matmul per timestep; batching them amortises the weight
+//! streaming exactly as the PR5 engine does for bulk encodes. The
+//! batcher owns one worker thread with an [`EncodeEngine`] (prepacked
+//! weights + warmed workspace arena) and flushes a batch when either:
+//!
+//! * the bucket is **full** ([`BatcherConfig::max_batch`] requests are
+//!   pending — no reason to wait), or
+//! * the **oldest pending request has waited
+//!   [`BatcherConfig::max_wait`]** (a straggler is never parked
+//!   indefinitely hoping for peers).
+//!
+//! ## Determinism
+//!
+//! Which requests share a batch depends on arrival timing — but the
+//! engine's output for a sequence is **bitwise independent of batch
+//! composition** (the PR5 invariant, re-asserted by this crate's
+//! batcher suite), so wall-clock time only decides *grouping*, never a
+//! result byte. This keeps the obs determinism rule intact: timing
+//! flows into scheduling and the event stream, not into values.
+
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+use t2vec_nn::{EncodeEngine, PackedEncoder};
+use t2vec_obs as obs;
+use t2vec_spatial::vocab::Token;
+
+/// Flush policy of the [`AdmissionBatcher`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatcherConfig {
+    /// Flush as soon as this many requests are pending. Defaults to the
+    /// engine's bucket width ([`t2vec_nn::infer::MAX_BUCKET_ROWS`]) —
+    /// a fuller batch would split into two buckets anyway.
+    pub max_batch: usize,
+    /// Flush when the oldest pending request has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: t2vec_nn::infer::MAX_BUCKET_ROWS,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+struct Pending {
+    tokens: Vec<Token>,
+    tx: SyncSender<Vec<f32>>,
+}
+
+struct State {
+    pending: Vec<Pending>,
+    /// Arrival instant of `pending[0]` (the flush-deadline anchor).
+    oldest: Option<Instant>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+/// A shared handle collecting concurrent encode requests into engine
+/// batches. Cheap to share (`Arc` inside); dropping the last handle
+/// flushes the remaining requests and joins the worker.
+pub struct AdmissionBatcher {
+    shared: Arc<Shared>,
+    repr_dim: usize,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AdmissionBatcher {
+    /// Spawns the batcher's worker thread around prepacked encoder
+    /// weights (see [`PackedEncoder::into_owned`]).
+    pub fn new(packed: PackedEncoder<'static>, config: BatcherConfig) -> Self {
+        let config = BatcherConfig {
+            max_batch: config.max_batch.max(1),
+            ..config
+        };
+        let repr_dim = packed.repr_dim();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: Vec::new(),
+                oldest: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("t2vec-batcher".into())
+            .spawn(move || worker_loop(worker_shared, EncodeEngine::new(packed), config))
+            .expect("spawn batcher worker");
+        Self {
+            shared,
+            repr_dim,
+            worker: Some(worker),
+        }
+    }
+
+    /// Representation width of encoded vectors.
+    pub fn repr_dim(&self) -> usize {
+        self.repr_dim
+    }
+
+    /// Encodes one token sequence, blocking until its batch is flushed.
+    /// The result is bitwise identical to
+    /// `Seq2Seq::encode_tokens(&tokens)` on the source model, whatever
+    /// requests it happened to share a batch with.
+    ///
+    /// # Panics
+    /// Panics if the worker thread has died (a bug, not an operational
+    /// condition — the worker only exits on shutdown).
+    pub fn encode(&self, tokens: Vec<Token>) -> Vec<f32> {
+        let (tx, rx) = sync_channel(1);
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            assert!(!st.shutdown, "encode after batcher shutdown");
+            if st.pending.is_empty() {
+                st.oldest = Some(Instant::now());
+            }
+            st.pending.push(Pending { tokens, tx });
+            self.shared.cv.notify_all();
+        }
+        rx.recv().expect("batcher worker died")
+    }
+}
+
+impl Drop for AdmissionBatcher {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.shutdown = true;
+            self.shared.cv.notify_all();
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, mut engine: EncodeEngine<'static>, config: BatcherConfig) {
+    loop {
+        let (batch, full) = {
+            let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if st.pending.len() >= config.max_batch {
+                    break;
+                }
+                if st.shutdown {
+                    if st.pending.is_empty() {
+                        return;
+                    }
+                    break; // final flush of whatever is queued
+                }
+                if let Some(oldest) = st.oldest {
+                    let deadline = oldest + config.max_wait;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    st = shared
+                        .cv
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                } else {
+                    st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            let take = st.pending.len().min(config.max_batch);
+            let batch: Vec<Pending> = st.pending.drain(..take).collect();
+            st.oldest = if st.pending.is_empty() {
+                None
+            } else {
+                // Remaining requests inherit "now" as their wait anchor:
+                // they were younger than everything just drained.
+                Some(Instant::now())
+            };
+            (batch, take >= config.max_batch)
+        };
+        if full {
+            obs::counter!("serve.batch.flush_full").incr();
+        } else {
+            obs::counter!("serve.batch.flush_timeout").incr();
+        }
+        obs::histogram!("serve.batch.rows").record(batch.len() as u64);
+        // Encode outside the lock so admission continues during the
+        // engine pass.
+        let seqs: Vec<&[Token]> = batch.iter().map(|p| p.tokens.as_slice()).collect();
+        let reprs = engine.encode_batch(&seqs);
+        for (p, r) in batch.into_iter().zip(reprs) {
+            // A requester that gave up (disconnected) is not an error.
+            let _ = p.tx.send(r);
+        }
+    }
+}

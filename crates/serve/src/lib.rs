@@ -1,0 +1,36 @@
+//! Concurrent trajectory-similarity serving for t2vec.
+//!
+//! The paper's payoff (§IV-D) is that once trajectories are embedded,
+//! similarity is a vector distance — cheap enough to serve online. This
+//! crate is that serving layer:
+//!
+//! * [`store`] — a sharded, lock-striped embedding store whose merged
+//!   kNN is bitwise independent of shard count and insert interleaving;
+//! * [`batcher`] — admission batching that funnels concurrent encode
+//!   requests through the length-bucketed inference engine as one
+//!   batch;
+//! * [`snapshot`] — CRC-framed atomic snapshots plus an upsert journal
+//!   with corrupt-skip recovery (same framing discipline as model
+//!   checkpoints);
+//! * [`service`] — the [`SimilarityService`] façade wiring the three
+//!   together with the durability ordering documented there;
+//! * [`loadgen`] — a mixed read/write load generator reporting
+//!   p50/p99/QPS (feeds `BENCH_PR7.json`).
+//!
+//! Everything here upholds the workspace determinism contract: results
+//! depend only on (input, seed, store contents), never on thread
+//! count, shard count, batch composition, or SIMD backend.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod loadgen;
+pub mod service;
+pub mod snapshot;
+pub mod store;
+
+pub use batcher::{AdmissionBatcher, BatcherConfig};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use service::{recover_entries, ServeConfig, SimilarityService};
+pub use snapshot::{Journal, SnapshotStore, StoreSnapshot};
+pub use store::{EmbeddingStore, Entry};

@@ -1,0 +1,177 @@
+//! Mixed read/write load generation against a [`SimilarityService`].
+//!
+//! Spawns `workers` threads, each driving its own deterministic RNG
+//! through `ops_per_worker` operations: with probability
+//! `read_fraction` a kNN query (encode + sharded scan), otherwise an
+//! encode-on-ingest insert under a fresh id. Per-operation wall-clock
+//! latencies are collected per worker (no shared state on the hot
+//! path) and merged into p50/p99 summaries afterwards.
+//!
+//! Latency numbers are *measurements* — they vary by host and never
+//! feed back into any result (the obs determinism rule). The *final
+//! store contents* of a loadgen run are deterministic for a given
+//! config: the set of (id, trajectory) inserts is fixed by the seeds,
+//! and encode results don't depend on batching.
+
+use crate::service::SimilarityService;
+use serde::Serialize;
+use t2vec_spatial::point::Point;
+use t2vec_tensor::rng::det_rng;
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadgenConfig {
+    /// Concurrent client threads.
+    pub workers: usize,
+    /// Operations each worker performs.
+    pub ops_per_worker: usize,
+    /// Probability that an operation is a read (kNN query).
+    pub read_fraction: f64,
+    /// Neighbours per query.
+    pub k: usize,
+    /// Base RNG seed (worker `i` uses `seed + i`).
+    pub seed: u64,
+    /// First id assigned to inserted trajectories (worker `i`'s op `j`
+    /// gets `id_base + i * ops_per_worker + j`, collision-free).
+    pub id_base: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            ops_per_worker: 250,
+            read_fraction: 0.9,
+            k: 10,
+            seed: 7,
+            id_base: 1 << 32,
+        }
+    }
+}
+
+/// Percentile summary of one operation class.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencySummary {
+    /// Operations measured.
+    pub ops: usize,
+    /// Median latency, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Worst observed latency, microseconds.
+    pub max_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarises a set of nanosecond samples (sorted internally).
+    fn from_ns(mut ns: Vec<u64>) -> Self {
+        ns.sort_unstable();
+        let pick = |q: f64| -> f64 {
+            if ns.is_empty() {
+                return 0.0;
+            }
+            let idx = ((ns.len() - 1) as f64 * q).round() as usize;
+            ns[idx] as f64 / 1e3
+        };
+        Self {
+            ops: ns.len(),
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            max_us: ns.last().copied().unwrap_or(0) as f64 / 1e3,
+        }
+    }
+}
+
+/// The outcome of a load-generation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Concurrent client threads.
+    pub workers: usize,
+    /// Total operations performed.
+    pub ops: usize,
+    /// Query operations.
+    pub reads: usize,
+    /// Insert operations.
+    pub writes: usize,
+    /// Configured read probability.
+    pub read_fraction: f64,
+    /// Wall-clock duration of the run, seconds.
+    pub elapsed_s: f64,
+    /// Operations per second (reads + writes over wall clock).
+    pub qps: f64,
+    /// Query-latency percentiles (encode + kNN).
+    pub read_latency: LatencySummary,
+    /// Insert-latency percentiles (encode + upsert + journal).
+    pub write_latency: LatencySummary,
+    /// Store size after the run.
+    pub store_len_end: usize,
+}
+
+/// Runs the mixed workload; `pool` supplies both insert payloads and
+/// query trajectories (sampled with replacement).
+///
+/// # Panics
+/// Panics if `pool` is empty or `workers`/`ops_per_worker` is zero.
+pub fn run(service: &SimilarityService, pool: &[Vec<Point>], config: &LoadgenConfig) -> LoadReport {
+    assert!(!pool.is_empty(), "loadgen needs a trajectory pool");
+    assert!(
+        config.workers > 0 && config.ops_per_worker > 0,
+        "loadgen needs at least one worker and one op"
+    );
+    use rand::RngExt;
+    let t0 = std::time::Instant::now();
+    let per_worker: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut rng = det_rng(config.seed + w as u64);
+                    let mut reads = Vec::new();
+                    let mut writes = Vec::new();
+                    for op in 0..config.ops_per_worker {
+                        let traj = &pool[rng.random_range(0..pool.len())];
+                        let is_read = rng.random_bool(config.read_fraction);
+                        let t = std::time::Instant::now();
+                        if is_read {
+                            let hits = service.query(traj, config.k);
+                            std::hint::black_box(hits);
+                            reads.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        } else {
+                            let id = config.id_base + (w * config.ops_per_worker + op) as u64;
+                            service.insert(id, traj).expect("loadgen insert failed");
+                            writes.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        }
+                    }
+                    (reads, writes)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker panicked"))
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for (r, w) in per_worker {
+        reads.extend(r);
+        writes.extend(w);
+    }
+    let ops = reads.len() + writes.len();
+    LoadReport {
+        workers: config.workers,
+        ops,
+        reads: reads.len(),
+        writes: writes.len(),
+        read_fraction: config.read_fraction,
+        elapsed_s,
+        qps: if elapsed_s > 0.0 {
+            ops as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        read_latency: LatencySummary::from_ns(reads),
+        write_latency: LatencySummary::from_ns(writes),
+        store_len_end: service.len(),
+    }
+}

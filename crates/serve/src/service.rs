@@ -1,0 +1,294 @@
+//! The similarity service: encode-on-ingest, sharded kNN, crash-safe
+//! persistence — the paper's online story (§IV-D: similarity of two
+//! trajectories costs `O(n + |v|)` once embeddings exist) turned into a
+//! long-running component.
+//!
+//! One [`SimilarityService`] owns:
+//!
+//! * the trained [`T2Vec`] model (tokenisation + encoder weights);
+//! * an [`AdmissionBatcher`] whose worker runs the length-bucketed
+//!   engine over whatever encode requests are in flight;
+//! * the sharded [`EmbeddingStore`];
+//! * optionally a persistence directory: framed snapshots plus an
+//!   upsert journal (see [`crate::snapshot`]).
+//!
+//! ## Durability ordering
+//!
+//! `insert` applies the upsert to the store **first**, then appends the
+//! journal record under the persistence lock. `snapshot` takes the same
+//! lock, dumps the store, writes the snapshot atomically, and truncates
+//! the journal. Because a journal record is only ever written *after*
+//! its store upsert, and the snapshot dump happens *after* acquiring
+//! the lock, every record the truncate discards is already in the
+//! dump — recovery (snapshot + journal replay, upserts idempotent)
+//! never loses an acknowledged insert, at worst it re-applies one.
+
+use crate::batcher::{AdmissionBatcher, BatcherConfig};
+use crate::snapshot::{Journal, SnapshotStore, StoreSnapshot, JOURNAL_FILE, SNAP_FORMAT_VERSION};
+use crate::store::{EmbeddingStore, Entry};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use t2vec_core::{T2Vec, T2VecError};
+use t2vec_obs as obs;
+use t2vec_spatial::point::Point;
+
+/// Construction parameters of a [`SimilarityService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Lock stripes of the embedding store.
+    pub shards: usize,
+    /// Admission-batcher flush policy.
+    pub batcher: BatcherConfig,
+    /// Snapshots retained on disk (when persistence is enabled).
+    pub snapshot_keep: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            batcher: BatcherConfig::default(),
+            snapshot_keep: 3,
+        }
+    }
+}
+
+/// Persistence state, serialised by one mutex so the journal ordering
+/// argument in the module docs holds.
+struct Persist {
+    snaps: SnapshotStore,
+    journal: Journal,
+    next_seq: u64,
+}
+
+/// A concurrent trajectory-similarity service (see module docs).
+pub struct SimilarityService {
+    model: Arc<T2Vec>,
+    store: EmbeddingStore,
+    batcher: AdmissionBatcher,
+    persist: Option<Mutex<Persist>>,
+}
+
+impl SimilarityService {
+    /// An in-memory service (no persistence) around a trained model.
+    pub fn new(model: Arc<T2Vec>, config: ServeConfig) -> Self {
+        let packed = model.seq2seq().packed_encoder().into_owned();
+        let batcher = AdmissionBatcher::new(packed, config.batcher);
+        let store = EmbeddingStore::new(model.repr_dim(), config.shards.max(1));
+        Self {
+            model,
+            store,
+            batcher,
+            persist: None,
+        }
+    }
+
+    /// Opens a persistent service rooted at `dir`: recovers the newest
+    /// valid snapshot, replays the journal over it, and resumes
+    /// journalling. Returns the recovery warnings (corrupt snapshots
+    /// skipped, torn journal tails dropped, …).
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] on filesystem failure and
+    /// [`T2VecError::Checkpoint`] when the newest snapshot's dimension
+    /// disagrees with the model's.
+    pub fn open(
+        model: Arc<T2Vec>,
+        config: ServeConfig,
+        dir: impl Into<PathBuf>,
+    ) -> Result<(Self, Vec<String>), T2VecError> {
+        let dir = dir.into();
+        let snaps = SnapshotStore::open(&dir, config.snapshot_keep)?;
+        let outcome = snaps.load_latest();
+        let mut warnings = outcome.warnings;
+        let mut service = Self::new(model, config);
+        let mut next_seq = 1;
+        if let Some((path, snap)) = outcome.snapshot {
+            if snap.dim != service.store.dim() {
+                return Err(T2VecError::Checkpoint(format!(
+                    "snapshot {} holds {}-dim vectors but the model encodes {} dims",
+                    path.display(),
+                    snap.dim,
+                    service.store.dim()
+                )));
+            }
+            next_seq = snap.seq + 1;
+            for e in snap.entries {
+                service.store.insert(e.id, &e.vec);
+            }
+        }
+        let journal_path = dir.join(JOURNAL_FILE);
+        let (replayed, journal_warnings) = Journal::replay(&journal_path);
+        warnings.extend(journal_warnings);
+        for e in replayed {
+            if e.vec.len() == service.store.dim() {
+                service.store.insert(e.id, &e.vec);
+            } else {
+                warnings.push(format!(
+                    "journal entry for id {} has {} dims (store is {}); dropped",
+                    e.id,
+                    e.vec.len(),
+                    service.store.dim()
+                ));
+            }
+        }
+        obs::info!(target: "serve.service", "recovered service";
+            entries = service.store.len(),
+            warnings = warnings.len(),
+        );
+        let journal = Journal::open(&journal_path)?;
+        service.persist = Some(Mutex::new(Persist {
+            snaps,
+            journal,
+            next_seq,
+        }));
+        Ok((service, warnings))
+    }
+
+    /// The model the service encodes with.
+    pub fn model(&self) -> &T2Vec {
+        &self.model
+    }
+
+    /// The underlying sharded store (read access for tests/benches).
+    pub fn store(&self) -> &EmbeddingStore {
+        &self.store
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Encodes a trajectory through the admission batcher (blocking
+    /// until its batch flushes). Bitwise identical to
+    /// [`T2Vec::encode`].
+    pub fn encode(&self, points: &[Point]) -> Vec<f32> {
+        self.batcher.encode(self.model.vocab().tokenize(points))
+    }
+
+    /// Encode-on-ingest: embeds `points` (batched with concurrent
+    /// requests) and upserts the vector under `id`. Returns `true` for
+    /// a fresh id, `false` for a replacement. Once this returns, the
+    /// entry is visible to every subsequent query and, with
+    /// persistence, journalled.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] when the journal append fails (the in-memory
+    /// upsert has still happened; durability is only as old as the last
+    /// successful append/snapshot).
+    pub fn insert(&self, id: u64, points: &[Point]) -> Result<bool, T2VecError> {
+        let t0 = std::time::Instant::now();
+        let vec = self.encode(points);
+        let fresh = self.insert_vec(id, vec)?;
+        obs::histogram!("serve.insert_ns").record_duration(t0.elapsed());
+        Ok(fresh)
+    }
+
+    /// Upserts a pre-encoded vector (the non-encoding ingest path).
+    ///
+    /// # Errors
+    /// As [`SimilarityService::insert`].
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn insert_vec(&self, id: u64, vec: Vec<f32>) -> Result<bool, T2VecError> {
+        let fresh = self.store.insert(id, &vec);
+        if let Some(persist) = &self.persist {
+            let mut p = persist.lock().unwrap_or_else(|e| e.into_inner());
+            p.journal.append(&Entry { id, vec })?;
+        }
+        obs::counter!("serve.inserts").incr();
+        Ok(fresh)
+    }
+
+    /// The `k` nearest stored trajectories to `points`, closest first,
+    /// as `(id, distance)` — encode (batched) then sharded kNN.
+    pub fn query(&self, points: &[Point], k: usize) -> Vec<(u64, f32)> {
+        let t0 = std::time::Instant::now();
+        let q = self.encode(points);
+        let out = self.store.knn(&q, k);
+        obs::counter!("serve.queries").incr();
+        obs::histogram!("serve.query_ns").record_duration(t0.elapsed());
+        out
+    }
+
+    /// kNN for a pre-encoded query vector.
+    pub fn query_vec(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        let t0 = std::time::Instant::now();
+        let out = self.store.knn(query, k);
+        obs::counter!("serve.queries").incr();
+        obs::histogram!("serve.query_ns").record_duration(t0.elapsed());
+        out
+    }
+
+    /// Takes a snapshot (compaction): dumps the store, writes the
+    /// framed snapshot atomically, truncates the journal. Returns the
+    /// snapshot path, or `None` when the service has no persistence.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] on filesystem failure — in which case the
+    /// journal is left untouched, so no durability is lost.
+    pub fn snapshot(&self) -> Result<Option<PathBuf>, T2VecError> {
+        let Some(persist) = &self.persist else {
+            return Ok(None);
+        };
+        let mut p = persist.lock().unwrap_or_else(|e| e.into_inner());
+        let snap = StoreSnapshot {
+            version: SNAP_FORMAT_VERSION,
+            seq: p.next_seq,
+            dim: self.store.dim(),
+            entries: self.store.dump_sorted(),
+        };
+        let path = p.snaps.save(&snap)?;
+        p.journal.truncate()?;
+        p.next_seq += 1;
+        obs::info!(target: "serve.service", "snapshot taken";
+            seq = snap.seq,
+            entries = snap.entries.len(),
+        );
+        Ok(Some(path))
+    }
+
+    /// The persistence directory, if the service is persistent.
+    pub fn persist_dir(&self) -> Option<PathBuf> {
+        self.persist.as_ref().map(|p| {
+            p.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .snaps
+                .dir()
+                .to_path_buf()
+        })
+    }
+}
+
+/// Convenience: recover just the entries under `dir` without standing
+/// up a service (used by tests asserting on-disk state directly).
+pub fn recover_entries(dir: &Path, keep: usize) -> Result<(Vec<Entry>, Vec<String>), T2VecError> {
+    let snaps = SnapshotStore::open(dir, keep)?;
+    let outcome = snaps.load_latest();
+    let mut warnings = outcome.warnings;
+    let mut by_id: std::collections::BTreeMap<u64, Vec<f32>> = std::collections::BTreeMap::new();
+    if let Some((_, snap)) = outcome.snapshot {
+        for e in snap.entries {
+            by_id.insert(e.id, e.vec);
+        }
+    }
+    let (replayed, journal_warnings) = Journal::replay(&dir.join(JOURNAL_FILE));
+    warnings.extend(journal_warnings);
+    for e in replayed {
+        by_id.insert(e.id, e.vec);
+    }
+    Ok((
+        by_id
+            .into_iter()
+            .map(|(id, vec)| Entry { id, vec })
+            .collect(),
+        warnings,
+    ))
+}

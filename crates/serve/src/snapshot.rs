@@ -1,0 +1,642 @@
+//! Crash-safe persistence for the embedding store: framed snapshots
+//! plus an append-only journal.
+//!
+//! Both layers reuse the PR2 checkpoint machinery's idioms and code:
+//! CRC-32 framing ([`t2vec_core::checkpoint::crc32`]), the
+//! temp-fsync-rename-fsync atomicity protocol, a `LATEST` pointer that
+//! is advisory (the newest-first scan is the source of truth), and the
+//! [`fault`] injection harness so the recovery guarantees are
+//! *demonstrated*, not assumed.
+//!
+//! ## Snapshot format
+//!
+//! One snapshot per file, `snap-NNNNNN.json` (NNNNNN = sequence
+//! number):
+//!
+//! ```text
+//! <one line of compact JSON — the serialised StoreSnapshot>
+//! t2vec-snap v1 crc32=xxxxxxxx len=NNN
+//! ```
+//!
+//! Entries are sorted by ascending id (the store's canonical dump
+//! order), so a snapshot of given contents is byte-identical no matter
+//! the shard count or insert interleaving that produced them.
+//!
+//! ## Journal format
+//!
+//! One upsert per line:
+//!
+//! ```text
+//! xxxxxxxx <compact JSON Entry>
+//! ```
+//!
+//! where `xxxxxxxx` is the CRC-32 of everything after the single
+//! separating space. Replay validates each record and stops at the
+//! first torn or corrupt one (everything after a corruption is
+//! untrusted — the conservative read of an append-only log), reporting
+//! what it dropped as warnings, never a panic.
+
+use crate::store::Entry;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{self, BufRead, Seek, Write};
+use std::path::{Path, PathBuf};
+use t2vec_core::checkpoint::crc32;
+use t2vec_core::checkpoint::fault::{FaultPlan, FaultyWriter};
+use t2vec_core::T2VecError;
+use t2vec_obs as obs;
+
+/// Version tag of the on-disk snapshot format.
+pub const SNAP_FORMAT_VERSION: u32 = 1;
+
+/// Magic string opening every snapshot trailer line.
+const TRAILER_MAGIC: &str = "t2vec-snap v1";
+
+/// Name of the pointer file naming the most recent snapshot.
+pub const LATEST_FILE: &str = "LATEST";
+
+/// Default journal file name inside a persistence directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// A point-in-time dump of the embedding store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    /// On-disk format version ([`SNAP_FORMAT_VERSION`]).
+    pub version: u32,
+    /// Monotonic sequence number (also the file number).
+    pub seq: u64,
+    /// Vector dimension of every entry.
+    pub dim: usize,
+    /// Entries sorted by ascending id.
+    pub entries: Vec<Entry>,
+}
+
+/// Serialises a snapshot to its framed byte form.
+///
+/// # Errors
+/// Propagates serialisation failures (none occur for this data model).
+pub fn snapshot_to_bytes(snap: &StoreSnapshot) -> Result<Vec<u8>, T2VecError> {
+    let payload = serde_json::to_string(snap)?;
+    debug_assert!(!payload.contains('\n'), "payload must be a single line");
+    let trailer = format!(
+        "{TRAILER_MAGIC} crc32={:08x} len={}",
+        crc32(payload.as_bytes()),
+        payload.len()
+    );
+    Ok(format!("{payload}\n{trailer}\n").into_bytes())
+}
+
+/// Parses and validates a framed snapshot.
+///
+/// # Errors
+/// [`T2VecError::Checkpoint`] when the frame is truncated, the trailer
+/// is malformed, the length or CRC disagrees with the payload, or the
+/// version is unsupported; [`T2VecError::Serde`] when the payload is
+/// not a valid `StoreSnapshot`.
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<StoreSnapshot, T2VecError> {
+    let corrupt = |msg: &str| T2VecError::Checkpoint(format!("snapshot: {msg}"));
+    let newline = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| corrupt("truncated file: no payload/trailer separator"))?;
+    let (payload, rest) = bytes.split_at(newline);
+    let trailer = std::str::from_utf8(&rest[1..])
+        .map_err(|_| corrupt("trailer is not UTF-8"))?
+        .trim_end_matches('\n');
+    let fields = trailer
+        .strip_prefix(TRAILER_MAGIC)
+        .ok_or_else(|| corrupt("missing or unrecognised trailer magic"))?;
+    let mut stated_crc = None;
+    let mut stated_len = None;
+    for field in fields.split_whitespace() {
+        if let Some(hex) = field.strip_prefix("crc32=") {
+            stated_crc = u32::from_str_radix(hex, 16).ok();
+        } else if let Some(dec) = field.strip_prefix("len=") {
+            stated_len = dec.parse::<usize>().ok();
+        }
+    }
+    let stated_crc = stated_crc.ok_or_else(|| corrupt("trailer lacks a valid crc32 field"))?;
+    let stated_len = stated_len.ok_or_else(|| corrupt("trailer lacks a valid len field"))?;
+    if stated_len != payload.len() {
+        return Err(corrupt(&format!(
+            "length mismatch: trailer says {stated_len}, payload is {} bytes (short write?)",
+            payload.len()
+        )));
+    }
+    let actual = crc32(payload);
+    if stated_crc != actual {
+        return Err(corrupt(&format!(
+            "checksum mismatch: trailer says {stated_crc:08x}, payload hashes to {actual:08x}"
+        )));
+    }
+    let snap: StoreSnapshot = serde_json::from_slice(payload)?;
+    if snap.version != SNAP_FORMAT_VERSION {
+        return Err(corrupt(&format!(
+            "unsupported format version {} (this build reads {SNAP_FORMAT_VERSION})",
+            snap.version
+        )));
+    }
+    Ok(snap)
+}
+
+/// The result of [`SnapshotStore::load_latest`]: the newest valid
+/// snapshot (if any survives validation) plus a warning per anomaly.
+#[derive(Debug)]
+pub struct SnapshotOutcome {
+    /// The newest snapshot that passed validation, with its path.
+    pub snapshot: Option<(PathBuf, StoreSnapshot)>,
+    /// Human-readable descriptions of everything skipped or repaired.
+    pub warnings: Vec<String>,
+}
+
+/// A directory of store snapshots with atomic writes, a `LATEST`
+/// pointer, and retention of the last *K* files — the
+/// `CheckpointStore` protocol applied to the serving store.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    keep: usize,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a snapshot directory retaining the
+    /// last `keep` snapshots.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, T2VecError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            keep: keep.max(1),
+        })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// File name for the snapshot with sequence number `seq`.
+    pub fn file_name(seq: u64) -> String {
+        format!("snap-{seq:06}.json")
+    }
+
+    /// Saves `snap` under the atomicity protocol and returns the final
+    /// path.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] on any filesystem failure. A failed save
+    /// never corrupts previously saved snapshots.
+    pub fn save(&self, snap: &StoreSnapshot) -> Result<PathBuf, T2VecError> {
+        self.save_with(snap, &mut FaultPlan::none())
+    }
+
+    /// [`SnapshotStore::save`] with injected faults — the fault suite's
+    /// crash simulator; a triggered fault aborts the protocol exactly
+    /// where a real crash would.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] for injected and real filesystem failures;
+    /// [`T2VecError::Checkpoint`] for planned crashes between steps.
+    pub fn save_with(
+        &self,
+        snap: &StoreSnapshot,
+        plan: &mut FaultPlan,
+    ) -> Result<PathBuf, T2VecError> {
+        let _span = obs::span!(target: "serve.snapshot", "save"; seq = snap.seq);
+        let bytes = snapshot_to_bytes(snap)?;
+        obs::counter!("serve.snapshot.saves").incr();
+        obs::counter!("serve.snapshot.bytes_written").add(bytes.len() as u64);
+        let final_name = Self::file_name(snap.seq);
+        let final_path = self.dir.join(&final_name);
+        let tmp_path = self.dir.join(format!(".{final_name}.tmp"));
+
+        // Step 1: temp file in the same directory, written and fsynced
+        // before it can take the final name.
+        {
+            let file = fs::File::create(&tmp_path)?;
+            let mut w = FaultyWriter::new(file, plan.write_fail_at.take(), plan.short_write_chunk);
+            w.write_all(&bytes)?;
+            w.flush()?;
+            w.into_inner().sync_all()?;
+        }
+        if plan.crash_before_rename {
+            return Err(T2VecError::Checkpoint(
+                "injected crash before rename (temp file left behind)".into(),
+            ));
+        }
+
+        // Steps 2 + 3: atomic rename, then make the rename durable.
+        fs::rename(&tmp_path, &final_path)?;
+        sync_dir(&self.dir);
+        if plan.crash_before_latest {
+            return Err(T2VecError::Checkpoint(
+                "injected crash after rename, before LATEST update".into(),
+            ));
+        }
+
+        // Step 4: LATEST pointer, same temp-fsync-rename protocol.
+        let latest_tmp = self.dir.join(".LATEST.tmp");
+        {
+            let file = fs::File::create(&latest_tmp)?;
+            let mut w = FaultyWriter::new(
+                file,
+                plan.latest_write_fail_at.take(),
+                plan.short_write_chunk,
+            );
+            w.write_all(format!("{final_name}\n").as_bytes())?;
+            w.flush()?;
+            w.into_inner().sync_all()?;
+        }
+        fs::rename(&latest_tmp, self.dir.join(LATEST_FILE))?;
+        sync_dir(&self.dir);
+
+        // Step 5: retention — drop the oldest beyond the budget.
+        let files = self.snapshot_files();
+        if files.len() > self.keep {
+            for (path, seq) in &files[..files.len() - self.keep] {
+                fs::remove_file(path).ok();
+                obs::debug!(target: "serve.snapshot", "retention dropped old snapshot";
+                    seq = *seq,
+                );
+            }
+        }
+        Ok(final_path)
+    }
+
+    /// All snapshot files in the directory, oldest first, with their
+    /// sequence numbers. Temp files and foreign names are ignored.
+    pub fn snapshot_files(&self) -> Vec<(PathBuf, u64)> {
+        let mut out = Vec::new();
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return out;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(num) = name
+                .strip_prefix("snap-")
+                .and_then(|s| s.strip_suffix(".json"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            out.push((entry.path(), num));
+        }
+        out.sort_by_key(|&(_, num)| num);
+        out
+    }
+
+    /// Loads and validates one snapshot file.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] on read failure, otherwise as
+    /// [`snapshot_from_bytes`].
+    pub fn load_file(&self, path: &Path) -> Result<StoreSnapshot, T2VecError> {
+        snapshot_from_bytes(&fs::read(path)?)
+    }
+
+    /// Recovers the newest valid snapshot, scanning newest first and
+    /// skipping corrupt files with warnings — the `LATEST` pointer is
+    /// advisory, exactly as in `CheckpointStore::load_latest`.
+    pub fn load_latest(&self) -> SnapshotOutcome {
+        let mut warnings = Vec::new();
+        let latest_target = match fs::read_to_string(self.dir.join(LATEST_FILE)) {
+            Ok(s) => Some(s.trim().to_string()),
+            // A missing pointer is the fresh-directory state, not
+            // damage; only an unreadable *existing* pointer warns.
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => {
+                warnings.push(format!(
+                    "LATEST pointer unreadable ({e}); scanning snapshot files instead"
+                ));
+                None
+            }
+        };
+        let mut files = self.snapshot_files();
+        files.reverse(); // newest first
+        for (path, _) in files {
+            match self.load_file(&path) {
+                Ok(snap) => {
+                    let name = path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    if let Some(target) = &latest_target {
+                        if *target != name {
+                            warnings.push(format!(
+                                "LATEST points at `{target}` but newest valid snapshot is \
+                                 `{name}`; using `{name}`"
+                            ));
+                        }
+                    }
+                    return SnapshotOutcome {
+                        snapshot: Some((path, snap)),
+                        warnings,
+                    };
+                }
+                Err(e) => {
+                    obs::warn!(target: "serve.snapshot", "skipping corrupt snapshot {}: {e}", path.display());
+                    warnings.push(format!("skipping corrupt snapshot {}: {e}", path.display()));
+                }
+            }
+        }
+        SnapshotOutcome {
+            snapshot: None,
+            warnings,
+        }
+    }
+}
+
+/// An append-only upsert log: the durability layer between snapshots.
+///
+/// Each accepted record is flushed to the OS before `append` returns
+/// (surviving a process crash; callers wanting medium-failure
+/// durability can layer fsync policies on top — the snapshot cadence
+/// bounds the loss window either way). [`Journal::replay`] validates
+/// record CRCs and stops at the first torn or corrupt line.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: fs::File,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal at `path` for appending.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] when the file cannot be opened.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, T2VecError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(Self { path, file })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one upsert record and flushes it.
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] on write failure, [`T2VecError::Serde`] on
+    /// serialisation failure.
+    pub fn append(&mut self, entry: &Entry) -> Result<(), T2VecError> {
+        let payload = serde_json::to_string(entry)?;
+        debug_assert!(!payload.contains('\n'), "record must be a single line");
+        let line = format!("{:08x} {payload}\n", crc32(payload.as_bytes()));
+        self.file.write_all(line.as_bytes())?;
+        self.file.flush()?;
+        obs::counter!("serve.journal.appends").incr();
+        obs::counter!("serve.journal.bytes_written").add(line.len() as u64);
+        Ok(())
+    }
+
+    /// Truncates the journal (called after a successful snapshot — the
+    /// snapshot now carries everything the journal did).
+    ///
+    /// # Errors
+    /// [`T2VecError::Io`] on failure.
+    pub fn truncate(&mut self) -> Result<(), T2VecError> {
+        self.file.set_len(0)?;
+        self.file.seek(std::io::SeekFrom::Start(0))?;
+        self.file.sync_all()?;
+        Ok(())
+    }
+
+    /// Replays a journal file into `(entries, warnings)`: every valid
+    /// record in order, stopping at the first torn or corrupt line
+    /// (records after a corruption are untrusted and dropped, with a
+    /// warning saying how many). A missing file replays to nothing.
+    pub fn replay(path: &Path) -> (Vec<Entry>, Vec<String>) {
+        let mut entries = Vec::new();
+        let mut warnings = Vec::new();
+        let file = match fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return (entries, warnings),
+            Err(e) => {
+                warnings.push(format!("journal {} unreadable: {e}", path.display()));
+                return (entries, warnings);
+            }
+        };
+        let reader = std::io::BufReader::new(file);
+        let mut lines = 0usize;
+        for (lineno, line) in reader.split(b'\n').enumerate() {
+            lines += 1;
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    warnings.push(format!(
+                        "journal {} line {}: read failed ({e}); dropping the tail",
+                        path.display(),
+                        lineno + 1
+                    ));
+                    return (entries, warnings);
+                }
+            };
+            match parse_record(&line) {
+                Ok(Some(entry)) => entries.push(entry),
+                Ok(None) => {} // trailing empty line
+                Err(msg) => {
+                    warnings.push(format!(
+                        "journal {} line {}: {msg}; dropping this and later records",
+                        path.display(),
+                        lineno + 1
+                    ));
+                    return (entries, warnings);
+                }
+            }
+        }
+        let _ = lines;
+        (entries, warnings)
+    }
+}
+
+/// Parses one journal line; `Ok(None)` for an empty line (the file's
+/// trailing newline), `Err` with a reason for anything torn or corrupt.
+fn parse_record(line: &[u8]) -> Result<Option<Entry>, String> {
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let text = std::str::from_utf8(line).map_err(|_| "record is not UTF-8".to_string())?;
+    let (crc_hex, payload) = text
+        .split_once(' ')
+        .ok_or_else(|| "record lacks a crc/payload separator (torn write?)".to_string())?;
+    let stated = u32::from_str_radix(crc_hex, 16)
+        .map_err(|_| format!("record crc field `{crc_hex}` is not hex"))?;
+    let actual = crc32(payload.as_bytes());
+    if stated != actual {
+        return Err(format!(
+            "record checksum mismatch: stated {stated:08x}, payload hashes to {actual:08x} \
+             (torn or flipped write)"
+        ));
+    }
+    let entry: Entry =
+        serde_json::from_str(payload).map_err(|e| format!("record payload invalid: {e}"))?;
+    Ok(Some(entry))
+}
+
+/// Best-effort directory fsync (makes a completed rename durable).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: u64) -> Vec<Entry> {
+        (0..n)
+            .map(|id| Entry {
+                id,
+                vec: vec![id as f32, -(id as f32 + 1.0), 0.5],
+            })
+            .collect()
+    }
+
+    fn snap(seq: u64, n: u64) -> StoreSnapshot {
+        StoreSnapshot {
+            version: SNAP_FORMAT_VERSION,
+            seq,
+            dim: 3,
+            entries: entries(n),
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("t2vec-snap-unit-{}-{name}", std::process::id()));
+        fs::remove_dir_all(&p).ok();
+        p
+    }
+
+    #[test]
+    fn framed_roundtrip_is_byte_identical() {
+        let s = snap(3, 10);
+        let bytes = snapshot_to_bytes(&s).unwrap();
+        let back = snapshot_from_bytes(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(snapshot_to_bytes(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected() {
+        let bytes = snapshot_to_bytes(&snap(1, 4)).unwrap();
+        assert!(snapshot_from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0x01;
+        assert!(snapshot_from_bytes(&flipped).is_err());
+        assert!(snapshot_from_bytes(b"").is_err());
+        assert!(snapshot_from_bytes(b"junk\nmore junk\n").is_err());
+    }
+
+    #[test]
+    fn store_saves_updates_latest_and_retains_k() {
+        let dir = temp_dir("retention");
+        let store = SnapshotStore::open(&dir, 2).unwrap();
+        for seq in 1..=4 {
+            store.save(&snap(seq, seq)).unwrap();
+        }
+        let files = store.snapshot_files();
+        assert_eq!(
+            files.iter().map(|&(_, n)| n).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        let latest = fs::read_to_string(dir.join(LATEST_FILE)).unwrap();
+        assert_eq!(latest.trim(), SnapshotStore::file_name(4));
+        let out = store.load_latest();
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+        assert_eq!(out.snapshot.unwrap().1.seq, 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_store_loads_nothing() {
+        let dir = temp_dir("empty");
+        let store = SnapshotStore::open(&dir, 3).unwrap();
+        let out = store.load_latest();
+        assert!(out.snapshot.is_none());
+        // A fresh directory is the normal first boot, not damage.
+        assert!(out.warnings.is_empty(), "fresh dir must not warn");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_roundtrip_and_truncate() {
+        let dir = temp_dir("journal");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let mut j = Journal::open(&path).unwrap();
+        for e in entries(5) {
+            j.append(&e).unwrap();
+        }
+        let (replayed, warnings) = Journal::replay(&path);
+        assert!(warnings.is_empty(), "{warnings:?}");
+        assert_eq!(replayed, entries(5));
+        j.truncate().unwrap();
+        let (replayed, warnings) = Journal::replay(&path);
+        assert!(replayed.is_empty() && warnings.is_empty());
+        // Appends after a truncate keep working.
+        j.append(&entries(1)[0]).unwrap();
+        assert_eq!(Journal::replay(&path).0.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_missing_file_replays_empty() {
+        let (e, w) = Journal::replay(Path::new("/nonexistent/journal.log"));
+        assert!(e.is_empty() && w.is_empty());
+    }
+
+    #[test]
+    fn journal_torn_tail_recovers_prefix() {
+        let dir = temp_dir("torn");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let mut j = Journal::open(&path).unwrap();
+        for e in entries(3) {
+            j.append(&e).unwrap();
+        }
+        drop(j);
+        // Simulate a crash mid-append: append half a record, no newline.
+        let mut raw = fs::OpenOptions::new().append(true).open(&path).unwrap();
+        raw.write_all(b"deadbeef {\"id\":99,\"ve").unwrap();
+        drop(raw);
+        let (replayed, warnings) = Journal::replay(&path);
+        assert_eq!(replayed, entries(3), "intact prefix must replay");
+        assert_eq!(warnings.len(), 1, "torn tail must warn: {warnings:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_mid_file_bitflip_drops_suffix_without_panic() {
+        let dir = temp_dir("bitflip");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(JOURNAL_FILE);
+        let mut j = Journal::open(&path).unwrap();
+        for e in entries(4) {
+            j.append(&e).unwrap();
+        }
+        drop(j);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte in the second record.
+        let second_line_start = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        bytes[second_line_start + 12] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let (replayed, warnings) = Journal::replay(&path);
+        assert_eq!(replayed, entries(1), "only the record before the flip");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,167 @@
+//! Admission-batcher suite (ISSUE 7 satellite): flush policy (full
+//! bucket immediately, straggler after the timeout), scatter-back
+//! correctness under concurrency, and the bitwise-equality contract
+//! with the engine's `encode_tokens` / `encode_tokens_batch` paths.
+//!
+//! An untrained `Seq2Seq` (random weights) is all these properties
+//! need, keeping the suite fast enough for soak loops.
+
+use std::time::{Duration, Instant};
+use t2vec_nn::{Seq2Seq, Seq2SeqConfig};
+use t2vec_serve::{AdmissionBatcher, BatcherConfig};
+use t2vec_spatial::vocab::Token;
+use t2vec_tensor::rng::det_rng;
+
+fn model() -> Seq2Seq {
+    let config = Seq2SeqConfig {
+        vocab: 50,
+        embed_dim: 8,
+        hidden: 16,
+        layers: 1,
+        bidirectional: true,
+    };
+    Seq2Seq::new(config, &mut det_rng(5))
+}
+
+/// Deterministic pseudo-random token sequences within the vocab.
+fn token_seqs(n: usize) -> Vec<Vec<Token>> {
+    (0..n as u64)
+        .map(|i| {
+            let len = 4 + (i * 7 % 13) as usize;
+            (0..len as u64)
+                .map(|j| {
+                    let x = i
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(j.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                    Token(Token::NUM_SPECIALS + (x % (50 - Token::NUM_SPECIALS as u64)) as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn straggler_flushes_after_timeout() {
+    let s2s = model();
+    // A bucket this large never fills: only the timeout can flush, so a
+    // lone request returning at all proves the straggler path.
+    let batcher = AdmissionBatcher::new(
+        s2s.packed_encoder().into_owned(),
+        BatcherConfig {
+            max_batch: 1000,
+            max_wait: Duration::from_millis(20),
+        },
+    );
+    let seq = &token_seqs(1)[0];
+    let t0 = Instant::now();
+    let got = batcher.encode(seq.clone());
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "straggler did not flush"
+    );
+    assert_eq!(got, s2s.encode_tokens(seq));
+}
+
+#[test]
+fn full_bucket_flushes_immediately() {
+    let s2s = model();
+    // The timeout is far beyond the test budget: completing fast proves
+    // the full-bucket flush fired without waiting for the deadline.
+    let batcher = AdmissionBatcher::new(
+        s2s.packed_encoder().into_owned(),
+        BatcherConfig {
+            max_batch: 4,
+            max_wait: Duration::from_secs(600),
+        },
+    );
+    let seqs = token_seqs(4);
+    let t0 = Instant::now();
+    let results: Vec<Vec<f32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = seqs
+            .iter()
+            .map(|seq| {
+                let batcher = &batcher;
+                s.spawn(move || batcher.encode(seq.clone()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "full bucket waited for the straggler deadline"
+    );
+    for (seq, got) in seqs.iter().zip(&results) {
+        assert_eq!(got, &s2s.encode_tokens(seq));
+    }
+}
+
+#[test]
+fn scatter_returns_each_caller_its_own_result() {
+    let s2s = model();
+    let batcher =
+        AdmissionBatcher::new(s2s.packed_encoder().into_owned(), BatcherConfig::default());
+    assert_eq!(batcher.repr_dim(), s2s.repr_dim());
+    let seqs = token_seqs(24);
+    // Many concurrent callers, distinct sequences: every caller must
+    // get the encoding of *its* sequence back, not a neighbour's.
+    let results: Vec<(usize, Vec<f32>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, seq)| {
+                let batcher = &batcher;
+                s.spawn(move || (i, batcher.encode(seq.clone())))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, got) in &results {
+        assert_eq!(
+            got,
+            &s2s.encode_tokens(&seqs[*i]),
+            "caller {i} received a foreign result"
+        );
+    }
+}
+
+#[test]
+fn batched_results_bitwise_equal_engine_batch_path() {
+    let s2s = model();
+    let batcher =
+        AdmissionBatcher::new(s2s.packed_encoder().into_owned(), BatcherConfig::default());
+    let seqs = token_seqs(10);
+    let via_batcher: Vec<Vec<f32>> = std::thread::scope(|s| {
+        let handles: Vec<_> = seqs
+            .iter()
+            .map(|seq| {
+                let batcher = &batcher;
+                s.spawn(move || batcher.encode(seq.clone()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let refs: Vec<&[Token]> = seqs.iter().map(|s| s.as_slice()).collect();
+    assert_eq!(
+        via_batcher,
+        s2s.encode_tokens_batch(&refs),
+        "admission batching must be bitwise equal to the bulk batch path"
+    );
+}
+
+#[test]
+fn sequential_requests_through_one_batcher_stay_exact() {
+    // Timeout-flushed singleton batches, one after another, must each
+    // match the unbatched path (no workspace state bleeding between
+    // flushes).
+    let s2s = model();
+    let batcher = AdmissionBatcher::new(
+        s2s.packed_encoder().into_owned(),
+        BatcherConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+    for seq in &token_seqs(6) {
+        assert_eq!(batcher.encode(seq.clone()), s2s.encode_tokens(seq));
+    }
+}

@@ -1,0 +1,112 @@
+//! Shard- and backend-invariance of the sharded store's kNN (ISSUE 7
+//! satellite): a fixed query set against a fixed store must return
+//! bitwise-identical results whether the store has 1, 2 or 8 shards,
+//! whether inserts arrived serially or from racing threads, and whether
+//! the SIMD dispatch is forced scalar or auto-detected.
+//!
+//! `set_backend` is process-global, so this file holds a SINGLE test
+//! function — its own binary, no sibling test can race the flips.
+
+use t2vec_serve::EmbeddingStore;
+use t2vec_tensor::simd::{self, Backend};
+
+const DIM: usize = 32;
+const ENTRIES: u64 = 500;
+const QUERIES: u64 = 50;
+const K: usize = 10;
+
+fn vec_for(id: u64, salt: u64) -> Vec<f32> {
+    (0..DIM as u64)
+        .map(|lane| {
+            let mut x = id
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(lane.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(salt);
+            x ^= x >> 31;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 27;
+            (x as f32 / u64::MAX as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Builds the fixed store at a given shard count, optionally inserting
+/// from racing threads, and answers the fixed query set.
+fn answers(shards: usize, racing: bool) -> Vec<Vec<(u64, f32)>> {
+    let store = EmbeddingStore::new(DIM, shards);
+    if racing {
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let store = &store;
+                s.spawn(move || {
+                    let mut id = w;
+                    while id < ENTRIES {
+                        store.insert(id, &vec_for(id, 0));
+                        id += 4;
+                    }
+                });
+            }
+        });
+    } else {
+        for id in 0..ENTRIES {
+            store.insert(id, &vec_for(id, 0));
+        }
+    }
+    (0..QUERIES)
+        .map(|q| store.knn(&vec_for(q, 0xD1CE), K))
+        .collect()
+}
+
+fn assert_bitwise_eq(a: &[Vec<(u64, f32)>], b: &[Vec<(u64, f32)>], label: &str) {
+    for (qi, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "{label}: query {qi} length");
+        for ((ia, da), (ib, db)) in ra.iter().zip(rb) {
+            assert_eq!(ia, ib, "{label}: query {qi} id order");
+            assert_eq!(
+                da.to_bits(),
+                db.to_bits(),
+                "{label}: query {qi} distance bits for id {ia}"
+            );
+        }
+    }
+}
+
+#[test]
+fn knn_bitwise_invariant_to_shards_interleaving_and_backend() {
+    let fast = simd::detected();
+    assert!(simd::set_backend(Backend::Scalar));
+    let reference = answers(1, false);
+    assert_eq!(reference.len(), QUERIES as usize);
+    assert!(reference.iter().all(|r| r.len() == K));
+
+    // Shard count and insert interleaving, still forced scalar.
+    for shards in [2usize, 8] {
+        assert_bitwise_eq(
+            &reference,
+            &answers(shards, false),
+            &format!("scalar, {shards} shards"),
+        );
+        assert_bitwise_eq(
+            &reference,
+            &answers(shards, true),
+            &format!("scalar, {shards} shards, racing inserts"),
+        );
+    }
+
+    // Auto-detected SIMD tier across the same matrix.
+    assert!(simd::set_backend(fast), "detected backend must install");
+    for shards in [1usize, 2, 8] {
+        assert_bitwise_eq(
+            &reference,
+            &answers(shards, false),
+            &format!("{}, {shards} shards", fast.name()),
+        );
+    }
+    assert_bitwise_eq(
+        &reference,
+        &answers(8, true),
+        &format!("{}, 8 shards, racing inserts", fast.name()),
+    );
+    // Leave the process in its default state for good measure.
+    assert!(simd::set_backend(simd::detected()));
+}

@@ -6,6 +6,8 @@
 //! t2vec train    --data trips.csv --preset tiny|small|paper --out model.json [--seed 7]
 //! t2vec encode   --model model.json --data trips.csv --out vectors.json
 //! t2vec knn      --model model.json --db trips.csv --query trips.csv --k 10 [--lsh]
+//! t2vec loadgen  --model model.json --data trips.csv [--ops N] [--read-frac F]
+//!                [--workers N] [--k N] [--shards N] [--out report.json]
 //! t2vec stats    --data trips.csv
 //! ```
 //!
@@ -67,12 +69,14 @@ impl Opts {
 }
 
 fn usage() -> &'static str {
-    "usage: t2vec <generate|train|encode|knn|stats> [--flags]\n\
+    "usage: t2vec <generate|train|encode|knn|loadgen|stats> [--flags]\n\
      \n  generate --city porto|harbin|tiny --trips N --out FILE [--seed N] [--min-len N]\
      \n  train    --data FILE --out FILE [--preset tiny|small|paper] [--seed N]\
      \n           [--checkpoint-dir DIR [--checkpoint-every N] [--keep K] [--resume]]\
      \n  encode   --model FILE --data FILE --out FILE\
      \n  knn      --model FILE --db FILE --query FILE [--k N] [--lsh]\
+     \n  loadgen  --model FILE --data FILE [--ops N] [--read-frac F] [--workers N]\
+     \n           [--k N] [--shards N] [--seed N] [--out FILE]\
      \n  stats    --data FILE\
      \n\
      \n  global:  [--log-level SPEC] [--metrics-out FILE] [--quiet] [--progress]\
@@ -99,6 +103,7 @@ fn main() -> ExitCode {
         "train" => train(&opts),
         "encode" => encode(&opts),
         "knn" => knn(&opts),
+        "loadgen" => loadgen(&opts),
         "stats" => stats(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
@@ -306,6 +311,75 @@ fn knn(opts: &Opts) -> Result<(), String> {
         let hits = index.knn(&qv, k);
         let rendered: Vec<String> = hits.iter().map(|(id, d)| format!("{id}:{d:.3}")).collect();
         println!("query {qi}: {}", rendered.join(" "));
+    }
+    Ok(())
+}
+
+/// Stands up an in-memory [`SimilarityService`] around a trained model,
+/// preloads it with the trajectories of `--data`, and drives it with
+/// the mixed read/write load generator, printing p50/p99/QPS (and
+/// writing the JSON report when `--out` is given).
+fn loadgen(opts: &Opts) -> Result<(), String> {
+    use t2vec::serve::{loadgen as lg, LoadgenConfig, ServeConfig};
+
+    let model = T2Vec::load(File::open(opts.get("model")?).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let data = load_trajectories(opts.get("data")?)?;
+    if data.is_empty() {
+        return Err("loadgen needs a non-empty --data file".into());
+    }
+    let ops: usize = opts.get_or("ops", "400").parse().map_err(|_| "bad --ops")?;
+    let read_fraction: f64 = opts
+        .get_or("read-frac", "0.9")
+        .parse()
+        .map_err(|_| "bad --read-frac")?;
+    let workers: usize = opts
+        .get_or("workers", "4")
+        .parse::<usize>()
+        .map_err(|_| "bad --workers")?
+        .max(1);
+    let k: usize = opts.get_or("k", "10").parse().map_err(|_| "bad --k")?;
+    let shards: usize = opts
+        .get_or("shards", "8")
+        .parse()
+        .map_err(|_| "bad --shards")?;
+    let seed: u64 = opts.get_or("seed", "7").parse().map_err(|_| "bad --seed")?;
+
+    let config = ServeConfig {
+        shards,
+        ..ServeConfig::default()
+    };
+    let service = SimilarityService::new(std::sync::Arc::new(model), config);
+    let pool: Vec<Vec<Point>> = data.iter().map(|t| t.points.clone()).collect();
+    for (i, t) in pool.iter().enumerate() {
+        service.insert(i as u64, t).map_err(|e| e.to_string())?;
+    }
+    let cfg = LoadgenConfig {
+        workers,
+        ops_per_worker: (ops / workers).max(1),
+        read_fraction,
+        k,
+        seed,
+        id_base: 1 << 32,
+    };
+    let report = lg::run(&service, &pool, &cfg);
+    println!(
+        "{} ops ({} reads / {} writes) over {} workers in {:.2}s: {:.0} ops/s",
+        report.ops, report.reads, report.writes, report.workers, report.elapsed_s, report.qps
+    );
+    println!(
+        "read  p50 {:.0} us | p99 {:.0} us | max {:.0} us",
+        report.read_latency.p50_us, report.read_latency.p99_us, report.read_latency.max_us
+    );
+    println!(
+        "write p50 {:.0} us | p99 {:.0} us | max {:.0} us",
+        report.write_latency.p50_us, report.write_latency.p99_us, report.write_latency.max_us
+    );
+    println!("store holds {} entries", report.store_len_end);
+    if let Some(out) = opts.flags.get("out") {
+        let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+        serde_json::to_writer(file, &report).map_err(|e| e.to_string())?;
+        println!("report -> {out}");
     }
     Ok(())
 }

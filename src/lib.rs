@@ -15,6 +15,8 @@
 //!   cell pre-training.
 //! * [`core`] — the t2vec model: training pipeline, encoder, vector
 //!   indexes (brute force and LSH), k-means clustering.
+//! * [`serve`] — the concurrent similarity service: sharded embedding
+//!   store, admission-batched encoding, crash-safe snapshots.
 //! * [`eval`] — metrics and the runners that regenerate every table and
 //!   figure of the paper.
 //! * [`obs`] — structured tracing, metrics and leveled logging with a
@@ -41,6 +43,7 @@ pub use t2vec_distance as distance;
 pub use t2vec_eval as eval;
 pub use t2vec_nn as nn;
 pub use t2vec_obs as obs;
+pub use t2vec_serve as serve;
 pub use t2vec_spatial as spatial;
 pub use t2vec_tensor as tensor;
 pub use t2vec_trajgen as trajgen;
@@ -58,6 +61,7 @@ pub mod prelude {
         TrajDistance,
     };
     pub use t2vec_eval::metrics::{mean_rank, precision_at_k};
+    pub use t2vec_serve::{EmbeddingStore, ServeConfig, SimilarityService};
     pub use t2vec_spatial::{
         grid::Grid,
         point::{BBox, Point},
