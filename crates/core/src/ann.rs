@@ -1,0 +1,569 @@
+//! IVF + scalar-i8 ANN tier: sublinear k-nearest-trajectory search at
+//! the scale the paper targets.
+//!
+//! The paper's end goal (§IV-D) is answering similarity queries over
+//! *large* trajectory databases; [`crate::index::LshIndex`] was the
+//! first sublinear path, this module is the second and the one meant
+//! for millions of vectors on one box:
+//!
+//! * [`IvfIndex`] — an inverted-file index: coarse k-means (via
+//!   [`crate::kmeans`]) partitions the embedding space into `nlist`
+//!   cells; each stored vector lives on the posting list of its nearest
+//!   centroid; a query scans only the `nprobe` nearest cells.
+//! * [`ScalarQuantizer`] — per-dimension affine i8 compression of the
+//!   stored vectors (4× smaller scan footprint at `|v|` bytes/vector).
+//!   Queries stay full precision: candidate scoring uses *asymmetric
+//!   distance computation* (ADC) through the
+//!   [`t2vec_tensor::simd::sq_dist_q8_f32`] kernel, then the top
+//!   `rerank` candidates are re-scored with exact f32 distances.
+//!
+//! ## Determinism
+//!
+//! Everything here is a pure function of (stored contents, query,
+//! construction seed):
+//!
+//! * centroid assignment ranks by the same bitwise-total
+//!   (`total_cmp`, ascending-id tie-break) order as every other index
+//!   tier, over the SIMD layer's backend-invariant `sq_dist_f32`;
+//! * quantizer codes are computed in plain scalar arithmetic — one
+//!   rounding sequence, no reduction — so they are bitwise-identical
+//!   across SIMD backends and thread counts by construction;
+//! * ADC scores come from the fixed-reduction-tree q8 kernel, which is
+//!   bitwise-identical across backends;
+//! * at `nprobe >= nlist` every stored vector is a candidate, and with
+//!   `rerank = usize::MAX` every candidate is re-scored exactly, so the
+//!   result is **byte-for-byte the brute-force answer** (same scoring
+//!   kernel, same total order, same `sqrt`).
+//!
+//! ## Quantizer input policy
+//!
+//! Training rejects non-finite inputs (panics — a model that emits NaN
+//! embeddings is broken upstream). Encoding *clamps* deterministically:
+//! NaN and `-inf` map to the lowest code, `+inf` to the highest, finite
+//! out-of-range values saturate. The proptest battery in
+//! `crates/core/tests/quantizer_proptest.rs` pins all of this down.
+
+use crate::index::{select_top_k, top_k, VectorIndex};
+use crate::kmeans;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use t2vec_obs as obs;
+use t2vec_tensor::{parallel, simd};
+
+/// Per-dimension affine scalar quantizer: dimension `j` of a vector is
+/// stored as an `i8` code `c` decoding to `bias[j] + scale[j] · c`.
+///
+/// `scale[j]` spans the training range in 255 steps
+/// (`(max - min) / 255`); `bias[j]` centres the code range so
+/// `c = -128` decodes to the training minimum and `c = 127` to the
+/// maximum. A constant dimension gets `scale = 0` and every value maps
+/// to code 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalarQuantizer {
+    /// Training-range minimum per dimension (`decode(-128)`).
+    lo: Vec<f32>,
+    /// Step size per dimension (`(max - min) / 255`).
+    scale: Vec<f32>,
+    /// Decode intercept per dimension (`lo + 128 · scale`).
+    bias: Vec<f32>,
+}
+
+impl ScalarQuantizer {
+    /// Fits the per-dimension ranges over `training`.
+    ///
+    /// # Panics
+    /// Panics if `training` is empty, dimensions are inconsistent, or
+    /// any training value is non-finite (rejected — see module docs).
+    pub fn train(training: &[Vec<f32>]) -> Self {
+        assert!(!training.is_empty(), "cannot fit a quantizer to nothing");
+        let dim = training[0].len();
+        let mut lo = vec![f32::INFINITY; dim];
+        let mut hi = vec![f32::NEG_INFINITY; dim];
+        for v in training {
+            assert_eq!(v.len(), dim, "inconsistent vector dimensions");
+            for (j, &x) in v.iter().enumerate() {
+                assert!(
+                    x.is_finite(),
+                    "quantizer training input must be finite (dim {j} is {x})"
+                );
+                lo[j] = lo[j].min(x);
+                hi[j] = hi[j].max(x);
+            }
+        }
+        let scale: Vec<f32> = lo.iter().zip(&hi).map(|(&l, &h)| (h - l) / 255.0).collect();
+        // 128·scale is exact (power-of-two multiple); bias carries one
+        // rounding, computed once here so encode/decode/ADC all share
+        // the identical intercept.
+        let bias: Vec<f32> = lo
+            .iter()
+            .zip(&scale)
+            .map(|(&l, &s)| l + 128.0 * s)
+            .collect();
+        Self { lo, scale, bias }
+    }
+
+    /// Vector dimension this quantizer was fitted for.
+    pub fn dim(&self) -> usize {
+        self.scale.len()
+    }
+
+    /// Per-dimension step sizes (`decode` slope).
+    pub fn scale(&self) -> &[f32] {
+        &self.scale
+    }
+
+    /// Per-dimension decode intercepts.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Rebuilds a quantizer from persisted parts (snapshot restore).
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    pub fn from_parts(lo: Vec<f32>, scale: Vec<f32>, bias: Vec<f32>) -> Self {
+        assert!(
+            lo.len() == scale.len() && scale.len() == bias.len(),
+            "quantizer part length mismatch"
+        );
+        Self { lo, scale, bias }
+    }
+
+    /// The persisted parts `(lo, scale, bias)` of this quantizer.
+    pub fn parts(&self) -> (&[f32], &[f32], &[f32]) {
+        (&self.lo, &self.scale, &self.bias)
+    }
+
+    /// Encodes one dimension deterministically (see module docs for the
+    /// clamping policy on NaN / infinities / out-of-range values).
+    #[inline]
+    fn encode_dim(&self, j: usize, x: f32) -> i8 {
+        if x.is_nan() {
+            return -128;
+        }
+        if self.scale[j] == 0.0 {
+            return 0;
+        }
+        let t = ((x - self.lo[j]) / self.scale[j]).clamp(0.0, 255.0);
+        (t.round() as i32 - 128) as i8
+    }
+
+    /// Encodes `v` into `out` (one code per dimension).
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn encode_into(&self, v: &[f32], out: &mut Vec<i8>) {
+        assert_eq!(v.len(), self.dim(), "vector dimension mismatch");
+        out.extend(v.iter().enumerate().map(|(j, &x)| self.encode_dim(j, x)));
+    }
+
+    /// Encodes `v` into a fresh code vector.
+    pub fn encode(&self, v: &[f32]) -> Vec<i8> {
+        let mut out = Vec::with_capacity(v.len());
+        self.encode_into(v, &mut out);
+        out
+    }
+
+    /// Encodes a batch over the scoped thread pool. Codes are computed
+    /// per element in plain scalar arithmetic, so the result is
+    /// bitwise-identical at any thread count (the quantizer proptests
+    /// assert this).
+    pub fn encode_batch(&self, vectors: &[Vec<f32>]) -> Vec<Vec<i8>> {
+        parallel::par_map(vectors, |_, v| self.encode(v))
+    }
+
+    /// Decodes a code vector back to its reconstruction.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn decode(&self, codes: &[i8]) -> Vec<f32> {
+        assert_eq!(codes.len(), self.dim(), "code dimension mismatch");
+        codes
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| self.bias[j] + self.scale[j] * f32::from(c))
+            .collect()
+    }
+
+    /// Asymmetric squared distance between a full-precision `query` and
+    /// one code vector, through the backend-invariant SIMD kernel.
+    ///
+    /// # Panics
+    /// Debug-asserts matching dimensions.
+    #[inline]
+    pub fn adc_sq_dist(&self, query: &[f32], codes: &[i8]) -> f32 {
+        simd::sq_dist_q8_f32(query, codes, &self.scale, &self.bias)
+    }
+}
+
+/// Construction parameters of an [`IvfIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IvfConfig {
+    /// Coarse cells (k-means centroids). Clamped to the training-set
+    /// size at [`IvfIndex::train`] time.
+    pub nlist: usize,
+    /// Cells scanned per query; `nprobe >= nlist` scans everything
+    /// (the "`nprobe = ∞`" exact mode).
+    pub nprobe: usize,
+    /// Candidates re-scored with exact f32 distances after the ADC pass
+    /// (only meaningful with `quantize`); `usize::MAX` re-ranks every
+    /// candidate. Always at least `k` at query time.
+    pub rerank: usize,
+    /// Store i8 codes and scan with ADC (the compressed tier). Without
+    /// this the index is plain IVF over f32 rows.
+    pub quantize: bool,
+    /// Lloyd iteration budget for the coarse k-means.
+    pub kmeans_iters: usize,
+}
+
+impl IvfConfig {
+    /// A sensible starting point: `nlist` cells, an eighth probed,
+    /// 8·k-ish re-rank budget, quantization on.
+    pub fn new(nlist: usize) -> Self {
+        Self {
+            nlist,
+            nprobe: (nlist / 8).max(1),
+            rerank: 128,
+            quantize: true,
+            kmeans_iters: 25,
+        }
+    }
+
+    /// Exact mode: probe every cell and re-rank every candidate — the
+    /// configuration under which results are byte-for-byte brute force.
+    pub fn exact(nlist: usize) -> Self {
+        Self {
+            nlist,
+            nprobe: usize::MAX,
+            rerank: usize::MAX,
+            quantize: true,
+            kmeans_iters: 25,
+        }
+    }
+}
+
+/// Ranks `centroids` by distance to `v` under the shared total order
+/// and returns the nearest one's id — the single assignment rule used
+/// by [`IvfIndex::add`], the serve-layer ANN tier, and snapshot
+/// restore, so list membership never depends on the call site.
+pub fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    assert!(!centroids.is_empty(), "no centroids to assign to");
+    let mut best = (0usize, simd::sq_dist_f32(&centroids[0], v));
+    for (i, c) in centroids.iter().enumerate().skip(1) {
+        let d = simd::sq_dist_f32(c, v);
+        // Strict `Less` keeps the lowest centroid id on ties.
+        if d.total_cmp(&best.1) == std::cmp::Ordering::Less {
+            best = (i, d);
+        }
+    }
+    best.0
+}
+
+/// An inverted-file index with an optional scalar-i8 compressed tier
+/// (see module docs).
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    nprobe: usize,
+    rerank: usize,
+    centroids: Vec<Vec<f32>>,
+    /// Posting list per centroid: ids of the vectors assigned to it.
+    lists: Vec<Vec<usize>>,
+    /// Full-precision rows (exact tier + re-ranking).
+    vectors: Vec<Vec<f32>>,
+    /// `len · dim` i8 codes when quantizing, row `id` at
+    /// `id*dim..(id+1)*dim`; empty otherwise.
+    codes: Vec<i8>,
+    quantizer: Option<ScalarQuantizer>,
+}
+
+impl IvfIndex {
+    /// Trains the coarse structure (centroids via k-means++/Lloyd, and
+    /// the quantizer ranges when `config.quantize`) on `training`,
+    /// returning an **empty** index — stored vectors arrive through
+    /// [`VectorIndex::add`]. The training sample does not need to be
+    /// (and usually is not) the full corpus.
+    ///
+    /// # Panics
+    /// Panics if `training` is empty or has inconsistent dimensions,
+    /// or if `config.nlist` is zero.
+    pub fn train(training: &[Vec<f32>], config: IvfConfig, rng: &mut impl Rng) -> Self {
+        assert!(config.nlist > 0, "need at least one IVF cell");
+        let nlist = config.nlist.min(training.len());
+        let km = kmeans::kmeans(training, nlist, config.kmeans_iters.max(1), rng);
+        let quantizer = config.quantize.then(|| ScalarQuantizer::train(training));
+        Self {
+            dim: training[0].len(),
+            nprobe: config.nprobe.max(1),
+            rerank: config.rerank,
+            centroids: km.centroids,
+            lists: vec![Vec::new(); nlist],
+            vectors: Vec::new(),
+            codes: Vec::new(),
+            quantizer,
+        }
+    }
+
+    /// Number of coarse cells.
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Cells scanned per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Changes the per-query probe budget (tuning hook; does not touch
+    /// stored data).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = nprobe.max(1);
+    }
+
+    /// Changes the exact re-rank budget (tuning hook).
+    pub fn set_rerank(&mut self, rerank: usize) {
+        self.rerank = rerank;
+    }
+
+    /// The quantizer, when the compressed tier is enabled.
+    pub fn quantizer(&self) -> Option<&ScalarQuantizer> {
+        self.quantizer.as_ref()
+    }
+
+    /// The coarse centroids.
+    pub fn centroids(&self) -> &[Vec<f32>] {
+        &self.centroids
+    }
+
+    /// Ids on the posting list of cell `list` (diagnostic).
+    pub fn list(&self, list: usize) -> &[usize] {
+        &self.lists[list]
+    }
+
+    /// Bytes scanned per stored vector during the candidate pass: `dim`
+    /// for the i8 tier, `4·dim` for full precision.
+    pub fn scan_bytes_per_vector(&self) -> usize {
+        if self.quantizer.is_some() {
+            self.dim
+        } else {
+            self.dim * 4
+        }
+    }
+
+    /// Number of candidates the probe phase would hand the scoring
+    /// phase for `query` (diagnostic, mirrors
+    /// [`crate::index::LshIndex::candidate_count`]).
+    pub fn candidate_count(&self, query: &[f32]) -> usize {
+        self.probed_lists(query)
+            .iter()
+            .map(|&l| self.lists[l].len())
+            .sum()
+    }
+
+    /// The `nprobe` nearest cells to `query`, nearest first under the
+    /// shared total order.
+    fn probed_lists(&self, query: &[f32]) -> Vec<usize> {
+        let mut scored: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, simd::sq_dist_f32(c, query)))
+            .collect();
+        select_top_k(&mut scored, self.nprobe.min(self.centroids.len()));
+        scored.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn add(&mut self, v: Vec<f32>) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        let id = self.vectors.len();
+        let cell = nearest_centroid(&self.centroids, &v);
+        self.lists[cell].push(id);
+        if let Some(q) = &self.quantizer {
+            let mut codes = std::mem::take(&mut self.codes);
+            q.encode_into(&v, &mut codes);
+            self.codes = codes;
+        }
+        self.vectors.push(v);
+        id
+    }
+
+    fn knn(&self, query: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let t0 = std::time::Instant::now();
+        if k == 0 || self.vectors.is_empty() {
+            return Vec::new();
+        }
+        let probed = self.probed_lists(query);
+        obs::counter!("index.ivf.probes").add(probed.len() as u64);
+        let candidates = probed.iter().flat_map(|&l| self.lists[l].iter().copied());
+        let out = match &self.quantizer {
+            None => {
+                // Exact tier: score candidates in full precision.
+                let n: usize = probed.iter().map(|&l| self.lists[l].len()).sum();
+                obs::histogram!("index.ivf.candidates").record(n as u64);
+                top_k(candidates, &self.vectors, query, k)
+            }
+            Some(q) => {
+                // Compressed tier: ADC pass over i8 codes, then exact
+                // re-ranking of the shortlist.
+                simd::record_dispatch();
+                let mut scored: Vec<(usize, f32)> = candidates
+                    .map(|id| {
+                        let codes = &self.codes[id * self.dim..(id + 1) * self.dim];
+                        (id, q.adc_sq_dist(query, codes))
+                    })
+                    .collect();
+                obs::histogram!("index.ivf.candidates").record(scored.len() as u64);
+                obs::counter!("index.scan.vectors").add(scored.len() as u64);
+                let shortlist = self.rerank.max(k).min(scored.len());
+                select_top_k(&mut scored, shortlist);
+                obs::histogram!("index.ivf.rerank_depth").record(scored.len() as u64);
+                top_k(
+                    scored.into_iter().map(|(id, _)| id),
+                    &self.vectors,
+                    query,
+                    k,
+                )
+            }
+        };
+        obs::histogram!("index.ivf.query_ns").record_duration(t0.elapsed());
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::BruteForceIndex;
+    use rand::RngExt;
+    use t2vec_tensor::rng::det_rng;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = det_rng(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn quantizer_roundtrip_error_within_half_step() {
+        let vectors = random_vectors(200, 8, 1);
+        let q = ScalarQuantizer::train(&vectors);
+        for v in &vectors {
+            let back = q.decode(&q.encode(v));
+            for (j, (&x, &r)) in v.iter().zip(&back).enumerate() {
+                let bound = 0.501 * q.scale()[j] + 1e-5;
+                assert!((x - r).abs() <= bound, "dim {j}: |{x} - {r}| > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantizer_clamps_non_finite_deterministically() {
+        let q = ScalarQuantizer::train(&[vec![0.0f32, -1.0], vec![1.0, 1.0]]);
+        let codes = q.encode(&[f32::NAN, f32::NAN]);
+        assert_eq!(codes, vec![-128, -128]);
+        assert_eq!(q.encode(&[f32::INFINITY, 5.0]), vec![127, 127]);
+        assert_eq!(q.encode(&[f32::NEG_INFINITY, -5.0]), vec![-128, -128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn quantizer_rejects_non_finite_training() {
+        let _ = ScalarQuantizer::train(&[vec![0.0f32, f32::NAN]]);
+    }
+
+    #[test]
+    fn constant_dimension_encodes_to_zero() {
+        let q = ScalarQuantizer::train(&[vec![2.5f32, 0.0], vec![2.5, 1.0]]);
+        assert_eq!(q.encode(&[2.5, 0.5])[0], 0);
+        assert_eq!(q.decode(&[0, 0])[0], 2.5);
+    }
+
+    #[test]
+    fn adc_matches_exact_distance_on_decoded_vectors() {
+        // ADC(query, code) must equal sq_dist(query, decode(code))
+        // bitwise: same per-element expression, same reduction tree.
+        let vectors = random_vectors(50, 33, 2);
+        let q = ScalarQuantizer::train(&vectors);
+        let query = &random_vectors(1, 33, 3)[0];
+        for v in &vectors {
+            let codes = q.encode(v);
+            let adc = q.adc_sq_dist(query, &codes);
+            let exact = simd::sq_dist_f32(query, &q.decode(&codes));
+            assert_eq!(adc.to_bits(), exact.to_bits());
+        }
+    }
+
+    #[test]
+    fn ivf_exact_mode_is_bitwise_brute_force() {
+        let vectors = random_vectors(300, 16, 4);
+        let brute = BruteForceIndex::from_vectors(vectors.clone());
+        let mut rng = det_rng(5);
+        let mut ivf = IvfIndex::train(&vectors, IvfConfig::exact(10), &mut rng);
+        for v in vectors {
+            ivf.add(v);
+        }
+        for q in random_vectors(20, 16, 6) {
+            let want: Vec<(usize, u32)> = brute
+                .knn(&q, 10)
+                .into_iter()
+                .map(|(id, d)| (id, d.to_bits()))
+                .collect();
+            let got: Vec<(usize, u32)> = ivf
+                .knn(&q, 10)
+                .into_iter()
+                .map(|(id, d)| (id, d.to_bits()))
+                .collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn ivf_prunes_candidates_at_finite_nprobe() {
+        let vectors = random_vectors(2_000, 16, 7);
+        let mut rng = det_rng(8);
+        let mut cfg = IvfConfig::new(32);
+        cfg.nprobe = 4;
+        let mut ivf = IvfIndex::train(&vectors, cfg, &mut rng);
+        for v in vectors {
+            ivf.add(v);
+        }
+        let q = &random_vectors(1, 16, 9)[0];
+        let cands = ivf.candidate_count(q);
+        assert!(cands < 2_000 / 2, "IVF should prune: {cands} candidates");
+        assert_eq!(ivf.knn(q, 5).len(), 5);
+    }
+
+    #[test]
+    fn ivf_every_vector_lands_on_exactly_one_list() {
+        let vectors = random_vectors(500, 8, 10);
+        let mut rng = det_rng(11);
+        let mut ivf = IvfIndex::train(&vectors, IvfConfig::new(16), &mut rng);
+        for v in vectors {
+            ivf.add(v);
+        }
+        let mut seen = vec![false; ivf.len()];
+        for l in 0..ivf.nlist() {
+            for &id in ivf.list(l) {
+                assert!(!seen[id], "id {id} on two lists");
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every id must be on a list");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn ivf_wrong_dim_panics() {
+        let vectors = random_vectors(10, 4, 12);
+        let mut rng = det_rng(13);
+        let mut ivf = IvfIndex::train(&vectors, IvfConfig::new(2), &mut rng);
+        ivf.add(vec![1.0, 2.0]);
+    }
+}

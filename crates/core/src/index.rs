@@ -40,7 +40,9 @@ fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
 /// `total_cmp` gives a total order (NaN distances sort last instead of
 /// scrambling the comparison sort); equal distances break ties by
 /// ascending id so results are deterministic across candidate orders.
-fn by_dist_then_id(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
+/// Shared by every index tier (brute, LSH, IVF) so their results merge
+/// and compare bitwise.
+pub(crate) fn by_dist_then_id(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
     a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0))
 }
 
@@ -49,7 +51,7 @@ fn by_dist_then_id(a: &(usize, f32), b: &(usize, f32)) -> std::cmp::Ordering {
 /// comparator is a total order and ids are distinct, so the k smallest
 /// are unique regardless of `select_nth_unstable_by`'s pivoting — but
 /// the scan costs O(n + k log k) instead of O(n log n).
-fn select_top_k(scored: &mut Vec<(usize, f32)>, k: usize) {
+pub(crate) fn select_top_k(scored: &mut Vec<(usize, f32)>, k: usize) {
     if scored.len() > k {
         if k > 0 {
             scored.select_nth_unstable_by(k - 1, by_dist_then_id);
@@ -59,7 +61,11 @@ fn select_top_k(scored: &mut Vec<(usize, f32)>, k: usize) {
     scored.sort_unstable_by(by_dist_then_id);
 }
 
-fn top_k(
+/// Scores `candidates` exactly against `query`, keeps the `k` smallest
+/// under the shared total order, and converts squared distances to
+/// Euclidean ones. Every index tier funnels through this one function,
+/// so identical candidate *sets* always produce identical result bytes.
+pub(crate) fn top_k(
     candidates: impl Iterator<Item = usize>,
     vectors: &[Vec<f32>],
     query: &[f32],

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ann;
 pub mod checkpoint;
 pub mod config;
 pub mod error;

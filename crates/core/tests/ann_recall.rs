@@ -1,0 +1,143 @@
+//! Seeded IVF recall gate (ISSUE 8 satellite), mirroring the LSH gate
+//! in `index_recall.rs`: the IVF(+i8) index must clear a fixed
+//! recall@10 floor against brute force for *every* construction seed,
+//! and at `nprobe = ∞` with an unbounded re-rank budget its answers
+//! must be **byte-for-byte** the brute-force answers — not approximately
+//! equal, the same `(id, distance.to_bits())` pairs in the same order.
+
+use rand::RngExt;
+use std::collections::HashSet;
+use t2vec_core::ann::{IvfConfig, IvfIndex};
+use t2vec_core::index::{BruteForceIndex, VectorIndex};
+use t2vec_tensor::rng::det_rng;
+
+fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = det_rng(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn filled(vectors: &[Vec<f32>], config: IvfConfig, seed: u64) -> IvfIndex {
+    let mut rng = det_rng(seed);
+    let mut ivf = IvfIndex::train(vectors, config, &mut rng);
+    for v in vectors.iter().cloned() {
+        ivf.add(v);
+    }
+    ivf
+}
+
+fn recall_at_k(
+    approx: &dyn VectorIndex,
+    brute: &BruteForceIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> f64 {
+    let mut sum = 0.0;
+    for q in queries {
+        let exact: HashSet<usize> = brute.knn(q, k).into_iter().map(|(id, _)| id).collect();
+        let got: HashSet<usize> = approx.knn(q, k).into_iter().map(|(id, _)| id).collect();
+        sum += exact.intersection(&got).count() as f64 / exact.len() as f64;
+    }
+    sum / queries.len() as f64
+}
+
+#[test]
+fn ivf_recall_at_10_clears_floor_across_seeds() {
+    // Uniform random vectors are the worst case for a coarse
+    // partition (no cluster structure to exploit), so the floor is
+    // deliberately below the clustered-data figures in BENCH_PR8.
+    const FLOOR: f64 = 0.8;
+    let vectors = random_vectors(500, 16, 2);
+    let queries = random_vectors(30, 16, 4);
+    let brute = BruteForceIndex::from_vectors(vectors.clone());
+    let mut config = IvfConfig::new(16);
+    config.nprobe = 6;
+    for seed in [21u64, 42, 84] {
+        let ivf = filled(&vectors, config, seed);
+        let recall = recall_at_k(&ivf, &brute, &queries, 10);
+        assert!(
+            recall >= FLOOR,
+            "IVF recall@10 = {recall} below floor {FLOOR} for seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn ivf_unquantized_recall_matches_quantized_or_better() {
+    // Dropping the i8 tier removes ADC error from the shortlist, so
+    // full-precision IVF at the same probe budget can't do worse by
+    // more than noise; this guards the re-rank budget from silently
+    // shrinking.
+    let vectors = random_vectors(500, 16, 6);
+    let queries = random_vectors(30, 16, 8);
+    let brute = BruteForceIndex::from_vectors(vectors.clone());
+    let mut quantized = IvfConfig::new(16);
+    quantized.nprobe = 6;
+    let mut exact_rows = quantized;
+    exact_rows.quantize = false;
+    for seed in [21u64, 42, 84] {
+        let rq = recall_at_k(&filled(&vectors, quantized, seed), &brute, &queries, 10);
+        let rf = recall_at_k(&filled(&vectors, exact_rows, seed), &brute, &queries, 10);
+        assert!(
+            rf + 1e-9 >= rq - 0.05,
+            "full-precision IVF recall {rf} collapsed below quantized {rq} (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn nprobe_infinity_is_byte_for_byte_brute_force() {
+    let vectors = random_vectors(400, 24, 10);
+    let queries = random_vectors(25, 24, 12);
+    let brute = BruteForceIndex::from_vectors(vectors.clone());
+    for seed in [21u64, 42, 84] {
+        // Quantized AND unquantized exact modes must both collapse to
+        // the brute-force bytes after re-ranking.
+        for quantize in [true, false] {
+            let mut config = IvfConfig::exact(12);
+            config.quantize = quantize;
+            let ivf = filled(&vectors, config, seed);
+            for (qi, q) in queries.iter().enumerate() {
+                let want: Vec<(usize, u32)> = brute
+                    .knn(q, 10)
+                    .into_iter()
+                    .map(|(id, d)| (id, d.to_bits()))
+                    .collect();
+                let got: Vec<(usize, u32)> = ivf
+                    .knn(q, 10)
+                    .into_iter()
+                    .map(|(id, d)| (id, d.to_bits()))
+                    .collect();
+                assert_eq!(
+                    got, want,
+                    "seed {seed}, quantize {quantize}, query {qi}: exact mode diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recall_improves_monotonically_with_nprobe() {
+    // More probes can only widen the candidate set, and the candidate
+    // set of nprobe=n is a subset of nprobe=n+m's — so recall is
+    // monotone. A violation means probe ranking or candidate gathering
+    // is broken.
+    let vectors = random_vectors(500, 16, 14);
+    let queries = random_vectors(20, 16, 16);
+    let brute = BruteForceIndex::from_vectors(vectors.clone());
+    let mut last = 0.0f64;
+    for nprobe in [1usize, 4, 16] {
+        let mut config = IvfConfig::new(16);
+        config.nprobe = nprobe;
+        let ivf = filled(&vectors, config, 42);
+        let recall = recall_at_k(&ivf, &brute, &queries, 10);
+        assert!(
+            recall + 1e-9 >= last,
+            "recall fell from {last} to {recall} when nprobe rose to {nprobe}"
+        );
+        last = recall;
+    }
+    assert!(last > 0.99, "probing every cell must find everything");
+}

@@ -5,8 +5,15 @@
 //! seeds: recall@10 must clear a fixed floor for *every* seed, not just
 //! on average, so an unlucky hyperplane draw cannot hide a regression in
 //! the bucketing or re-ranking code.
+//!
+//! The edge cases (empty index, `k = 0`, `k > len`) run **uniformly**
+//! over every `VectorIndex` implementation — brute force, LSH, and the
+//! IVF(+i8) tier — through one generic battery, so the three tiers
+//! cannot drift apart on boundary semantics (ISSUE 8 satellite; the
+//! duplicated per-index versions used to do exactly that).
 
 use rand::RngExt;
+use t2vec_core::ann::{IvfConfig, IvfIndex};
 use t2vec_core::index::{BruteForceIndex, LshIndex, VectorIndex};
 use t2vec_tensor::rng::det_rng;
 
@@ -52,50 +59,64 @@ fn lsh_recall_at_10_clears_floor_across_seeds() {
     }
 }
 
+/// Every index tier under the shared `VectorIndex` trait, constructed
+/// empty for 2-dimensional vectors. Sublinear tiers are configured at
+/// full candidate budgets (LSH's empty-bucket fallback, IVF's exact
+/// mode) so the boundary contract — `k > len` returns *everything*,
+/// distance-sorted — is the same one the brute-force scan honours.
+fn every_index() -> Vec<(&'static str, Box<dyn VectorIndex>)> {
+    let mut lsh_rng = det_rng(12);
+    let mut ivf_rng = det_rng(13);
+    let training = random_vectors(32, 2, 14);
+    vec![
+        ("brute", Box::new(BruteForceIndex::new())),
+        ("lsh", Box::new(LshIndex::new(2, 4, 3, &mut lsh_rng))),
+        (
+            "ivf",
+            Box::new(IvfIndex::train(
+                &training,
+                IvfConfig::exact(4),
+                &mut ivf_rng,
+            )),
+        ),
+    ]
+}
+
 #[test]
 fn empty_indexes_report_empty_and_return_nothing() {
-    let brute = BruteForceIndex::new();
-    assert!(brute.is_empty());
-    assert_eq!(brute.len(), 0);
-    assert!(brute.knn(&[1.0, 2.0], 5).is_empty());
-
-    let mut rng = det_rng(12);
-    let lsh = LshIndex::new(2, 4, 3, &mut rng);
-    assert!(lsh.is_empty());
-    assert_eq!(lsh.len(), 0);
-    // The empty-bucket fallback scans an empty corpus: still no results.
-    assert!(lsh.knn(&[1.0, 2.0], 5).is_empty());
+    for (name, index) in every_index() {
+        assert!(index.is_empty(), "{name}: fresh index must be empty");
+        assert_eq!(index.len(), 0, "{name}");
+        assert!(
+            index.knn(&[1.0, 2.0], 5).is_empty(),
+            "{name}: empty index must return nothing"
+        );
+    }
 }
 
 #[test]
 fn k_larger_than_len_returns_all_in_distance_order() {
-    let vectors = vec![vec![3.0f32, 0.0], vec![1.0, 0.0], vec![2.0, 0.0]];
-    let brute = BruteForceIndex::from_vectors(vectors.clone());
-    let r = brute.knn(&[0.0, 0.0], 10);
-    assert_eq!(r.len(), 3);
-    let ids: Vec<usize> = r.iter().map(|&(id, _)| id).collect();
-    assert_eq!(ids, vec![1, 2, 0]);
-
-    let mut rng = det_rng(13);
-    let mut lsh = LshIndex::new(2, 4, 8, &mut rng);
-    for v in vectors {
-        lsh.add(v);
-    }
-    let r = lsh.knn(&[0.0, 0.0], 10);
-    assert_eq!(r.len(), 3, "k > len must return every stored vector");
-    for w in r.windows(2) {
-        assert!(w[0].1 <= w[1].1, "results must stay distance-sorted");
+    let vectors = [vec![3.0f32, 0.0], vec![1.0, 0.0], vec![2.0, 0.0]];
+    for (name, mut index) in every_index() {
+        for v in vectors.iter().cloned() {
+            index.add(v);
+        }
+        let r = index.knn(&[0.0, 0.0], 10);
+        assert_eq!(r.len(), 3, "{name}: k > len must return every vector");
+        let ids: Vec<usize> = r.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 2, 0], "{name}: distance order");
+        for w in r.windows(2) {
+            assert!(w[0].1 <= w[1].1, "{name}: results must stay sorted");
+        }
     }
 }
 
 #[test]
 fn k_zero_returns_nothing() {
-    let brute = BruteForceIndex::from_vectors(vec![vec![1.0f32]]);
-    assert!(brute.knn(&[0.0], 0).is_empty());
-
-    let mut rng = det_rng(14);
-    let mut lsh = LshIndex::new(1, 2, 2, &mut rng);
-    lsh.add(vec![1.0]);
-    assert!(lsh.knn(&[0.0], 0).is_empty());
-    assert!(!lsh.is_empty());
+    for (name, mut index) in every_index() {
+        index.add(vec![1.0, 0.0]);
+        assert!(index.knn(&[0.0, 0.0], 0).is_empty(), "{name}: k = 0");
+        assert!(!index.is_empty(), "{name}: the add must still count");
+        assert_eq!(index.len(), 1, "{name}");
+    }
 }

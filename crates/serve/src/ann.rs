@@ -1,0 +1,531 @@
+//! The serving-store ANN tier: IVF cells + optional i8 codes kept
+//! incrementally in sync with the [`crate::store::EmbeddingStore`].
+//!
+//! `core::ann::IvfIndex` owns its vectors and ids them by insertion
+//! order; the serving store instead has caller-assigned `u64` ids,
+//! upserts, and concurrent readers. This module adapts the same
+//! structure (coarse centroids from `core::kmeans`, per-cell posting
+//! lists, ADC over i8 codes through the backend-invariant SIMD kernel,
+//! exact f32 re-ranking against the store) to that shape:
+//!
+//! * cell membership is a pure function of the vector (nearest centroid
+//!   under the shared `total_cmp`-then-lowest-id order), so the
+//!   candidate set for a query never depends on shard count or insert
+//!   interleaving;
+//! * every scored candidate list is cut down with the same
+//!   `total_cmp`-then-ascending-id `select_top_k` the store's
+//!   brute-force scan uses, so identical candidate sets produce
+//!   identical result bytes;
+//! * at `nprobe = ∞` every stored id is a candidate and (with
+//!   `rerank = ∞`) every candidate is re-scored exactly from the
+//!   store's rows, making [`AnnTier::knn`] **byte-for-byte equal** to
+//!   [`crate::store::EmbeddingStore::knn`] — the `ann_determinism`
+//!   suite asserts this across shards, interleavings, and SIMD
+//!   backends.
+//!
+//! Persistence: the learned parts (centroids + quantizer ranges) plus
+//! the probe/re-rank budgets serialise as [`AnnState`] inside snapshot
+//! format v2. Posting lists and codes are *not* persisted — they are a
+//! deterministic function of (state, store contents) and are rebuilt on
+//! restore, so the journal format is unchanged and v1 snapshots still
+//! open (with no tier).
+
+use crate::store::{by_dist_then_id, select_top_k};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::RwLock;
+use t2vec_core::ann::{nearest_centroid, ScalarQuantizer};
+use t2vec_core::kmeans;
+use t2vec_obs as obs;
+use t2vec_tensor::rng::det_rng;
+use t2vec_tensor::simd;
+
+/// Construction parameters of an [`AnnTier`] (the serve-side analogue
+/// of `core::ann::IvfConfig`, plus a training seed and sample cap so
+/// building from live store contents is deterministic and bounded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnConfig {
+    /// Coarse cells; clamped to the training-sample size at build time.
+    pub nlist: usize,
+    /// Cells scanned per query; `>= nlist` scans everything.
+    pub nprobe: usize,
+    /// Candidates re-scored exactly after the ADC pass (quantized tier
+    /// only); always at least `k` at query time, `usize::MAX` re-ranks
+    /// every candidate.
+    pub rerank: usize,
+    /// Keep i8 codes and scan with ADC; otherwise cells hold f32 rows.
+    pub quantize: bool,
+    /// Lloyd iteration budget for the coarse k-means.
+    pub kmeans_iters: usize,
+    /// Seed of the k-means++ initialisation (training is a pure
+    /// function of the sample and this seed).
+    pub train_seed: u64,
+    /// At most this many vectors feed k-means/quantizer training
+    /// (evenly strided over the ascending-id dump); 0 = no cap.
+    pub train_sample: usize,
+}
+
+impl AnnConfig {
+    /// A sensible starting point: an eighth of the cells probed,
+    /// 128-deep exact re-rank, quantization on.
+    pub fn new(nlist: usize) -> Self {
+        Self {
+            nlist,
+            nprobe: (nlist / 8).max(1),
+            rerank: 128,
+            quantize: true,
+            kmeans_iters: 25,
+            train_seed: 42,
+            train_sample: 20_000,
+        }
+    }
+
+    /// Exact mode: probe every cell, re-rank every candidate — the
+    /// configuration under which ANN answers are byte-for-byte the
+    /// brute-force scan's.
+    pub fn exact(nlist: usize) -> Self {
+        Self {
+            nprobe: usize::MAX,
+            rerank: usize::MAX,
+            ..Self::new(nlist)
+        }
+    }
+}
+
+/// The persisted quantizer ranges (see
+/// [`t2vec_core::ann::ScalarQuantizer::parts`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizerState {
+    /// Training-range minimum per dimension.
+    pub lo: Vec<f32>,
+    /// Step size per dimension.
+    pub scale: Vec<f32>,
+    /// Decode intercept per dimension.
+    pub bias: Vec<f32>,
+}
+
+/// The learned, persisted part of an ANN tier: everything needed to
+/// rebuild posting lists and codes deterministically from store
+/// contents. Serialised inside snapshot format v2 (floats round-trip
+/// bit-for-bit through the JSON layer, so restored centroids rank
+/// identically).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnState {
+    /// Cells scanned per query.
+    pub nprobe: usize,
+    /// Exact re-rank budget.
+    pub rerank: usize,
+    /// Coarse centroids.
+    pub centroids: Vec<Vec<f32>>,
+    /// Quantizer ranges when the compressed tier is enabled.
+    pub quantizer: Option<QuantizerState>,
+}
+
+/// One IVF cell: ids plus, flat and row-major, either i8 codes
+/// (quantized tier) or f32 rows (exact tier) for cache-friendly scans.
+#[derive(Debug, Default)]
+struct Cell {
+    ids: Vec<u64>,
+    codes: Vec<i8>,
+    rows: Vec<f32>,
+}
+
+/// The mutable posting-list state, behind one `RwLock` (queries scan
+/// under the read lock; upserts are short writes).
+#[derive(Debug, Default)]
+struct Cells {
+    lists: Vec<Cell>,
+    /// id → (cell, slot) for O(1) upsert maintenance.
+    locate: HashMap<u64, (usize, usize)>,
+}
+
+/// An incrementally maintained IVF(+i8) tier over the serving store
+/// (see module docs).
+#[derive(Debug)]
+pub struct AnnTier {
+    dim: usize,
+    nprobe: usize,
+    rerank: usize,
+    centroids: Vec<Vec<f32>>,
+    quantizer: Option<ScalarQuantizer>,
+    cells: RwLock<Cells>,
+}
+
+impl AnnTier {
+    /// Trains a tier (coarse k-means + quantizer ranges) on `training`.
+    /// The result holds empty cells — entries arrive via
+    /// [`AnnTier::upsert`].
+    ///
+    /// # Panics
+    /// Panics if `training` is empty or disagrees with `dim`, or if
+    /// `config.nlist` is zero.
+    pub fn fit(training: &[Vec<f32>], config: AnnConfig, dim: usize) -> Self {
+        assert!(config.nlist > 0, "need at least one ANN cell");
+        assert!(!training.is_empty(), "cannot train an ANN tier on nothing");
+        assert_eq!(training[0].len(), dim, "training dimension mismatch");
+        let nlist = config.nlist.min(training.len());
+        let mut rng = det_rng(config.train_seed);
+        let km = kmeans::kmeans(training, nlist, config.kmeans_iters.max(1), &mut rng);
+        let quantizer = config.quantize.then(|| ScalarQuantizer::train(training));
+        Self {
+            dim,
+            nprobe: config.nprobe.max(1),
+            rerank: config.rerank,
+            centroids: km.centroids,
+            quantizer,
+            cells: RwLock::new(Cells {
+                lists: (0..nlist).map(|_| Cell::default()).collect(),
+                locate: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Rebuilds a tier from its persisted state (empty cells — the
+    /// caller re-indexes store contents, which is deterministic because
+    /// cell membership and codes are pure functions of the vector).
+    ///
+    /// # Panics
+    /// Panics if the state holds no centroids or their dimension
+    /// disagrees with `dim`.
+    pub fn from_state(state: &AnnState, dim: usize) -> Self {
+        assert!(!state.centroids.is_empty(), "ANN state holds no centroids");
+        assert_eq!(
+            state.centroids[0].len(),
+            dim,
+            "ANN state dimension mismatch"
+        );
+        let quantizer = state
+            .quantizer
+            .as_ref()
+            .map(|q| ScalarQuantizer::from_parts(q.lo.clone(), q.scale.clone(), q.bias.clone()));
+        Self {
+            dim,
+            nprobe: state.nprobe.max(1),
+            rerank: state.rerank,
+            centroids: state.centroids.clone(),
+            quantizer,
+            cells: RwLock::new(Cells {
+                lists: (0..state.centroids.len())
+                    .map(|_| Cell::default())
+                    .collect(),
+                locate: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The persisted form of this tier.
+    pub fn state(&self) -> AnnState {
+        AnnState {
+            nprobe: self.nprobe,
+            rerank: self.rerank,
+            centroids: self.centroids.clone(),
+            quantizer: self.quantizer.as_ref().map(|q| {
+                let (lo, scale, bias) = q.parts();
+                QuantizerState {
+                    lo: lo.to_vec(),
+                    scale: scale.to_vec(),
+                    bias: bias.to_vec(),
+                }
+            }),
+        }
+    }
+
+    /// Number of coarse cells.
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Cells scanned per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// Whether the compressed (i8 + ADC) tier is active.
+    pub fn quantized(&self) -> bool {
+        self.quantizer.is_some()
+    }
+
+    /// Entries currently indexed (diagnostic; equals the store's `len`
+    /// once every insert has passed through the tier).
+    pub fn len(&self) -> usize {
+        self.read().locate.len()
+    }
+
+    /// `true` when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes scanned per candidate during the first pass.
+    pub fn scan_bytes_per_vector(&self) -> usize {
+        if self.quantized() {
+            self.dim
+        } else {
+            self.dim * 4
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Cells> {
+        self.cells.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Inserts or moves `id` to the cell its vector belongs to,
+    /// replacing codes/rows in place when the cell is unchanged.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn upsert(&self, id: u64, vec: &[f32]) {
+        assert_eq!(vec.len(), self.dim, "vector dimension mismatch");
+        let target = nearest_centroid(&self.centroids, vec);
+        let mut cells = self.cells.write().unwrap_or_else(|e| e.into_inner());
+        if let Some(&(cell, slot)) = cells.locate.get(&id) {
+            if cell == target {
+                self.write_payload(&mut cells.lists[cell], slot, vec);
+                return;
+            }
+            self.remove_slot(&mut cells, cell, slot);
+        }
+        let slot = cells.lists[target].ids.len();
+        cells.lists[target].ids.push(id);
+        self.append_payload(&mut cells.lists[target], vec);
+        cells.locate.insert(id, (target, slot));
+    }
+
+    fn append_payload(&self, cell: &mut Cell, vec: &[f32]) {
+        match &self.quantizer {
+            Some(q) => q.encode_into(vec, &mut cell.codes),
+            None => cell.rows.extend_from_slice(vec),
+        }
+    }
+
+    fn write_payload(&self, cell: &mut Cell, slot: usize, vec: &[f32]) {
+        let at = slot * self.dim;
+        match &self.quantizer {
+            Some(q) => {
+                let mut codes = Vec::with_capacity(self.dim);
+                q.encode_into(vec, &mut codes);
+                cell.codes[at..at + self.dim].copy_from_slice(&codes);
+            }
+            None => cell.rows[at..at + self.dim].copy_from_slice(vec),
+        }
+    }
+
+    /// Swap-removes `slot` from `cell`, keeping the flat payload arrays
+    /// and the locate map consistent (the id that moved into the slot
+    /// is re-pointed).
+    fn remove_slot(&self, cells: &mut Cells, cell: usize, slot: usize) {
+        let d = self.dim;
+        let list = &mut cells.lists[cell];
+        let last = list.ids.len() - 1;
+        list.ids.swap_remove(slot);
+        if self.quantizer.is_some() {
+            let (head, tail) = list.codes.split_at_mut(last * d);
+            if slot < last {
+                head[slot * d..(slot + 1) * d].copy_from_slice(tail);
+            }
+            list.codes.truncate(last * d);
+        } else {
+            let (head, tail) = list.rows.split_at_mut(last * d);
+            if slot < last {
+                head[slot * d..(slot + 1) * d].copy_from_slice(tail);
+            }
+            list.rows.truncate(last * d);
+        }
+        if slot < last {
+            let moved = list.ids[slot];
+            cells.locate.insert(moved, (cell, slot));
+        }
+    }
+
+    /// The `nprobe` nearest cells to `query` under the shared total
+    /// order (cell index stands in for the id tie-break).
+    fn probed_cells(&self, query: &[f32]) -> Vec<usize> {
+        let mut scored: Vec<(u64, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(c, row)| (c as u64, simd::sq_dist_f32(row, query)))
+            .collect();
+        select_top_k(&mut scored, self.nprobe.min(self.centroids.len()));
+        scored.into_iter().map(|(c, _)| c as usize).collect()
+    }
+
+    /// Number of candidates the probe phase would score for `query`
+    /// (diagnostic).
+    pub fn candidate_count(&self, query: &[f32]) -> usize {
+        let probed = self.probed_cells(query);
+        let cells = self.read();
+        probed.iter().map(|&c| cells.lists[c].ids.len()).sum()
+    }
+
+    /// The `k` nearest indexed ids to `query`, closest first as
+    /// `(id, distance)`. `fetch` resolves an id to its exact f32 row
+    /// (the store's `get`) for the re-rank pass; an id `fetch` cannot
+    /// resolve is skipped (cannot happen under the store-first insert
+    /// ordering).
+    ///
+    /// # Panics
+    /// Panics on a query dimension mismatch.
+    pub fn knn(
+        &self,
+        fetch: impl Fn(u64) -> Option<Vec<f32>>,
+        query: &[f32],
+        k: usize,
+    ) -> Vec<(u64, f32)> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let t0 = std::time::Instant::now();
+        if k == 0 {
+            return Vec::new();
+        }
+        let probed = self.probed_cells(query);
+        obs::counter!("serve.ann.probes").add(probed.len() as u64);
+        simd::record_dispatch();
+        let cells = self.read();
+        let mut scored: Vec<(u64, f32)> = Vec::new();
+        for &c in &probed {
+            let cell = &cells.lists[c];
+            match &self.quantizer {
+                Some(q) => {
+                    for (s, &id) in cell.ids.iter().enumerate() {
+                        let codes = &cell.codes[s * self.dim..(s + 1) * self.dim];
+                        scored.push((id, q.adc_sq_dist(query, codes)));
+                    }
+                }
+                None => {
+                    for (s, &id) in cell.ids.iter().enumerate() {
+                        let row = &cell.rows[s * self.dim..(s + 1) * self.dim];
+                        scored.push((id, simd::sq_dist_f32(row, query)));
+                    }
+                }
+            }
+        }
+        drop(cells);
+        obs::histogram!("serve.ann.candidates").record(scored.len() as u64);
+        obs::counter!("index.scan.vectors").add(scored.len() as u64);
+        let mut out = match &self.quantizer {
+            Some(_) => {
+                // ADC shortlist, then exact re-rank from the store's
+                // full-precision rows — same kernel and argument order
+                // as the brute-force scan, so at full probe/re-rank
+                // budgets the bytes match it exactly.
+                let shortlist = self.rerank.max(k).min(scored.len());
+                select_top_k(&mut scored, shortlist);
+                obs::histogram!("serve.ann.rerank_depth").record(scored.len() as u64);
+                let mut exact: Vec<(u64, f32)> = scored
+                    .into_iter()
+                    .filter_map(|(id, _)| fetch(id).map(|row| (id, simd::sq_dist_f32(&row, query))))
+                    .collect();
+                select_top_k(&mut exact, k);
+                exact
+            }
+            None => {
+                select_top_k(&mut scored, k);
+                scored
+            }
+        };
+        for e in &mut out {
+            e.1 = e.1.sqrt();
+        }
+        debug_assert!(out
+            .windows(2)
+            .all(|w| by_dist_then_id(&w[0], &w[1]).is_le()));
+        obs::histogram!("serve.ann.query_ns").record_duration(t0.elapsed());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use t2vec_tensor::rng::det_rng;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = det_rng(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    fn fetch_from(vectors: &[Vec<f32>]) -> impl Fn(u64) -> Option<Vec<f32>> + '_ {
+        move |id| vectors.get(id as usize).cloned()
+    }
+
+    #[test]
+    fn state_roundtrip_rebuilds_identical_tier() {
+        let vectors = random_vectors(120, 8, 60);
+        let tier = AnnTier::fit(&vectors, AnnConfig::exact(8), 8);
+        for (i, v) in vectors.iter().enumerate() {
+            tier.upsert(i as u64, v);
+        }
+        let state = tier.state();
+        let rebuilt = AnnTier::from_state(&state, 8);
+        for (i, v) in vectors.iter().enumerate() {
+            rebuilt.upsert(i as u64, v);
+        }
+        assert_eq!(rebuilt.state(), state);
+        let q = &random_vectors(1, 8, 61)[0];
+        let a = tier.knn(fetch_from(&vectors), q, 5);
+        let b = rebuilt.knn(fetch_from(&vectors), q, 5);
+        assert_eq!(
+            a.iter().map(|&(i, d)| (i, d.to_bits())).collect::<Vec<_>>(),
+            b.iter().map(|&(i, d)| (i, d.to_bits())).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn upsert_moves_ids_between_cells() {
+        // Two well-separated clusters: moving a vector across them must
+        // move its id to the other cell and keep the payloads aligned.
+        let mut training = Vec::new();
+        for i in 0..20 {
+            training.push(vec![10.0 + (i as f32) * 0.01, 0.0]);
+            training.push(vec![-10.0 - (i as f32) * 0.01, 0.0]);
+        }
+        let mut cfg = AnnConfig::new(2);
+        cfg.nprobe = 1;
+        let tier = AnnTier::fit(&training, cfg, 2);
+        for (i, v) in training.iter().enumerate() {
+            tier.upsert(i as u64, v);
+        }
+        assert_eq!(tier.len(), training.len());
+        // Flip id 0 to the far cluster.
+        tier.upsert(0, &[-10.5, 0.0]);
+        assert_eq!(tier.len(), training.len(), "upsert must not grow the tier");
+        let near = tier.knn(|_| Some(vec![-10.5, 0.0]), &[-10.5, 0.0], 1);
+        assert_eq!(near[0].0, 0, "moved id must be findable in its new cell");
+    }
+
+    #[test]
+    fn knn_results_are_insert_order_invariant() {
+        let vectors = random_vectors(200, 6, 62);
+        let cfg = AnnConfig::new(8);
+        let forward = AnnTier::fit(&vectors, cfg, 6);
+        let backward = AnnTier::fit(&vectors, cfg, 6);
+        for (i, v) in vectors.iter().enumerate() {
+            forward.upsert(i as u64, v);
+        }
+        for (i, v) in vectors.iter().enumerate().rev() {
+            backward.upsert(i as u64, v);
+        }
+        for q in random_vectors(10, 6, 63) {
+            let a = forward.knn(fetch_from(&vectors), &q, 7);
+            let b = backward.knn(fetch_from(&vectors), &q, 7);
+            assert_eq!(
+                a.iter().map(|&(i, d)| (i, d.to_bits())).collect::<Vec<_>>(),
+                b.iter().map(|&(i, d)| (i, d.to_bits())).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_tier() {
+        let vectors = random_vectors(10, 4, 64);
+        let tier = AnnTier::fit(&vectors, AnnConfig::new(2), 4);
+        assert!(tier.knn(fetch_from(&vectors), &[0.0; 4], 0).is_empty());
+        assert!(tier.knn(fetch_from(&vectors), &[0.0; 4], 3).is_empty());
+        assert!(tier.is_empty());
+        tier.upsert(0, &vectors[0]);
+        assert_eq!(tier.knn(fetch_from(&vectors), &[0.0; 4], 3).len(), 1);
+    }
+}

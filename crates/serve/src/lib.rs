@@ -23,12 +23,14 @@
 
 #![warn(missing_docs)]
 
+pub mod ann;
 pub mod batcher;
 pub mod loadgen;
 pub mod service;
 pub mod snapshot;
 pub mod store;
 
+pub use ann::{AnnConfig, AnnState, AnnTier};
 pub use batcher::{AdmissionBatcher, BatcherConfig};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use service::{recover_entries, ServeConfig, SimilarityService};

@@ -23,6 +23,7 @@
 //! dump — recovery (snapshot + journal replay, upserts idempotent)
 //! never loses an acknowledged insert, at worst it re-applies one.
 
+use crate::ann::AnnConfig;
 use crate::batcher::{AdmissionBatcher, BatcherConfig};
 use crate::snapshot::{Journal, SnapshotStore, StoreSnapshot, JOURNAL_FILE, SNAP_FORMAT_VERSION};
 use crate::store::{EmbeddingStore, Entry};
@@ -41,6 +42,10 @@ pub struct ServeConfig {
     pub batcher: BatcherConfig,
     /// Snapshots retained on disk (when persistence is enabled).
     pub snapshot_keep: usize,
+    /// ANN tier to build over the store (activated by
+    /// [`SimilarityService::build_ann`], or restored automatically from
+    /// a v2 snapshot); `None` serves every query by exact scan.
+    pub ann: Option<AnnConfig>,
 }
 
 impl Default for ServeConfig {
@@ -49,6 +54,7 @@ impl Default for ServeConfig {
             shards: 8,
             batcher: BatcherConfig::default(),
             snapshot_keep: 3,
+            ann: None,
         }
     }
 }
@@ -67,6 +73,7 @@ pub struct SimilarityService {
     store: EmbeddingStore,
     batcher: AdmissionBatcher,
     persist: Option<Mutex<Persist>>,
+    ann_config: Option<AnnConfig>,
 }
 
 impl SimilarityService {
@@ -80,6 +87,7 @@ impl SimilarityService {
             store,
             batcher,
             persist: None,
+            ann_config: config.ann,
         }
     }
 
@@ -103,6 +111,7 @@ impl SimilarityService {
         let mut warnings = outcome.warnings;
         let mut service = Self::new(model, config);
         let mut next_seq = 1;
+        let mut ann_state = None;
         if let Some((path, snap)) = outcome.snapshot {
             if snap.dim != service.store.dim() {
                 return Err(T2VecError::Checkpoint(format!(
@@ -113,6 +122,7 @@ impl SimilarityService {
                 )));
             }
             next_seq = snap.seq + 1;
+            ann_state = snap.ann;
             for e in snap.entries {
                 service.store.insert(e.id, &e.vec);
             }
@@ -128,6 +138,17 @@ impl SimilarityService {
                     "journal entry for id {} has {} dims (store is {}); dropped",
                     e.id,
                     e.vec.len(),
+                    service.store.dim()
+                ));
+            }
+        }
+        // The tier is restored after replay so posting lists and codes
+        // are derived from the final recovered contents; a v1 snapshot
+        // (no ann field) simply restores no tier.
+        if let Some(state) = &ann_state {
+            if !service.store.restore_ann(state) {
+                warnings.push(format!(
+                    "snapshot ANN state is incompatible with {}-dim store; tier not restored",
                     service.store.dim()
                 ));
             }
@@ -153,6 +174,22 @@ impl SimilarityService {
     /// The underlying sharded store (read access for tests/benches).
     pub fn store(&self) -> &EmbeddingStore {
         &self.store
+    }
+
+    /// Trains and activates the ANN tier from the current store
+    /// contents using the config's [`ServeConfig::ann`] block. Returns
+    /// `true` when a tier is active afterwards (newly built, or already
+    /// restored from a snapshot); `false` when the config has no ANN
+    /// block or the store is empty. Call after initial ingest, under
+    /// write quiescence.
+    pub fn build_ann(&self) -> bool {
+        if self.store.ann().is_some() {
+            return true;
+        }
+        match &self.ann_config {
+            Some(cfg) => self.store.build_ann(cfg),
+            None => false,
+        }
     }
 
     /// Entries currently stored.
@@ -208,20 +245,21 @@ impl SimilarityService {
     }
 
     /// The `k` nearest stored trajectories to `points`, closest first,
-    /// as `(id, distance)` — encode (batched) then sharded kNN.
+    /// as `(id, distance)` — encode (batched) then kNN through the ANN
+    /// tier when one is active, exact sharded scan otherwise.
     pub fn query(&self, points: &[Point], k: usize) -> Vec<(u64, f32)> {
         let t0 = std::time::Instant::now();
         let q = self.encode(points);
-        let out = self.store.knn(&q, k);
+        let out = self.store.knn_ann(&q, k);
         obs::counter!("serve.queries").incr();
         obs::histogram!("serve.query_ns").record_duration(t0.elapsed());
         out
     }
 
-    /// kNN for a pre-encoded query vector.
+    /// kNN for a pre-encoded query vector (ANN tier when active).
     pub fn query_vec(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
         let t0 = std::time::Instant::now();
-        let out = self.store.knn(query, k);
+        let out = self.store.knn_ann(query, k);
         obs::counter!("serve.queries").incr();
         obs::histogram!("serve.query_ns").record_duration(t0.elapsed());
         out
@@ -244,6 +282,7 @@ impl SimilarityService {
             seq: p.next_seq,
             dim: self.store.dim(),
             entries: self.store.dump_sorted(),
+            ann: self.store.ann_state(),
         };
         let path = p.snaps.save(&snap)?;
         p.journal.truncate()?;

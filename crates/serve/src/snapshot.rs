@@ -15,12 +15,20 @@
 //!
 //! ```text
 //! <one line of compact JSON — the serialised StoreSnapshot>
-//! t2vec-snap v1 crc32=xxxxxxxx len=NNN
+//! t2vec-snap v2 crc32=xxxxxxxx len=NNN
 //! ```
 //!
 //! Entries are sorted by ascending id (the store's canonical dump
 //! order), so a snapshot of given contents is byte-identical no matter
 //! the shard count or insert interleaving that produced them.
+//!
+//! **Format v2** adds an optional `ann` field carrying the ANN tier's
+//! learned state ([`crate::ann::AnnState`]: centroids + quantizer
+//! ranges + probe budgets). Posting lists and i8 codes are *not*
+//! persisted — they are a pure function of (state, entries) and are
+//! rebuilt on restore. v1 files (magic `t2vec-snap v1`, no `ann`
+//! field) still open and simply restore no tier; the journal format is
+//! unchanged across versions.
 //!
 //! ## Journal format
 //!
@@ -36,6 +44,7 @@
 //! untrusted — the conservative read of an append-only log), reporting
 //! what it dropped as warnings, never a panic.
 
+use crate::ann::AnnState;
 use crate::store::Entry;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -46,11 +55,17 @@ use t2vec_core::checkpoint::fault::{FaultPlan, FaultyWriter};
 use t2vec_core::T2VecError;
 use t2vec_obs as obs;
 
-/// Version tag of the on-disk snapshot format.
-pub const SNAP_FORMAT_VERSION: u32 = 1;
+/// Version tag of the on-disk snapshot format this build writes.
+pub const SNAP_FORMAT_VERSION: u32 = 2;
 
-/// Magic string opening every snapshot trailer line.
-const TRAILER_MAGIC: &str = "t2vec-snap v1";
+/// Oldest format version this build still reads (v1 = pre-ANN).
+pub const SNAP_MIN_VERSION: u32 = 1;
+
+/// Magic string opening every snapshot trailer line this build writes.
+const TRAILER_MAGIC: &str = "t2vec-snap v2";
+
+/// Trailer magic of format v1 files (still accepted on read).
+const TRAILER_MAGIC_V1: &str = "t2vec-snap v1";
 
 /// Name of the pointer file naming the most recent snapshot.
 pub const LATEST_FILE: &str = "LATEST";
@@ -69,6 +84,10 @@ pub struct StoreSnapshot {
     pub dim: usize,
     /// Entries sorted by ascending id.
     pub entries: Vec<Entry>,
+    /// Learned ANN-tier state (format v2; absent in v1 files, hence the
+    /// default — a v1 snapshot opens with no tier).
+    #[serde(default)]
+    pub ann: Option<AnnState>,
 }
 
 /// Serialises a snapshot to its framed byte form.
@@ -105,6 +124,7 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<StoreSnapshot, T2VecError> {
         .trim_end_matches('\n');
     let fields = trailer
         .strip_prefix(TRAILER_MAGIC)
+        .or_else(|| trailer.strip_prefix(TRAILER_MAGIC_V1))
         .ok_or_else(|| corrupt("missing or unrecognised trailer magic"))?;
     let mut stated_crc = None;
     let mut stated_len = None;
@@ -130,9 +150,10 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<StoreSnapshot, T2VecError> {
         )));
     }
     let snap: StoreSnapshot = serde_json::from_slice(payload)?;
-    if snap.version != SNAP_FORMAT_VERSION {
+    if !(SNAP_MIN_VERSION..=SNAP_FORMAT_VERSION).contains(&snap.version) {
         return Err(corrupt(&format!(
-            "unsupported format version {} (this build reads {SNAP_FORMAT_VERSION})",
+            "unsupported format version {} (this build reads \
+             {SNAP_MIN_VERSION}..={SNAP_FORMAT_VERSION})",
             snap.version
         )));
     }
@@ -511,6 +532,7 @@ mod tests {
             seq,
             dim: 3,
             entries: entries(n),
+            ann: None,
         }
     }
 
@@ -528,6 +550,25 @@ mod tests {
         let back = snapshot_from_bytes(&bytes).unwrap();
         assert_eq!(back, s);
         assert_eq!(snapshot_to_bytes(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn v1_snapshot_still_opens_with_no_ann_state() {
+        // A format-v1 file verbatim: v1 trailer magic, no `ann` field.
+        let payload = format!(
+            "{{\"version\":1,\"seq\":7,\"dim\":3,\"entries\":{}}}",
+            serde_json::to_string(&entries(2)).unwrap()
+        );
+        let trailer = format!(
+            "t2vec-snap v1 crc32={:08x} len={}",
+            crc32(payload.as_bytes()),
+            payload.len()
+        );
+        let snap = snapshot_from_bytes(format!("{payload}\n{trailer}\n").as_bytes())
+            .expect("v1 files must keep opening");
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.entries, entries(2));
+        assert!(snap.ann.is_none(), "v1 has no tier to restore");
     }
 
     #[test]

@@ -29,9 +29,10 @@
 //! serving store (Similari's sharded `TrackStore` makes the same
 //! trade).
 
+use crate::ann::{AnnConfig, AnnState, AnnTier};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::{OnceLock, RwLock};
 use t2vec_obs as obs;
 use t2vec_tensor::simd;
 
@@ -84,15 +85,17 @@ fn mix_id(id: u64) -> u64 {
 
 /// `total_cmp` then ascending id: the same total order
 /// `t2vec_core::index` ranks with, so merged shard results are
-/// deterministic (NaN distances sort last, ties break by id).
-fn by_dist_then_id(a: &(u64, f32), b: &(u64, f32)) -> std::cmp::Ordering {
+/// deterministic (NaN distances sort last, ties break by id). Shared
+/// with the ANN tier so every ranking path in this crate cuts lists
+/// identically.
+pub(crate) fn by_dist_then_id(a: &(u64, f32), b: &(u64, f32)) -> std::cmp::Ordering {
     a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0))
 }
 
 /// Keeps the `k` smallest pairs under [`by_dist_then_id`], sorted
 /// ascending — identical output to a full sort + truncate at
 /// `O(n + k log k)`.
-fn select_top_k(scored: &mut Vec<(u64, f32)>, k: usize) {
+pub(crate) fn select_top_k(scored: &mut Vec<(u64, f32)>, k: usize) {
     if scored.len() > k {
         if k > 0 {
             scored.select_nth_unstable_by(k - 1, by_dist_then_id);
@@ -123,11 +126,16 @@ const SHARD_GAUGES: [&str; 16] = [
     "serve.shard.15.len",
 ];
 
-/// A concurrent embedding store sharded by id hash.
+/// A concurrent embedding store sharded by id hash, with an optional
+/// ANN tier ([`crate::ann`]) kept in sync by every insert once built.
 #[derive(Debug)]
 pub struct EmbeddingStore {
     dim: usize,
     shards: Vec<RwLock<Shard>>,
+    /// Built at most once (via [`EmbeddingStore::build_ann`] or
+    /// [`EmbeddingStore::restore_ann`]); interior mutability inside the
+    /// tier keeps `insert` at `&self`.
+    ann: OnceLock<AnnTier>,
 }
 
 impl EmbeddingStore {
@@ -142,6 +150,7 @@ impl EmbeddingStore {
         Self {
             dim,
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            ann: OnceLock::new(),
         }
     }
 
@@ -179,7 +188,15 @@ impl EmbeddingStore {
 
     /// Inserts or replaces `id`'s vector. Returns `true` when the id is
     /// new. Once this returns, the entry is visible to every subsequent
-    /// [`EmbeddingStore::knn`]/[`EmbeddingStore::get`].
+    /// [`EmbeddingStore::knn`]/[`EmbeddingStore::get`], and indexed by
+    /// the ANN tier when one is built.
+    ///
+    /// The store upsert happens strictly before the tier upsert, so
+    /// every id the tier can surface as a candidate is resolvable
+    /// through [`EmbeddingStore::get`] for exact re-ranking (tier
+    /// membership ⊆ store membership). Concurrent upserts of the *same*
+    /// id have no defined winner — that is already the store-only
+    /// contract; determinism suites quiesce writers first.
     ///
     /// # Panics
     /// Panics on a dimension mismatch.
@@ -194,6 +211,9 @@ impl EmbeddingStore {
             }
             fresh
         };
+        if let Some(tier) = self.ann.get() {
+            tier.upsert(id, vec);
+        }
         obs::counter!("serve.store.inserts").incr();
         fresh
     }
@@ -265,6 +285,82 @@ impl EmbeddingStore {
         }
         obs::histogram!("serve.store.query_ns").record_duration(t0.elapsed());
         merged
+    }
+
+    /// Trains and activates the ANN tier from the current contents
+    /// (training sample strided evenly over the ascending-id dump, so
+    /// the tier is a pure function of contents + config). Returns
+    /// `false` — leaving the store unchanged — when the store is empty
+    /// (nothing to train on) or a tier is already active.
+    ///
+    /// Call under write quiescence (like a snapshot dump): an insert
+    /// racing the build may miss the tier and only re-appear in it on
+    /// its next upsert.
+    pub fn build_ann(&self, config: &AnnConfig) -> bool {
+        if self.ann.get().is_some() {
+            return false;
+        }
+        let entries = self.dump_sorted();
+        if entries.is_empty() {
+            return false;
+        }
+        let stride = if config.train_sample == 0 {
+            1
+        } else {
+            entries.len().div_ceil(config.train_sample).max(1)
+        };
+        let training: Vec<Vec<f32>> = entries
+            .iter()
+            .step_by(stride)
+            .map(|e| e.vec.clone())
+            .collect();
+        let tier = AnnTier::fit(&training, *config, self.dim);
+        for e in &entries {
+            tier.upsert(e.id, &e.vec);
+        }
+        self.ann.set(tier).is_ok()
+    }
+
+    /// Rebuilds the ANN tier from persisted state (snapshot restore):
+    /// the learned parts come from `state`, posting lists and codes are
+    /// re-derived from the current contents. Returns `false` when a
+    /// tier is already active or the state's dimension disagrees.
+    pub fn restore_ann(&self, state: &AnnState) -> bool {
+        if self.ann.get().is_some() {
+            return false;
+        }
+        if state.centroids.first().map(Vec::len) != Some(self.dim) {
+            return false;
+        }
+        let tier = AnnTier::from_state(state, self.dim);
+        for e in self.dump_sorted() {
+            tier.upsert(e.id, &e.vec);
+        }
+        self.ann.set(tier).is_ok()
+    }
+
+    /// The active ANN tier, if one was built or restored.
+    pub fn ann(&self) -> Option<&AnnTier> {
+        self.ann.get()
+    }
+
+    /// The persistable state of the active ANN tier.
+    pub fn ann_state(&self) -> Option<AnnState> {
+        self.ann.get().map(AnnTier::state)
+    }
+
+    /// kNN through the ANN tier when one is active, falling back to the
+    /// exact sharded scan ([`EmbeddingStore::knn`]) otherwise. With the
+    /// tier at `nprobe = ∞` and `rerank = ∞` the two paths return the
+    /// same bytes (see [`crate::ann`] module docs).
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn knn_ann(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        match self.ann.get() {
+            Some(tier) => tier.knn(|id| self.get(id), query, k),
+            None => self.knn(query, k),
+        }
     }
 
     /// All entries sorted by ascending id — the canonical dump used for

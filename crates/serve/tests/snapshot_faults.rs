@@ -23,6 +23,7 @@ fn snap(seq: u64, ids: std::ops::Range<u64>) -> StoreSnapshot {
         seq,
         dim: 3,
         entries: ids.map(entry).collect(),
+        ann: None,
     }
 }
 

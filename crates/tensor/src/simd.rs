@@ -294,6 +294,55 @@ pub fn sq_dist_f32_on(be: Backend, a: &[f32], b: &[f32]) -> f32 {
     }
 }
 
+/// Asymmetric i8 distance: squared Euclidean distance between an f32
+/// query and a scalar-quantised i8 vector, decoding on the fly as
+/// `decode_j(c) = bias[j] + scale[j]·c`. The reduction uses the same
+/// fixed 32-accumulator tree as [`sq_dist_f32`]; per lane the operation
+/// order is `convert → mul → add → sub → mul → accumulate` on every
+/// backend (the i8→f32 conversion is exact, no FMA anywhere), so the
+/// result is bitwise-identical across backends.
+///
+/// This is the ADC ("asymmetric distance computation") inner loop of
+/// the IVF+i8 index tier: the query stays full precision, only the
+/// stored vector is compressed.
+///
+/// # Panics
+/// Debug-asserts equal lengths; in release the shortest slice governs.
+#[inline]
+pub fn sq_dist_q8_f32(q: &[f32], codes: &[i8], scale: &[f32], bias: &[f32]) -> f32 {
+    sq_dist_q8_f32_on(backend(), q, codes, scale, bias)
+}
+
+/// [`sq_dist_q8_f32`] on an explicit backend.
+///
+/// # Panics
+/// Panics if `be` is not supported on this CPU.
+pub fn sq_dist_q8_f32_on(be: Backend, q: &[f32], codes: &[i8], scale: &[f32], bias: &[f32]) -> f32 {
+    debug_assert_eq!(q.len(), codes.len(), "sq_dist_q8 length mismatch");
+    debug_assert_eq!(q.len(), scale.len(), "sq_dist_q8 scale length mismatch");
+    debug_assert_eq!(q.len(), bias.len(), "sq_dist_q8 bias length mismatch");
+    let n = q.len().min(codes.len()).min(scale.len()).min(bias.len());
+    let (q, codes, scale, bias) = (&q[..n], &codes[..n], &scale[..n], &bias[..n]);
+    match check(be) {
+        Backend::Scalar => scalar::sq_dist_q8(q, codes, scale, bias),
+        #[cfg(target_arch = "x86_64")]
+        Backend::Sse2 => unsafe { x86::sq_dist_q8_sse2(q, codes, scale, bias) },
+        // Every AVX-512 F+DQ part also implements AVX2, and the AVX2
+        // kernel already realises the canonical 32-lane reduction; a
+        // dedicated 512-bit widening kernel would change packing only,
+        // not values, so the AVX-512 tier shares the AVX2 body.
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 => unsafe { x86::sq_dist_q8_avx2(q, codes, scale, bias) },
+        // No NEON widening kernel yet: the scalar reference *is* the
+        // canonical semantics, so falling back keeps aarch64 results
+        // bitwise-identical to every other backend.
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => scalar::sq_dist_q8(q, codes, scale, bias),
+        #[allow(unreachable_patterns)]
+        _ => scalar::sq_dist_q8(q, codes, scale, bias),
+    }
+}
+
 /// `out[j] += a · b[j]` — element-wise, bitwise-identical across
 /// backends.
 ///
@@ -741,6 +790,28 @@ mod scalar {
         s
     }
 
+    pub(super) fn sq_dist_q8(q: &[f32], codes: &[i8], scale: &[f32], bias: &[f32]) -> f32 {
+        let n = q.len();
+        let chunks = n / LANES;
+        let mut acc = [0.0f32; LANES];
+        for c in 0..chunks {
+            let base = c * LANES;
+            for (l, a) in acc.iter_mut().enumerate() {
+                let j = base + l;
+                let v = bias[j] + scale[j] * f32::from(codes[j]);
+                let d = q[j] - v;
+                *a += d * d;
+            }
+        }
+        let mut s = combine(&acc);
+        for j in chunks * LANES..n {
+            let v = bias[j] + scale[j] * f32::from(codes[j]);
+            let d = q[j] - v;
+            s += d * d;
+        }
+        s
+    }
+
     pub(super) fn axpy(out: &mut [f32], a: f32, b: &[f32]) {
         for (o, &bv) in out.iter_mut().zip(b.iter()) {
             *o += a * bv;
@@ -990,6 +1061,115 @@ mod x86 {
             total += d * d;
         }
         total
+    }
+
+    // ---- i8 asymmetric distance (ADC) ----
+
+    /// Scalar tail shared by the q8 kernels: continues accumulating on
+    /// the combined tree total, term by term in ascending index order —
+    /// the exact FP sequence of the scalar reference's tail loop.
+    #[inline]
+    fn q8_tail(
+        total: f32,
+        q: &[f32],
+        codes: &[i8],
+        scale: &[f32],
+        bias: &[f32],
+        from: usize,
+    ) -> f32 {
+        let mut s = total;
+        for j in from..q.len() {
+            let v = bias[j] + scale[j] * f32::from(codes[j]);
+            let d = q[j] - v;
+            s += d * d;
+        }
+        s
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sq_dist_q8_sse2(
+        q: &[f32],
+        codes: &[i8],
+        scale: &[f32],
+        bias: &[f32],
+    ) -> f32 {
+        let n = q.len();
+        let chunks = n / 32;
+        let (pq, ps, pb) = (q.as_ptr(), scale.as_ptr(), bias.as_ptr());
+        let pc = codes.as_ptr();
+        let zero = _mm_setzero_si128();
+        let mut s = [_mm_setzero_ps(); 8];
+        for c in 0..chunks {
+            let base = c * 32;
+            // Two 16-code loads per chunk, sign-extended i8→i16→i32 via
+            // the SSE2 unpack-with-sign idiom, then converted exactly to
+            // f32 — `_mm_cvtepi32_ps` on an exact integer matches the
+            // scalar `f32::from(i8)` bit for bit.
+            for half in 0..2 {
+                let raw = _mm_loadu_si128(pc.add(base + 16 * half).cast());
+                let sign8 = _mm_cmpgt_epi8(zero, raw);
+                let lo16 = _mm_unpacklo_epi8(raw, sign8);
+                let hi16 = _mm_unpackhi_epi8(raw, sign8);
+                let sl = _mm_cmpgt_epi16(zero, lo16);
+                let sh = _mm_cmpgt_epi16(zero, hi16);
+                let quads = [
+                    _mm_unpacklo_epi16(lo16, sl),
+                    _mm_unpackhi_epi16(lo16, sl),
+                    _mm_unpacklo_epi16(hi16, sh),
+                    _mm_unpackhi_epi16(hi16, sh),
+                ];
+                for (g, &ints) in quads.iter().enumerate() {
+                    let r = 4 * half + g;
+                    let j = base + 4 * r;
+                    let f = _mm_cvtepi32_ps(ints);
+                    let v = _mm_add_ps(
+                        _mm_loadu_ps(pb.add(j)),
+                        _mm_mul_ps(_mm_loadu_ps(ps.add(j)), f),
+                    );
+                    let d = _mm_sub_ps(_mm_loadu_ps(pq.add(j)), v);
+                    s[r] = _mm_add_ps(s[r], _mm_mul_ps(d, d));
+                }
+            }
+        }
+        q8_tail(combine_v4(tree_sse2(s)), q, codes, scale, bias, chunks * 32)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sq_dist_q8_avx2(
+        q: &[f32],
+        codes: &[i8],
+        scale: &[f32],
+        bias: &[f32],
+    ) -> f32 {
+        let n = q.len();
+        let chunks = n / 32;
+        let (pq, ps, pb) = (q.as_ptr(), scale.as_ptr(), bias.as_ptr());
+        let pc = codes.as_ptr();
+        let mut acc = [_mm256_setzero_ps(); 4];
+        for c in 0..chunks {
+            let base = c * 32;
+            for (r, a) in acc.iter_mut().enumerate() {
+                let j = base + 8 * r;
+                // 8 codes, sign-extended in one instruction, converted
+                // exactly to f32.
+                let ints = _mm256_cvtepi8_epi32(_mm_loadl_epi64(pc.add(j).cast()));
+                let f = _mm256_cvtepi32_ps(ints);
+                let v = _mm256_add_ps(
+                    _mm256_loadu_ps(pb.add(j)),
+                    _mm256_mul_ps(_mm256_loadu_ps(ps.add(j)), f),
+                );
+                let d = _mm256_sub_ps(_mm256_loadu_ps(pq.add(j)), v);
+                *a = _mm256_add_ps(*a, _mm256_mul_ps(d, d));
+            }
+        }
+        q8_tail(
+            combine_v4(tree_avx2(acc)),
+            q,
+            codes,
+            scale,
+            bias,
+            chunks * 32,
+        )
     }
 
     // ---- f32 element-wise ----

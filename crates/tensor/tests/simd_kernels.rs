@@ -45,6 +45,14 @@ fn f64_data(seed: u64, n: usize) -> Vec<f64> {
     (0..n).map(|_| rng.random_range(-1e3f64..1e3)).collect()
 }
 
+fn i8_data(seed: u64, n: usize) -> Vec<i8> {
+    use rand::RngExt;
+    let mut rng = det_rng(seed);
+    (0..n)
+        .map(|_| rng.random_range(-128i32..128) as i8)
+        .collect()
+}
+
 /// Asserts every backend reproduces the scalar reference bitwise for one
 /// `(length, offset)` input shape. `off > 0` exercises unaligned slices.
 fn check_shape(seed: u64, n: usize, off: usize) {
@@ -105,6 +113,16 @@ fn check_shape(seed: u64, n: usize, off: usize) {
     simd::add_scalar_f64_on(Backend::Scalar, da, 3.5, &mut adds_ref);
     let mut match_ref = vec![0u8; n];
     simd::matches_row_f64_on(Backend::Scalar, px, py, eps, dx, dy, &mut match_ref);
+    // ADC kernel inputs: full-precision query vs i8 codes with a
+    // per-dimension affine decode (scale strictly positive, bias mixed).
+    let codes_buf = i8_data(seed ^ 5, n + off);
+    let codes = &codes_buf[off..];
+    let q8_scale: Vec<f32> = f32_data(seed ^ 6, n)
+        .into_iter()
+        .map(|x| x.abs() / 127.0 + 1e-4)
+        .collect();
+    let q8_bias = f32_data(seed ^ 7, n);
+    let q8_ref = simd::sq_dist_q8_f32_on(Backend::Scalar, a, codes, &q8_scale, &q8_bias);
 
     for be in backends() {
         let ctx = format!("backend={} n={n} off={off} seed={seed}", be.name());
@@ -152,6 +170,11 @@ fn check_shape(seed: u64, n: usize, off: usize) {
         let mut mrow = vec![7u8; n];
         simd::matches_row_f64_on(be, px, py, eps, dx, dy, &mut mrow);
         assert_eq!(mrow, match_ref, "matches_row {ctx}");
+        assert_eq!(
+            simd::sq_dist_q8_f32_on(be, a, codes, &q8_scale, &q8_bias).to_bits(),
+            q8_ref.to_bits(),
+            "sq_dist_q8 {ctx}"
+        );
     }
 }
 

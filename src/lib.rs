@@ -52,6 +52,7 @@ pub use t2vec_trajgen as trajgen;
 /// train, encode, search.
 pub mod prelude {
     pub use t2vec_core::{
+        ann::{IvfConfig, IvfIndex, ScalarQuantizer},
         index::{BruteForceIndex, LshIndex, VectorIndex},
         kmeans::{kmeans, KMeansResult},
         Checkpoint, CheckpointStore, T2Vec, T2VecConfig, TrainReport, Trainer,
@@ -61,7 +62,7 @@ pub mod prelude {
         TrajDistance,
     };
     pub use t2vec_eval::metrics::{mean_rank, precision_at_k};
-    pub use t2vec_serve::{EmbeddingStore, ServeConfig, SimilarityService};
+    pub use t2vec_serve::{AnnConfig, EmbeddingStore, ServeConfig, SimilarityService};
     pub use t2vec_spatial::{
         grid::Grid,
         point::{BBox, Point},
