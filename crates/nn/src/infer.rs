@@ -217,6 +217,37 @@ impl<'m> EncodeEngine<'m> {
     /// into [`MAX_BUCKET_ROWS`]-row groups, and returns representations
     /// in the *input* order. Empty sequences encode to zero vectors.
     pub fn encode_batch(&mut self, seqs: &[&[Token]]) -> Vec<Vec<f32>> {
+        self.encode_batch_traced(seqs, &[])
+    }
+
+    /// [`EncodeEngine::encode_batch`] wrapped in an engine-side trace
+    /// span. `member_traces` are the trace ids of the requests sharing
+    /// this batch (the admission batcher passes one per pending
+    /// request, 0 = untraced); they are joined into the span's
+    /// `members` field so a trace analyzer can link the engine pass —
+    /// which runs on the worker thread as its own root span — back to
+    /// every request trace it served. Bitwise identical output to
+    /// [`EncodeEngine::encode_batch`]: the ids flow only into the event
+    /// stream.
+    pub fn encode_batch_traced(
+        &mut self,
+        seqs: &[&[Token]],
+        member_traces: &[u64],
+    ) -> Vec<Vec<f32>> {
+        let _span = if obs::enabled("nn.engine", obs::Level::Debug) {
+            let members = member_traces
+                .iter()
+                .filter(|&&t| t != 0)
+                .map(|t| t.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            obs::span_root!(target: "nn.engine", "encode_batch";
+                rows = seqs.len(),
+                members = members,
+            )
+        } else {
+            obs::span_root!(target: "nn.engine", "encode_batch")
+        };
         let mut order: Vec<usize> = (0..seqs.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(seqs[i].len()));
         let mut out = vec![Vec::new(); seqs.len()];

@@ -1,0 +1,210 @@
+//! Request-scoped trace context: plain-u64 trace and span identifiers
+//! with an explicit cross-thread handoff protocol.
+//!
+//! A [`SpanContext`] names one span inside one trace. Identifiers are
+//! process-local `u64`s allocated from relaxed atomic counters; `0`
+//! means "none" in both positions, so the ids thread through channel
+//! payloads and flight-recorder slots without `Option` wrappers.
+//!
+//! Each thread holds a *current* context in a thread-local cell. Spans
+//! set it on enter and restore the previous value on drop; plain events
+//! stamp whatever is current so they attach to their enclosing span.
+//! Causality crosses a thread boundary only when the sending side
+//! captures [`current`] into a message and the receiving side wraps its
+//! work in [`attach`]:
+//!
+//! ```
+//! let ctx = t2vec_obs::context::current(); // producer thread
+//! // ... send `ctx` across the channel with the request ...
+//! let _g = t2vec_obs::context::attach(ctx); // consumer thread
+//! // spans opened here parent under the producer's span
+//! ```
+//!
+//! [`detach`] clears the current context for work that must *not*
+//! inherit the ambient span (a batch worker's own bookkeeping between
+//! per-request sections). Both guards restore the previous context on
+//! drop and are `!Send`, so a context can never leak past the scope
+//! that installed it.
+//!
+//! Identifier allocation order depends on thread scheduling, so ids are
+//! observability data only: they flow into the event stream and never
+//! into computation (crate-level determinism invariant).
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one span within one trace. `trace_id == 0` means "no
+/// context"; a live context always has both ids nonzero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// Shared by every span belonging to one logical request.
+    pub trace_id: u64,
+    /// Unique per span within the process.
+    pub span_id: u64,
+}
+
+impl SpanContext {
+    /// The empty context (no trace, no span).
+    pub const NONE: SpanContext = SpanContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Whether this names a real span.
+    pub fn is_some(self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+// Ids start at 1 so 0 stays reserved for "none".
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh trace id (nonzero, process-unique).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Allocate a fresh span id (nonzero, process-unique).
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT: Cell<SpanContext> = const { Cell::new(SpanContext::NONE) };
+}
+
+/// The current thread's active span context ([`SpanContext::NONE`] when
+/// no span is open and nothing was attached).
+pub fn current() -> SpanContext {
+    CURRENT.with(|c| c.get())
+}
+
+pub(crate) fn set_current(ctx: SpanContext) {
+    CURRENT.with(|c| c.set(ctx));
+}
+
+/// Restore `prev` only if the current context is still `own` — the
+/// defensive rule that makes out-of-LIFO guard drops (a batch worker
+/// dropping its member spans after the engine ran) leave a context
+/// installed by someone else untouched.
+pub(crate) fn restore_current(own: SpanContext, prev: SpanContext) {
+    CURRENT.with(|c| {
+        if c.get() == own {
+            c.set(prev);
+        }
+    });
+}
+
+/// RAII guard from [`attach`]/[`detach`]: restores the previous context
+/// on drop. `!Send` — contexts are installed and removed on one thread.
+pub struct ContextGuard {
+    prev: SpanContext,
+    own: SpanContext,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        restore_current(self.own, self.prev);
+    }
+}
+
+/// Install `ctx` as the current context until the guard drops. Used on
+/// the receiving side of a thread hop: spans opened while the guard is
+/// live parent under the captured remote span.
+pub fn attach(ctx: SpanContext) -> ContextGuard {
+    let prev = current();
+    set_current(ctx);
+    ContextGuard {
+        prev,
+        own: ctx,
+        _not_send: PhantomData,
+    }
+}
+
+/// Clear the current context until the guard drops, so spans opened in
+/// between become roots instead of parenting under the ambient span.
+pub fn detach() -> ContextGuard {
+    attach(SpanContext::NONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_nonzero_and_unique() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert!(a != 0 && b != 0 && a != b);
+        let s1 = next_span_id();
+        let s2 = next_span_id();
+        assert!(s1 != 0 && s2 != 0 && s1 != s2);
+    }
+
+    #[test]
+    fn attach_restores_previous_on_drop() {
+        let outer = SpanContext {
+            trace_id: next_trace_id(),
+            span_id: next_span_id(),
+        };
+        let inner = SpanContext {
+            trace_id: next_trace_id(),
+            span_id: next_span_id(),
+        };
+        let _o = attach(outer);
+        assert_eq!(current(), outer);
+        {
+            let _i = attach(inner);
+            assert_eq!(current(), inner);
+        }
+        assert_eq!(current(), outer);
+        {
+            let _d = detach();
+            assert_eq!(current(), SpanContext::NONE);
+        }
+        assert_eq!(current(), outer);
+    }
+
+    #[test]
+    fn out_of_order_drop_is_defensive() {
+        let a = SpanContext {
+            trace_id: next_trace_id(),
+            span_id: next_span_id(),
+        };
+        let b = SpanContext {
+            trace_id: next_trace_id(),
+            span_id: next_span_id(),
+        };
+        let base = current();
+        let ga = attach(a);
+        let gb = attach(b);
+        // Drop `a`'s guard first: current is `b`, not `a`, so nothing
+        // changes; dropping `b`'s guard then restores `a` (its prev).
+        drop(ga);
+        assert_eq!(current(), b);
+        drop(gb);
+        assert_eq!(current(), a);
+        // Clean up the dangling `a` (its guard already ran).
+        set_current(base);
+    }
+
+    #[test]
+    fn context_crosses_threads_by_value() {
+        let ctx = SpanContext {
+            trace_id: next_trace_id(),
+            span_id: next_span_id(),
+        };
+        let seen = std::thread::spawn(move || {
+            assert_eq!(current(), SpanContext::NONE);
+            let _g = attach(ctx);
+            current()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(seen, ctx);
+        assert_eq!(current(), SpanContext::NONE);
+    }
+}

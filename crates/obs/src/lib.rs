@@ -35,9 +35,13 @@
 //! least one sink are installed, so library crates can instrument
 //! unconditionally.
 
+pub mod context;
+pub mod flight;
 pub mod metrics;
+pub mod quantiles;
 mod sink;
 
+pub use context::SpanContext;
 pub use sink::{JsonlSink, MemorySink, StderrSink};
 
 use std::cell::Cell;
@@ -80,7 +84,7 @@ impl Level {
         }
     }
 
-    fn from_u8(v: u8) -> Option<Level> {
+    pub(crate) fn from_u8(v: u8) -> Option<Level> {
         match v {
             1 => Some(Level::Error),
             2 => Some(Level::Warn),
@@ -189,6 +193,15 @@ pub struct Event {
     pub depth: usize,
     /// Monotonic nanoseconds since the first obs call in this process.
     pub ts_ns: u64,
+    /// Trace this record belongs to (0 = none). Span records carry their
+    /// own trace; plain events carry the enclosing span's.
+    pub trace_id: u64,
+    /// For span enter/exit records: the span's own id. For plain events
+    /// and metrics: the enclosing span's id (0 = none).
+    pub span_id: u64,
+    /// For span enter/exit records: the parent span's id (0 = root).
+    /// Always 0 on plain events — they attach via `span_id`.
+    pub parent_span: u64,
 }
 
 impl Event {
@@ -233,30 +246,67 @@ impl Filter {
     }
 
     /// Parse a spec like `"info"`, `"off"`, `"warn,core.ckpt=debug"` or
-    /// `"debug,tensor=trace,eval=info"`. Unknown tokens are ignored so a
-    /// typo degrades to the surrounding spec rather than panicking in
-    /// library context.
-    pub fn parse(spec: &str) -> Filter {
+    /// `"debug,tensor=trace,eval=info"`. Malformed tokens never panic in
+    /// library context — they are dropped — but each one is reported in
+    /// the returned warning list so [`init_from_env`] can surface them
+    /// instead of silently accepting a typo'd spec.
+    ///
+    /// Rejected (with a warning): directives with an empty target
+    /// (`"=debug"`), directives with an unknown level (`"core=loud"`),
+    /// and bare words that are neither a level nor `"off"`.
+    pub fn parse_with_warnings(spec: &str) -> (Filter, Vec<String>) {
         let mut default = 0u8;
         let mut directives: Vec<(String, u8)> = Vec::new();
+        let mut warnings = Vec::new();
         for token in spec.split(',') {
             let token = token.trim();
             if token.is_empty() {
                 continue;
             }
             if let Some((target, level)) = token.split_once('=') {
-                let lv = Level::parse(level).map(|l| l as u8).unwrap_or(0);
-                directives.push((target.trim().to_string(), lv));
+                let target = target.trim();
+                let level = level.trim();
+                if target.is_empty() {
+                    warnings.push(format!("directive {token:?} has an empty target"));
+                    continue;
+                }
+                // `target=off` is a meaningful directive (silence one
+                // subtree); anything else unknown is a typo.
+                let lv = match Level::parse(level) {
+                    Some(l) => l as u8,
+                    None if level.eq_ignore_ascii_case("off") => 0,
+                    None => {
+                        warnings.push(format!(
+                            "directive {token:?} has unknown level {level:?} \
+                             (expected error|warn|info|debug|trace|off)"
+                        ));
+                        continue;
+                    }
+                };
+                directives.push((target.to_string(), lv));
             } else if let Some(lv) = Level::parse(token) {
                 default = lv as u8;
+            } else if token.eq_ignore_ascii_case("off") {
+                default = 0;
+            } else {
+                warnings.push(format!(
+                    "unknown token {token:?} (expected a level or target=level)"
+                ));
             }
-            // Bare "off" (or an unknown word) leaves the default at off.
         }
         directives.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then(a.0.cmp(&b.0)));
-        Filter {
-            default,
-            directives,
-        }
+        (
+            Filter {
+                default,
+                directives,
+            },
+            warnings,
+        )
+    }
+
+    /// [`Filter::parse_with_warnings`] discarding the warning list.
+    pub fn parse(spec: &str) -> Filter {
+        Filter::parse_with_warnings(spec).0
     }
 
     /// The most verbose level this filter can ever pass (as u8, 0 = off).
@@ -274,9 +324,15 @@ impl Filter {
         }
     }
 
+    /// Longest matching directive wins; a directive matches its exact
+    /// target and dot-separated descendants (`core` governs `core` and
+    /// `core.ckpt`, never `corette`).
     fn level_for(&self, target: &str) -> u8 {
         for (prefix, lv) in &self.directives {
-            if target.starts_with(prefix.as_str()) {
+            if target == prefix.as_str()
+                || (target.starts_with(prefix.as_str())
+                    && target.as_bytes().get(prefix.len()) == Some(&b'.'))
+            {
                 return *lv;
             }
         }
@@ -327,12 +383,22 @@ pub fn now_ns() -> u64 {
 }
 
 fn recompute_gate(cfg: &Config) {
-    let gate = if cfg.sinks.is_empty() {
+    // An armed flight recorder counts as a destination: events must keep
+    // flowing into the per-thread rings even when no sink is installed.
+    let gate = if cfg.sinks.is_empty() && !flight::is_armed() {
         0
     } else {
         cfg.filter.max_level()
     };
     MAX_LEVEL.store(gate, Ordering::Release);
+}
+
+/// Re-derive the fast-path gate from the current config (called by
+/// [`flight::arm`]/[`flight::disarm`], which change whether events have
+/// a destination without touching filter or sinks).
+pub(crate) fn refresh_gate() {
+    let cfg = CONFIG.read().unwrap_or_else(|e| e.into_inner());
+    recompute_gate(&cfg);
 }
 
 /// Install the level filter.
@@ -383,9 +449,11 @@ pub fn enabled(target: &str, level: Level) -> bool {
         .enabled(target, level)
 }
 
-/// Deliver a fully-formed event to every sink. Callers normally go
-/// through the macros or [`Span`]; [`metrics::emit`] uses this directly.
+/// Deliver a fully-formed event to every sink (and, when armed, the
+/// flight recorder). Callers normally go through the macros or
+/// [`Span`]; [`metrics::emit`] uses this directly.
 pub fn dispatch(event: Event) {
+    flight::record(&event);
     for sink in CONFIG
         .read()
         .unwrap_or_else(|e| e.into_inner())
@@ -397,13 +465,16 @@ pub fn dispatch(event: Event) {
 }
 
 /// Build and deliver a plain log event (macro support; prefer the
-/// `info!`/`debug!`/… macros which also do the `enabled` check).
+/// `info!`/`debug!`/… macros which also do the `enabled` check). The
+/// event is stamped with the thread's current span context so it
+/// attaches to its enclosing span in a reconstructed trace.
 pub fn dispatch_simple(
     level: Level,
     target: &'static str,
     message: String,
     fields: Vec<(&'static str, FieldValue)>,
 ) {
+    let ctx = context::current();
     dispatch(Event {
         kind: EventKind::Event,
         level,
@@ -413,21 +484,31 @@ pub fn dispatch_simple(
         elapsed_ns: None,
         depth: SPAN_DEPTH.with(|d| d.get()),
         ts_ns: now_ns(),
+        trace_id: ctx.trace_id,
+        span_id: ctx.span_id,
+        parent_span: 0,
     });
 }
 
 /// Configure from the environment:
 ///
 /// * `T2VEC_LOG` — filter spec (falls back to `default_spec` when unset);
-/// * `T2VEC_METRICS_OUT` — path of a JSONL file to stream events to.
+/// * `T2VEC_METRICS_OUT` — path of a JSONL file to stream events to;
+/// * `T2VEC_FLIGHT` — flight-recorder ring capacity per thread
+///   (`"1"`/`"on"` select the default capacity);
+/// * `T2VEC_FLIGHT_DUMP` — crash-file path; arms the recorder and
+///   installs a panic hook that dumps the rings there.
 ///
 /// A stderr pretty-printer is installed whenever the filter passes
 /// anything; it prints at the *requested* verbosity even if the JSONL
-/// sink forces the global filter higher (a metrics file implies at least
-/// `debug` so span/metric records actually reach it).
+/// sink forces the global filter higher (a metrics file or an armed
+/// flight recorder implies at least `debug` so span/metric records
+/// actually reach it). Malformed filter directives are dropped and
+/// reported as `obs.filter` warning events (and on stderr) instead of
+/// being silently accepted.
 pub fn init_from_env(default_spec: &str) {
     let spec = std::env::var("T2VEC_LOG").unwrap_or_else(|_| default_spec.to_string());
-    let mut filter = Filter::parse(&spec);
+    let (mut filter, filter_warnings) = Filter::parse_with_warnings(&spec);
     let stderr_verbosity = Level::from_u8(filter.max_level());
 
     let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
@@ -452,8 +533,33 @@ pub fn init_from_env(default_spec: &str) {
         _ => {}
     }
 
+    let flight_capacity = std::env::var("T2VEC_FLIGHT").ok().and_then(|v| {
+        let v = v.trim().to_ascii_lowercase();
+        match v.as_str() {
+            "" | "0" | "off" | "false" => None,
+            "1" | "on" | "true" => Some(flight::DEFAULT_CAPACITY),
+            _ => v.parse::<usize>().ok().filter(|&n| n > 0),
+        }
+    });
+    let flight_dump = std::env::var("T2VEC_FLIGHT_DUMP")
+        .ok()
+        .filter(|p| !p.is_empty());
+    if flight_capacity.is_some() || flight_dump.is_some() {
+        flight::arm(flight_capacity.unwrap_or(flight::DEFAULT_CAPACITY));
+        filter.raise_to(Level::Debug);
+        if let Some(path) = flight_dump {
+            flight::install_panic_hook(path);
+        }
+    }
+
     set_filter(filter);
     set_sinks(sinks);
+
+    for w in &filter_warnings {
+        use std::io::Write;
+        let _ = writeln!(std::io::stderr(), "t2vec-obs: T2VEC_LOG: {w}");
+        crate::warn!(target: "obs.filter", "bad filter directive: {}", w);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -464,6 +570,16 @@ pub fn init_from_env(default_spec: &str) {
 /// on creation and a [`EventKind::SpanExit`] record with the elapsed
 /// wall-clock nanoseconds on drop. Inert (no clock read, no allocation
 /// beyond the pre-built field vec) when the filter rejects the target.
+///
+/// A live span allocates a [`SpanContext`]: [`Span::enter`] parents
+/// under the thread's current context (inheriting its trace id, or
+/// starting a fresh trace when there is none), [`Span::enter_root`]
+/// always starts a fresh trace. While live, the span's context is the
+/// thread-local current context, so nested spans and plain events
+/// attach under it; drop restores the previous context *defensively*
+/// (only if current still equals this span's context), which makes
+/// out-of-LIFO drops — a batch worker releasing per-request member
+/// spans after the batch ran — safe.
 pub struct Span {
     inner: Option<SpanInner>,
 }
@@ -472,22 +588,84 @@ struct SpanInner {
     target: &'static str,
     name: &'static str,
     start: Instant,
+    ctx: context::SpanContext,
+    parent: context::SpanContext,
+}
+
+enum SpanParent {
+    /// Parent under the thread's current context, become current.
+    Ambient,
+    /// Start a fresh trace, become current.
+    Root,
+    /// Parent under an explicit (usually remote) context; do NOT touch
+    /// the thread-local current context.
+    Explicit(context::SpanContext),
 }
 
 impl Span {
+    /// Open a span parented under the thread's current context.
     pub fn enter(
         target: &'static str,
         name: &'static str,
         fields: Vec<(&'static str, FieldValue)>,
     ) -> Span {
+        Span::enter_inner(target, name, fields, SpanParent::Ambient)
+    }
+
+    /// Open a span that starts a fresh trace regardless of the ambient
+    /// context (request entry points: one service call = one trace).
+    pub fn enter_root(
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> Span {
+        Span::enter_inner(target, name, fields, SpanParent::Root)
+    }
+
+    /// Open a span parented under an explicit context captured on
+    /// another thread, *without* installing it as this thread's current
+    /// context — the shape a batch worker needs when it holds one span
+    /// per batch member concurrently (none of them can own the worker's
+    /// ambient context). A `NONE` parent starts a fresh trace.
+    pub fn enter_detached(
+        parent: context::SpanContext,
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) -> Span {
+        Span::enter_inner(target, name, fields, SpanParent::Explicit(parent))
+    }
+
+    fn enter_inner(
+        target: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+        kind: SpanParent,
+    ) -> Span {
         if !enabled(target, Level::Debug) {
             return Span { inner: None };
         }
+        let parent = match kind {
+            SpanParent::Ambient => context::current(),
+            SpanParent::Root => context::SpanContext::NONE,
+            SpanParent::Explicit(ctx) => ctx,
+        };
+        let ctx = context::SpanContext {
+            trace_id: if parent.is_some() {
+                parent.trace_id
+            } else {
+                context::next_trace_id()
+            },
+            span_id: context::next_span_id(),
+        };
         let depth = SPAN_DEPTH.with(|d| {
             let depth = d.get();
             d.set(depth + 1);
             depth
         });
+        if !matches!(kind, SpanParent::Explicit(_)) {
+            context::set_current(ctx);
+        }
         dispatch(Event {
             kind: EventKind::SpanEnter,
             level: Level::Debug,
@@ -497,12 +675,17 @@ impl Span {
             elapsed_ns: None,
             depth,
             ts_ns: now_ns(),
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span: parent.span_id,
         });
         Span {
             inner: Some(SpanInner {
                 target,
                 name,
                 start: Instant::now(),
+                ctx,
+                parent,
             }),
         }
     }
@@ -510,6 +693,16 @@ impl Span {
     /// Whether this span is live (filter passed at creation).
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// The span's context ([`SpanContext::NONE`] when the filter
+    /// rejected it). Capture this to hand causality across a thread
+    /// hop (see [`context::attach`]).
+    pub fn context(&self) -> context::SpanContext {
+        self.inner
+            .as_ref()
+            .map(|i| i.ctx)
+            .unwrap_or(context::SpanContext::NONE)
     }
 }
 
@@ -522,6 +715,7 @@ impl Drop for Span {
                 d.set(depth);
                 depth
             });
+            context::restore_current(inner.ctx, inner.parent);
             dispatch(Event {
                 kind: EventKind::SpanExit,
                 level: Level::Debug,
@@ -531,6 +725,9 @@ impl Drop for Span {
                 elapsed_ns: Some(elapsed),
                 depth,
                 ts_ns: now_ns(),
+                trace_id: inner.ctx.trace_id,
+                span_id: inner.ctx.span_id,
+                parent_span: inner.parent.span_id,
             });
         }
     }
@@ -604,6 +801,20 @@ macro_rules! span {
     };
 }
 
+/// Like [`span!`] but always starts a fresh trace: use at request entry
+/// points so one service call = one trace id, regardless of what the
+/// calling thread had open.
+#[macro_export]
+macro_rules! span_root {
+    (target: $target:expr, $name:expr $(; $($k:ident = $v:expr),+ $(,)?)?) => {
+        $crate::Span::enter_root(
+            $target,
+            $name,
+            ::std::vec![$($( (stringify!($k), $crate::FieldValue::from($v)) ),+)?],
+        )
+    };
+}
+
 /// Per-call-site cached counter handle: `counter!("tensor.matmul.calls").incr()`.
 #[macro_export]
 macro_rules! counter {
@@ -665,6 +876,56 @@ mod tests {
         let mut raised = Filter::parse("warn");
         raised.raise_to(Level::Debug);
         assert!(raised.enabled("x", Level::Debug));
+    }
+
+    #[test]
+    fn filter_rejects_malformed_directives_with_warnings() {
+        let (f, warns) =
+            Filter::parse_with_warnings("info, =debug ,core=loud,wat,serve=off,nn=TRACE");
+        // The well-formed pieces still apply…
+        assert!(f.enabled("anything", Level::Info));
+        assert!(
+            !f.enabled("serve.store", Level::Error),
+            "serve=off silences"
+        );
+        assert!(
+            f.enabled("nn.train", Level::Trace),
+            "levels are case-insensitive"
+        );
+        // …and every malformed directive produced a warning instead of
+        // being silently dropped.
+        assert_eq!(warns.len(), 3, "{warns:?}");
+        assert!(warns[0].contains("empty target"), "{warns:?}");
+        assert!(warns[1].contains("unknown level \"loud\""), "{warns:?}");
+        assert!(warns[2].contains("unknown token \"wat\""), "{warns:?}");
+        // Well-formed specs warn nothing.
+        assert!(Filter::parse_with_warnings("warn,core.ckpt=trace")
+            .1
+            .is_empty());
+        assert!(Filter::parse_with_warnings("off").1.is_empty());
+        assert!(Filter::parse_with_warnings("").1.is_empty());
+    }
+
+    #[test]
+    fn longest_prefix_matches_on_module_boundaries() {
+        let f = Filter::parse("warn,core=info,core.ckpt=debug,core.ckpt.io=error");
+        // Exact and descendant matches.
+        assert!(f.enabled("core", Level::Info));
+        assert!(!f.enabled("core", Level::Debug));
+        assert!(f.enabled("core.trainer", Level::Info));
+        // Longest prefix wins at every depth.
+        assert!(f.enabled("core.ckpt", Level::Debug));
+        assert!(f.enabled("core.ckpt.store", Level::Debug));
+        assert!(!f.enabled("core.ckpt.io", Level::Warn));
+        assert!(f.enabled("core.ckpt.io", Level::Error));
+        // A directive never matches mid-identifier: `corette` is not
+        // under `core`, so it gets the default.
+        assert!(f.enabled("corette", Level::Warn));
+        assert!(!f.enabled("corette", Level::Info));
+        // Same-length directives are deterministic (sorted by name).
+        let g = Filter::parse("abcd=debug,abce=error");
+        assert!(g.enabled("abcd", Level::Debug));
+        assert!(!g.enabled("abce", Level::Warn));
     }
 
     #[test]

@@ -293,6 +293,10 @@ pub fn emit() {
             elapsed_ns: None,
             depth: 0,
             ts_ns,
+            // Registry snapshots are process-global, not request-scoped.
+            trace_id: 0,
+            span_id: 0,
+            parent_span: 0,
         });
     }
 }

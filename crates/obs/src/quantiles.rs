@@ -1,0 +1,361 @@
+//! Windowed log2-bucket latency quantiles with SLO gauges.
+//!
+//! A [`WindowedQuantiles`] keeps [`SUB_WINDOWS`] sub-windows, each a
+//! log2-bucket histogram (the same bucket layout as
+//! [`crate::metrics::Histogram`]). Time is divided into sub-window
+//! epochs of `window_ns / SUB_WINDOWS`; a record lands in the
+//! sub-window for its epoch, lazily recycling the slot when the epoch
+//! advances (a try-lock guards the reset; racing recorders during the
+//! rotation instant write into the recycled slot, an accepted
+//! approximation for a latency estimator). A quantile read aggregates
+//! every non-expired sub-window, so the estimate covers a sliding
+//! window between `window_ns · (1 - 1/SUB_WINDOWS)` and `window_ns`
+//! wide.
+//!
+//! Quantile estimates are the inclusive **upper bound of the covering
+//! bucket** (`2^i − 1` for bucket `i`, 0 for the zero bucket): the
+//! estimate always lands in the same log2 bucket as the true
+//! percentile, which is the contract loadgen's SLO assertions rely on
+//! (`tests` prove it against exact sorted percentiles).
+//!
+//! Quantile values are derived from wall-clock latencies and exist
+//! only for sinks/gauges — the crate-level determinism invariant
+//! applies: nothing may feed them back into computation.
+
+use crate::metrics::{Gauge, Histogram, HIST_BUCKETS};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Sub-windows per [`WindowedQuantiles`]; reads aggregate all live ones.
+pub const SUB_WINDOWS: usize = 4;
+
+/// Default sliding-window width for registered recorders: 10 seconds.
+pub const DEFAULT_WINDOW_NS: u64 = 10_000_000_000;
+
+/// The quantiles every recorder publishes as gauges.
+pub const PUBLISHED_QUANTILES: [(f64, &str); 4] =
+    [(0.50, "p50"), (0.90, "p90"), (0.99, "p99"), (0.999, "p999")];
+
+/// Gauges are republished after this many records (and on [`publish`]).
+const PUBLISH_EVERY: u64 = 64;
+
+struct SubWindow {
+    /// Epoch this slot currently holds (`u64::MAX` = never used).
+    epoch: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    max: AtomicU64,
+}
+
+impl SubWindow {
+    fn empty() -> SubWindow {
+        SubWindow {
+            epoch: AtomicU64::new(u64::MAX),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn reset(&self, epoch: u64) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}
+
+/// Sliding-window quantile estimator over log2 buckets.
+pub struct WindowedQuantiles {
+    window_ns: u64,
+    sub: [SubWindow; SUB_WINDOWS],
+    rotating: AtomicBool,
+    /// `Some` when registered: `(p50, p90, p99, p999, max)` gauges.
+    gauges: Option<[&'static Gauge; 5]>,
+    since_publish: AtomicU64,
+}
+
+impl WindowedQuantiles {
+    /// Estimator with a sliding window `window_ns` wide.
+    pub fn new(window_ns: u64) -> WindowedQuantiles {
+        WindowedQuantiles {
+            window_ns: window_ns.max(SUB_WINDOWS as u64),
+            sub: std::array::from_fn(|_| SubWindow::empty()),
+            rotating: AtomicBool::new(false),
+            gauges: None,
+            since_publish: AtomicU64::new(0),
+        }
+    }
+
+    /// Estimator that never expires samples (one infinite window) —
+    /// what a bounded run like `loadgen` wants for its final report.
+    pub fn unwindowed() -> WindowedQuantiles {
+        WindowedQuantiles::new(u64::MAX)
+    }
+
+    fn sub_ns(&self) -> u64 {
+        (self.window_ns / SUB_WINDOWS as u64).max(1)
+    }
+
+    fn epoch_now(&self) -> u64 {
+        if self.window_ns == u64::MAX {
+            0
+        } else {
+            crate::now_ns() / self.sub_ns()
+        }
+    }
+
+    /// Record one sample (latencies: nanoseconds).
+    pub fn record(&self, v: u64) {
+        let epoch = self.epoch_now();
+        let slot = &self.sub[(epoch % SUB_WINDOWS as u64) as usize];
+        let held = slot.epoch.load(Ordering::Acquire);
+        if held != epoch
+            && self
+                .rotating
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+        {
+            // Double-check under the lock: a racing recorder may have
+            // rotated this slot while we acquired the flag.
+            if slot.epoch.load(Ordering::Acquire) != epoch {
+                slot.reset(epoch);
+            }
+            self.rotating.store(false, Ordering::Release);
+        }
+        slot.buckets[Histogram::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.max.fetch_max(v, Ordering::Relaxed);
+
+        if let Some(_gauges) = &self.gauges {
+            let n = self.since_publish.fetch_add(1, Ordering::Relaxed) + 1;
+            if n % PUBLISH_EVERY == 0 {
+                self.publish();
+            }
+        }
+    }
+
+    /// Aggregate the live sub-windows: (bucket counts, total, max).
+    fn aggregate(&self) -> ([u64; HIST_BUCKETS], u64, u64) {
+        let now = self.epoch_now();
+        let oldest_live = now.saturating_sub(SUB_WINDOWS as u64 - 1);
+        let mut buckets = [0u64; HIST_BUCKETS];
+        let mut total = 0u64;
+        let mut max = 0u64;
+        for sub in &self.sub {
+            let e = sub.epoch.load(Ordering::Acquire);
+            let live = if self.window_ns == u64::MAX {
+                e != u64::MAX
+            } else {
+                e != u64::MAX && e >= oldest_live && e <= now
+            };
+            if !live {
+                continue;
+            }
+            for (acc, b) in buckets.iter_mut().zip(&sub.buckets) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            total += sub.count.load(Ordering::Relaxed);
+            max = max.max(sub.max.load(Ordering::Relaxed));
+        }
+        (buckets, total, max)
+    }
+
+    /// Samples currently inside the window.
+    pub fn count(&self) -> u64 {
+        self.aggregate().1
+    }
+
+    /// Maximum sample currently inside the window (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.aggregate().2
+    }
+
+    /// Estimate quantile `q` (in `[0, 1]`) over the window: the
+    /// inclusive upper bound of the log2 bucket containing the rank-`q`
+    /// sample. 0 when the window is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let (buckets, total, _) = self.aggregate();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the q-th sample, 1-based, clamped into [1, total]:
+        // the smallest value v such that count(<= v) >= q * total.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, c) in buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HIST_BUCKETS - 1)
+    }
+
+    /// Push the current quantiles into this recorder's SLO gauges (a
+    /// no-op for unregistered estimators).
+    pub fn publish(&self) {
+        if let Some(gauges) = &self.gauges {
+            for ((q, _), g) in PUBLISHED_QUANTILES.iter().zip(gauges.iter()) {
+                g.set(self.quantile(*q) as f64);
+            }
+            gauges[4].set(self.max() as f64);
+        }
+    }
+}
+
+/// Inclusive upper bound of log2 bucket `i`: 0 for the zero bucket,
+/// else `2^i − 1` (the largest value whose `bucket_index` is `i`).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+static RECORDERS: Mutex<Vec<(&'static str, &'static WindowedQuantiles)>> = Mutex::new(Vec::new());
+
+/// Fetch-or-register the SLO recorder named `name` (leaked, like metric
+/// handles). Registered recorders use the default 10 s sliding window
+/// and publish `slo.<name>.p50_ns` … `.p999_ns` and `.max_ns` gauges,
+/// refreshed every few records and on [`publish_all`].
+pub fn recorder(name: &'static str) -> &'static WindowedQuantiles {
+    let mut reg = RECORDERS.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, r)) = reg.iter().find(|(n, _)| *n == name) {
+        return r;
+    }
+    let mut wq = WindowedQuantiles::new(DEFAULT_WINDOW_NS);
+    let mut gauges: Vec<&'static Gauge> = PUBLISHED_QUANTILES
+        .iter()
+        .map(|(_, label)| {
+            crate::metrics::gauge(Box::leak(format!("slo.{name}.{label}_ns").into_boxed_str()))
+        })
+        .collect();
+    gauges.push(crate::metrics::gauge(Box::leak(
+        format!("slo.{name}.max_ns").into_boxed_str(),
+    )));
+    wq.gauges = Some([gauges[0], gauges[1], gauges[2], gauges[3], gauges[4]]);
+    let leaked: &'static WindowedQuantiles = Box::leak(Box::new(wq));
+    reg.push((name, leaked));
+    leaked
+}
+
+/// Refresh every registered recorder's gauges (call before
+/// [`crate::metrics::emit`] so the final snapshot carries up-to-date
+/// SLO values).
+pub fn publish_all() {
+    let reg = RECORDERS.lock().unwrap_or_else(|e| e.into_inner());
+    for (_, r) in reg.iter() {
+        r.publish();
+    }
+}
+
+/// Per-call-site cached SLO-recorder handle, mirroring `counter!`.
+#[macro_export]
+macro_rules! slo_recorder {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::quantiles::WindowedQuantiles> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::quantiles::recorder($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact percentile by the retired sorted-Vec convention: the
+    /// element at 1-based rank `ceil(q * n)`.
+    fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn upper_bounds_round_trip_bucket_index() {
+        for i in 0..HIST_BUCKETS {
+            let ub = bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(ub), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_match_exact_within_one_bucket() {
+        // A skewed latency-like distribution with ties and outliers.
+        let mut samples: Vec<u64> = Vec::new();
+        let mut x = 9_876_543u64;
+        for i in 0..5_000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let base = 1_000 + (x >> 50); // ~1–17k ns
+            let spike = if i % 97 == 0 { 1_000_000 } else { 0 };
+            samples.push(base + spike);
+        }
+        let wq = WindowedQuantiles::unwindowed();
+        for &s in &samples {
+            wq.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for (q, label) in PUBLISHED_QUANTILES {
+            let exact = exact_percentile(&sorted, q);
+            let est = wq.quantile(q);
+            let be = Histogram::bucket_index(exact);
+            let bq = Histogram::bucket_index(est);
+            assert!(
+                be.abs_diff(bq) <= 1,
+                "{label}: exact {exact} (bucket {be}) vs estimate {est} (bucket {bq})"
+            );
+        }
+        assert_eq!(wq.max(), *sorted.last().unwrap());
+        assert_eq!(wq.count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let wq = WindowedQuantiles::unwindowed();
+        assert_eq!(wq.quantile(0.99), 0);
+        wq.record(0);
+        assert_eq!(wq.quantile(0.5), 0);
+        wq.record(u64::MAX);
+        assert_eq!(wq.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn registered_recorder_publishes_gauges() {
+        let r = recorder("test.quantiles.op");
+        for v in 1..=200u64 {
+            r.record(v * 1000);
+        }
+        publish_all();
+        let p50 = crate::metrics::gauge("slo.test.quantiles.op.p50_ns").get();
+        let p999 = crate::metrics::gauge("slo.test.quantiles.op.p999_ns").get();
+        assert!(p50 > 0.0 && p999 >= p50, "p50={p50} p999={p999}");
+        let maxg = crate::metrics::gauge("slo.test.quantiles.op.max_ns").get();
+        assert_eq!(maxg, 200_000.0);
+        // Same name returns the same recorder.
+        assert_eq!(recorder("test.quantiles.op").count(), 200);
+    }
+
+    #[test]
+    fn windowed_rotation_expires_old_samples() {
+        // A tiny window (1 µs sub-epochs) so epochs advance during the
+        // test; record, wait out the window, then confirm expiry.
+        let wq = WindowedQuantiles::new(4_000);
+        wq.record(5_000);
+        assert!(wq.count() >= 1);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(50);
+        while std::time::Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+        // All sub-windows are now stale; nothing should aggregate.
+        assert_eq!(wq.count(), 0);
+        assert_eq!(wq.quantile(0.5), 0);
+    }
+}

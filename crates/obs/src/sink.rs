@@ -78,16 +78,49 @@ fn fmt_duration_ns(ns: u64) -> String {
     }
 }
 
-/// One JSON object per line, written (and flushed) per event so the
-/// stream survives an abrupt process exit. The JSON is hand-rolled
-/// because obs is dependency-free by design; `escape_json` covers the
-/// full control-character range required by RFC 8259.
+/// One JSON object per line. Writes are buffered: the underlying file
+/// is flushed after [`JsonlSink::DEFAULT_FLUSH_EVERY`] buffered
+/// records or when [`JsonlSink::DEFAULT_FLUSH_INTERVAL_NS`] has passed
+/// since the last flush, whichever comes first — high-rate tracing
+/// amortises the syscall, low-rate streams still hit disk promptly.
+/// `obs::flush()` (which `set_sinks` and the CLI exit path call) and
+/// `Drop` force out everything buffered, so no event is lost at an
+/// orderly process exit. The JSON is hand-rolled because obs is
+/// dependency-free by design; `push_escaped` covers the full
+/// control-character range required by RFC 8259.
 pub struct JsonlSink {
-    out: Mutex<BufWriter<File>>,
+    out: Mutex<JsonlInner>,
+    flush_every: usize,
+    flush_interval_ns: u64,
+}
+
+struct JsonlInner {
+    w: BufWriter<File>,
+    pending: usize,
+    last_flush_ns: u64,
 }
 
 impl JsonlSink {
+    /// Buffered records that trigger a flush.
+    pub const DEFAULT_FLUSH_EVERY: usize = 64;
+    /// Nanoseconds since the last flush that trigger one (200 ms).
+    pub const DEFAULT_FLUSH_INTERVAL_NS: u64 = 200_000_000;
+
     pub fn create<P: AsRef<Path>>(path: P) -> io::Result<JsonlSink> {
+        JsonlSink::with_policy(
+            path,
+            Self::DEFAULT_FLUSH_EVERY,
+            Self::DEFAULT_FLUSH_INTERVAL_NS,
+        )
+    }
+
+    /// Create with an explicit flush policy. `flush_every = 1` restores
+    /// the old flush-per-record behaviour.
+    pub fn with_policy<P: AsRef<Path>>(
+        path: P,
+        flush_every: usize,
+        flush_interval_ns: u64,
+    ) -> io::Result<JsonlSink> {
         if let Some(parent) = path.as_ref().parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -95,7 +128,13 @@ impl JsonlSink {
         }
         let file = File::create(path)?;
         Ok(JsonlSink {
-            out: Mutex::new(BufWriter::new(file)),
+            out: Mutex::new(JsonlInner {
+                w: BufWriter::new(file),
+                pending: 0,
+                last_flush_ns: crate::now_ns(),
+            }),
+            flush_every: flush_every.max(1),
+            flush_interval_ns,
         })
     }
 }
@@ -117,6 +156,15 @@ impl Sink for JsonlSink {
         if event.depth > 0 {
             line.push_str(&format!(",\"depth\":{}", event.depth));
         }
+        if event.trace_id != 0 {
+            line.push_str(&format!(",\"trace\":{}", event.trace_id));
+        }
+        if event.span_id != 0 {
+            line.push_str(&format!(",\"span\":{}", event.span_id));
+        }
+        if event.parent_span != 0 {
+            line.push_str(&format!(",\"parent\":{}", event.parent_span));
+        }
         if let Some(ns) = event.elapsed_ns {
             line.push_str(&format!(",\"elapsed_ns\":{ns}"));
         }
@@ -135,12 +183,29 @@ impl Sink for JsonlSink {
         }
         line.push_str("}\n");
         let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.flush();
+        let _ = out.w.write_all(line.as_bytes());
+        out.pending += 1;
+        let now = crate::now_ns();
+        if out.pending >= self.flush_every
+            || now.saturating_sub(out.last_flush_ns) >= self.flush_interval_ns
+        {
+            let _ = out.w.flush();
+            out.pending = 0;
+            out.last_flush_ns = now;
+        }
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = out.w.flush();
+        out.pending = 0;
+        out.last_flush_ns = crate::now_ns();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
     }
 }
 
@@ -168,7 +233,7 @@ fn push_json_value(out: &mut String, v: &FieldValue) {
     }
 }
 
-fn push_escaped(out: &mut String, s: &str) {
+pub(crate) fn push_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),

@@ -93,6 +93,112 @@ fn disabled_means_no_dispatch() {
 }
 
 #[test]
+fn buffered_jsonl_sink_loses_nothing_on_teardown() {
+    let _guard = CONFIG_LOCK.lock().unwrap();
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("obs_buffered.jsonl");
+    // A flush policy that never triggers on its own during this test
+    // (count threshold far above the volume, interval ~forever), so
+    // everything rides on the teardown flush.
+    let sink = JsonlSink::with_policy(&path, 1_000_000, u64::MAX).expect("create sink");
+    obs::set_filter(Filter::parse("trace"));
+    obs::set_sinks(vec![Arc::new(sink)]);
+    const N: usize = 1_000;
+    for i in 0..N {
+        obs::info!(target: "app.buffered", "event {}", i; i = i);
+    }
+    // Swap the sinks out: `set_sinks` flushes the outgoing sink, then
+    // dropping the last Arc flushes again — the same path an orderly
+    // process exit takes through `obs::flush()`.
+    obs::set_sinks(Vec::new());
+    obs::set_filter(Filter::off());
+    let text = std::fs::read_to_string(&path).expect("read jsonl");
+    assert_eq!(text.lines().count(), N, "a buffered event was lost");
+    for line in text.lines() {
+        serde_json::from_str::<serde_json::Value>(line)
+            .unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+    }
+}
+
+#[test]
+fn panic_hook_dumps_flight_rings() {
+    let _guard = CONFIG_LOCK.lock().unwrap();
+    let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("obs_flight_crash.jsonl");
+    let _ = std::fs::remove_file(&path);
+    obs::set_filter(Filter::parse("debug"));
+    obs::flight::arm(32);
+    obs::flight::install_panic_hook(&path);
+    // A worker records a few events, then dies. The hook must write the
+    // crash file even though no sink was ever installed — the flight
+    // recorder is the post-mortem for exactly that situation.
+    let result = std::thread::Builder::new()
+        .name("doomed".into())
+        .spawn(|| {
+            for i in 0..10u64 {
+                obs::debug!(target: "app.flight", "pre-crash {}", i; i = i);
+            }
+            panic!("deliberate crash for the flight recorder");
+        })
+        .unwrap()
+        .join();
+    assert!(result.is_err(), "worker must panic");
+    obs::flight::disarm();
+    obs::set_filter(Filter::off());
+    let text = std::fs::read_to_string(&path).expect("crash dump written");
+    assert!(
+        text.lines().any(|l| l.contains("app.flight")),
+        "dump must contain the doomed thread's events"
+    );
+    for line in text.lines() {
+        serde_json::from_str::<serde_json::Value>(line)
+            .unwrap_or_else(|e| panic!("bad flight line {line:?}: {e}"));
+    }
+}
+
+#[test]
+fn detached_spans_stitch_a_trace_across_threads() {
+    with_memory_sink("debug", |sink| {
+        // Requester thread opens a request root, captures its context
+        // and ships it (by value) to a worker — the admission-batcher
+        // choreography.
+        let root = obs::span_root!(target: "app", "request");
+        let ctx = root.context();
+        let worker_ctx = std::thread::spawn(move || {
+            let span = obs::Span::enter_detached(ctx, "app", "remote_work", Vec::new());
+            // A detached span never claims the worker's ambient
+            // context: events on this thread outside it stay untraced.
+            assert_eq!(obs::context::current(), obs::SpanContext::NONE);
+            span.context()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(
+            worker_ctx.trace_id, ctx.trace_id,
+            "trace must cross the hop"
+        );
+        drop(root);
+
+        let events = sink.events();
+        let enter = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.kind == EventKind::SpanEnter && e.message == name)
+                .unwrap_or_else(|| panic!("no enter record for {name}"))
+        };
+        let req = enter("request");
+        let rem = enter("remote_work");
+        assert_eq!(req.parent_span, 0, "request is a root");
+        assert_eq!(rem.trace_id, req.trace_id);
+        assert_eq!(
+            rem.parent_span, req.span_id,
+            "worker span parents under the request"
+        );
+        assert!(events.iter().any(|e| e.kind == EventKind::SpanExit
+            && e.message == "remote_work"
+            && e.elapsed_ns.is_some()));
+    });
+}
+
+#[test]
 fn jsonl_sink_produces_parseable_lines() {
     let _guard = CONFIG_LOCK.lock().unwrap();
     let path = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("obs_events.jsonl");

@@ -121,6 +121,59 @@ pub struct AnnState {
     pub quantizer: Option<QuantizerState>,
 }
 
+/// Per-query explain record: how the store answered one kNN call.
+///
+/// Produced by [`AnnTier::knn_explained`] /
+/// [`crate::store::EmbeddingStore::knn_ann_explained`] and surfaced by
+/// `SimilarityService::knn_explained`. Every field is derived from
+/// deterministic data (candidate counts, configured budgets), so
+/// explain records are themselves deterministic for fixed store
+/// contents — only their *emission* is gated on observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryExplain {
+    /// Whether an ANN tier served the query (`false` = exact scan).
+    pub ann: bool,
+    /// `true` when the exact brute-force path produced the answer
+    /// (no tier built, or the tier fell back).
+    pub exact_fallback: bool,
+    /// Coarse cells in the tier (0 without a tier).
+    pub nlist: usize,
+    /// Configured probe budget (0 without a tier).
+    pub nprobe: usize,
+    /// Cells actually probed for this query.
+    pub cells_probed: usize,
+    /// Candidates scanned in the first pass (ADC codes or f32 rows for
+    /// the tier; every stored vector for an exact scan).
+    pub candidates: usize,
+    /// Candidates re-scored exactly from store rows (quantized tier
+    /// only; 0 when the first pass was already exact).
+    pub rerank: usize,
+    /// Whether the first pass ran over i8 codes (ADC).
+    pub quantized: bool,
+    /// Neighbours requested.
+    pub k: usize,
+    /// Neighbours returned.
+    pub results: usize,
+}
+
+impl QueryExplain {
+    /// Explain record for a query answered by the exact sharded scan.
+    pub fn exact_scan(candidates: usize, k: usize, results: usize) -> Self {
+        Self {
+            ann: false,
+            exact_fallback: true,
+            nlist: 0,
+            nprobe: 0,
+            cells_probed: 0,
+            candidates,
+            rerank: 0,
+            quantized: false,
+            k,
+            results,
+        }
+    }
+}
+
 /// One IVF cell: ids plus, flat and row-major, either i8 codes
 /// (quantized tier) or f32 rows (exact tier) for cache-friendly scans.
 #[derive(Debug, Default)]
@@ -372,12 +425,42 @@ impl AnnTier {
         query: &[f32],
         k: usize,
     ) -> Vec<(u64, f32)> {
+        self.knn_explained(fetch, query, k).0
+    }
+
+    /// [`AnnTier::knn`] plus the per-query [`QueryExplain`] record
+    /// (cells probed, candidates scanned, re-rank depth). The result
+    /// vector is byte-identical to `knn`'s — `knn` *is* this method
+    /// with the explain dropped.
+    ///
+    /// # Panics
+    /// Panics on a query dimension mismatch.
+    pub fn knn_explained(
+        &self,
+        fetch: impl Fn(u64) -> Option<Vec<f32>>,
+        query: &[f32],
+        k: usize,
+    ) -> (Vec<(u64, f32)>, QueryExplain) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let t0 = std::time::Instant::now();
+        let mut explain = QueryExplain {
+            ann: true,
+            exact_fallback: false,
+            nlist: self.nlist(),
+            nprobe: self.nprobe,
+            cells_probed: 0,
+            candidates: 0,
+            rerank: 0,
+            quantized: self.quantized(),
+            k,
+            results: 0,
+        };
         if k == 0 {
-            return Vec::new();
+            return (Vec::new(), explain);
         }
+        let _span = obs::span!(target: "serve.ann", "ann_knn"; k = k);
         let probed = self.probed_cells(query);
+        explain.cells_probed = probed.len();
         obs::counter!("serve.ann.probes").add(probed.len() as u64);
         simd::record_dispatch();
         let cells = self.read();
@@ -400,6 +483,7 @@ impl AnnTier {
             }
         }
         drop(cells);
+        explain.candidates = scored.len();
         obs::histogram!("serve.ann.candidates").record(scored.len() as u64);
         obs::counter!("index.scan.vectors").add(scored.len() as u64);
         let mut out = match &self.quantizer {
@@ -410,6 +494,7 @@ impl AnnTier {
                 // budgets the bytes match it exactly.
                 let shortlist = self.rerank.max(k).min(scored.len());
                 select_top_k(&mut scored, shortlist);
+                explain.rerank = scored.len();
                 obs::histogram!("serve.ann.rerank_depth").record(scored.len() as u64);
                 let mut exact: Vec<(u64, f32)> = scored
                     .into_iter()
@@ -430,7 +515,8 @@ impl AnnTier {
             .windows(2)
             .all(|w| by_dist_then_id(&w[0], &w[1]).is_le()));
         obs::histogram!("serve.ann.query_ns").record_duration(t0.elapsed());
-        out
+        explain.results = out.len();
+        (out, explain)
     }
 }
 

@@ -52,6 +52,11 @@ impl Default for BatcherConfig {
 struct Pending {
     tokens: Vec<Token>,
     tx: SyncSender<Vec<f32>>,
+    /// Requester's span context, captured at admission so the worker
+    /// can parent a `batch_member` span under the request's trace
+    /// across the thread hop ([`obs::SpanContext::NONE`] when tracing
+    /// is off or the caller had no span open).
+    ctx: obs::SpanContext,
 }
 
 struct State {
@@ -119,13 +124,14 @@ impl AdmissionBatcher {
     /// condition — the worker only exits on shutdown).
     pub fn encode(&self, tokens: Vec<Token>) -> Vec<f32> {
         let (tx, rx) = sync_channel(1);
+        let ctx = obs::context::current();
         {
             let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
             assert!(!st.shutdown, "encode after batcher shutdown");
             if st.pending.is_empty() {
                 st.oldest = Some(Instant::now());
             }
-            st.pending.push(Pending { tokens, tx });
+            st.pending.push(Pending { tokens, tx, ctx });
             self.shared.cv.notify_all();
         }
         rx.recv().expect("batcher worker died")
@@ -191,10 +197,32 @@ fn worker_loop(shared: Arc<Shared>, mut engine: EncodeEngine<'static>, config: B
             obs::counter!("serve.batch.flush_timeout").incr();
         }
         obs::histogram!("serve.batch.rows").record(batch.len() as u64);
+        // One detached span per member, parented under the requester's
+        // captured context: this is the cross-thread stitch that keeps a
+        // request's span tree connected through the batcher hop. The
+        // spans stay open across the engine pass (they time the member's
+        // whole stay in the batch) without claiming this worker thread's
+        // ambient context — see `Span::enter_detached`.
+        let member_spans: Vec<obs::Span> = batch
+            .iter()
+            .map(|p| {
+                obs::Span::enter_detached(
+                    p.ctx,
+                    "serve.batcher",
+                    "batch_member",
+                    vec![
+                        ("rows", obs::FieldValue::from(batch.len())),
+                        ("full", obs::FieldValue::from(full)),
+                    ],
+                )
+            })
+            .collect();
+        let member_traces: Vec<u64> = member_spans.iter().map(|s| s.context().trace_id).collect();
         // Encode outside the lock so admission continues during the
         // engine pass.
         let seqs: Vec<&[Token]> = batch.iter().map(|p| p.tokens.as_slice()).collect();
-        let reprs = engine.encode_batch(&seqs);
+        let reprs = engine.encode_batch_traced(&seqs, &member_traces);
+        drop(member_spans);
         for (p, r) in batch.into_iter().zip(reprs) {
             // A requester that gave up (disconnected) is not an error.
             let _ = p.tx.send(r);

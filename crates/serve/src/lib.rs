@@ -30,7 +30,7 @@ pub mod service;
 pub mod snapshot;
 pub mod store;
 
-pub use ann::{AnnConfig, AnnState, AnnTier};
+pub use ann::{AnnConfig, AnnState, AnnTier, QueryExplain};
 pub use batcher::{AdmissionBatcher, BatcherConfig};
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use service::{recover_entries, ServeConfig, SimilarityService};

@@ -4,8 +4,10 @@
 //! through `ops_per_worker` operations: with probability
 //! `read_fraction` a kNN query (encode + sharded scan), otherwise an
 //! encode-on-ingest insert under a fresh id. Per-operation wall-clock
-//! latencies are collected per worker (no shared state on the hot
-//! path) and merged into p50/p99 summaries afterwards.
+//! latencies feed one unwindowed [`WindowedQuantiles`] estimator per
+//! operation class (lock-free log2 buckets — the same machinery behind
+//! the serving SLO gauges, with expiry disabled so a bounded run keeps
+//! every sample), summarised into p50/p99 afterwards.
 //!
 //! Latency numbers are *measurements* — they vary by host and never
 //! feed back into any result (the obs determinism rule). The *final
@@ -15,6 +17,7 @@
 
 use crate::service::SimilarityService;
 use serde::Serialize;
+use t2vec_obs::quantiles::WindowedQuantiles;
 use t2vec_spatial::point::Point;
 use t2vec_tensor::rng::det_rng;
 
@@ -49,7 +52,9 @@ impl Default for LoadgenConfig {
     }
 }
 
-/// Percentile summary of one operation class.
+/// Percentile summary of one operation class. Quantiles are log2-bucket
+/// estimates (upper bound of the covering bucket — see
+/// [`WindowedQuantiles::quantile`]); `max_us` is exact.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct LatencySummary {
     /// Operations measured.
@@ -63,21 +68,19 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    /// Summarises a set of nanosecond samples (sorted internally).
-    fn from_ns(mut ns: Vec<u64>) -> Self {
-        ns.sort_unstable();
-        let pick = |q: f64| -> f64 {
-            if ns.is_empty() {
-                return 0.0;
-            }
-            let idx = ((ns.len() - 1) as f64 * q).round() as usize;
-            ns[idx] as f64 / 1e3
-        };
+    /// Summarises one operation class from its quantile estimator.
+    /// Estimates are clamped to the exact max (a bucket's upper bound
+    /// can exceed every sample in it, which would read as p50 > max);
+    /// the clamp cannot leave the true percentile's log2 bucket, since
+    /// `percentile ≤ max ≤ upper bound` pins all three to one bucket
+    /// whenever the clamp applies.
+    fn from_quantiles(q: &WindowedQuantiles) -> Self {
+        let max = q.max();
         Self {
-            ops: ns.len(),
-            p50_us: pick(0.50),
-            p99_us: pick(0.99),
-            max_us: ns.last().copied().unwrap_or(0) as f64 / 1e3,
+            ops: q.count() as usize,
+            p50_us: q.quantile(0.50).min(max) as f64 / 1e3,
+            p99_us: q.quantile(0.99).min(max) as f64 / 1e3,
+            max_us: max as f64 / 1e3,
         }
     }
 }
@@ -120,13 +123,17 @@ pub fn run(service: &SimilarityService, pool: &[Vec<Point>], config: &LoadgenCon
     );
     use rand::RngExt;
     let t0 = std::time::Instant::now();
-    let per_worker: Vec<(Vec<u64>, Vec<u64>)> = std::thread::scope(|s| {
+    // One unwindowed estimator per op class, shared by every worker:
+    // recording is lock-free atomic bucket increments, so the hot path
+    // stays contention-light without per-worker sample vectors.
+    let read_q = WindowedQuantiles::unwindowed();
+    let write_q = WindowedQuantiles::unwindowed();
+    std::thread::scope(|s| {
         let handles: Vec<_> = (0..config.workers)
             .map(|w| {
+                let (read_q, write_q) = (&read_q, &write_q);
                 s.spawn(move || {
                     let mut rng = det_rng(config.seed + w as u64);
-                    let mut reads = Vec::new();
-                    let mut writes = Vec::new();
                     for op in 0..config.ops_per_worker {
                         let traj = &pool[rng.random_range(0..pool.len())];
                         let is_read = rng.random_bool(config.read_fraction);
@@ -134,35 +141,30 @@ pub fn run(service: &SimilarityService, pool: &[Vec<Point>], config: &LoadgenCon
                         if is_read {
                             let hits = service.query(traj, config.k);
                             std::hint::black_box(hits);
-                            reads.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                            read_q
+                                .record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
                         } else {
                             let id = config.id_base + (w * config.ops_per_worker + op) as u64;
                             service.insert(id, traj).expect("loadgen insert failed");
-                            writes.push(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                            write_q
+                                .record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
                         }
                     }
-                    (reads, writes)
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen worker panicked"))
-            .collect()
+        for h in handles {
+            h.join().expect("loadgen worker panicked");
+        }
     });
     let elapsed_s = t0.elapsed().as_secs_f64();
-    let mut reads = Vec::new();
-    let mut writes = Vec::new();
-    for (r, w) in per_worker {
-        reads.extend(r);
-        writes.extend(w);
-    }
-    let ops = reads.len() + writes.len();
+    let (reads, writes) = (read_q.count() as usize, write_q.count() as usize);
+    let ops = reads + writes;
     LoadReport {
         workers: config.workers,
         ops,
-        reads: reads.len(),
-        writes: writes.len(),
+        reads,
+        writes,
         read_fraction: config.read_fraction,
         elapsed_s,
         qps: if elapsed_s > 0.0 {
@@ -170,8 +172,8 @@ pub fn run(service: &SimilarityService, pool: &[Vec<Point>], config: &LoadgenCon
         } else {
             0.0
         },
-        read_latency: LatencySummary::from_ns(reads),
-        write_latency: LatencySummary::from_ns(writes),
+        read_latency: LatencySummary::from_quantiles(&read_q),
+        write_latency: LatencySummary::from_quantiles(&write_q),
         store_len_end: service.len(),
     }
 }

@@ -23,7 +23,7 @@
 //! dump — recovery (snapshot + journal replay, upserts idempotent)
 //! never loses an acknowledged insert, at worst it re-applies one.
 
-use crate::ann::AnnConfig;
+use crate::ann::{AnnConfig, QueryExplain};
 use crate::batcher::{AdmissionBatcher, BatcherConfig};
 use crate::snapshot::{Journal, SnapshotStore, StoreSnapshot, JOURNAL_FILE, SNAP_FORMAT_VERSION};
 use crate::store::{EmbeddingStore, Entry};
@@ -206,6 +206,11 @@ impl SimilarityService {
     /// until its batch flushes). Bitwise identical to
     /// [`T2Vec::encode`].
     pub fn encode(&self, points: &[Point]) -> Vec<f32> {
+        // Child of the ambient request span (if any): times the whole
+        // stay in the admission queue + engine pass. The batcher
+        // captures the current context under this span, so the worker's
+        // `batch_member` span parents here.
+        let _span = obs::span!(target: "serve.service", "encode");
         self.batcher.encode(self.model.vocab().tokenize(points))
     }
 
@@ -221,9 +226,13 @@ impl SimilarityService {
     /// successful append/snapshot).
     pub fn insert(&self, id: u64, points: &[Point]) -> Result<bool, T2VecError> {
         let t0 = std::time::Instant::now();
+        let span = obs::span_root!(target: "serve.service", "insert"; id = id);
         let vec = self.encode(points);
         let fresh = self.insert_vec(id, vec)?;
-        obs::histogram!("serve.insert_ns").record_duration(t0.elapsed());
+        drop(span);
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs::histogram!("serve.insert_ns").record(ns);
+        obs::slo_recorder!("serve.insert").record(ns);
         Ok(fresh)
     }
 
@@ -248,21 +257,50 @@ impl SimilarityService {
     /// as `(id, distance)` — encode (batched) then kNN through the ANN
     /// tier when one is active, exact sharded scan otherwise.
     pub fn query(&self, points: &[Point], k: usize) -> Vec<(u64, f32)> {
+        self.knn_explained(points, k).0
+    }
+
+    /// [`SimilarityService::query`] plus the per-query [`QueryExplain`]
+    /// record (ANN cells probed, candidates scanned, re-rank depth,
+    /// exact-fallback flag). `query` *is* this method with the explain
+    /// dropped, so observing a query cannot change its result bytes.
+    ///
+    /// The whole call runs under a fresh request root span; the explain
+    /// is also emitted as a `serve.explain` debug event attached to
+    /// that span, which is how a JSONL trace carries per-query recall
+    /// behaviour.
+    pub fn knn_explained(&self, points: &[Point], k: usize) -> (Vec<(u64, f32)>, QueryExplain) {
         let t0 = std::time::Instant::now();
+        let span = obs::span_root!(target: "serve.service", "query"; k = k);
         let q = self.encode(points);
-        let out = self.store.knn_ann(&q, k);
+        let (out, explain) = self.store.knn_ann_explained(&q, k);
+        emit_explain(&explain);
+        drop(span);
         obs::counter!("serve.queries").incr();
-        obs::histogram!("serve.query_ns").record_duration(t0.elapsed());
-        out
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs::histogram!("serve.query_ns").record(ns);
+        obs::slo_recorder!("serve.query").record(ns);
+        (out, explain)
     }
 
     /// kNN for a pre-encoded query vector (ANN tier when active).
     pub fn query_vec(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        self.knn_vec_explained(query, k).0
+    }
+
+    /// [`SimilarityService::query_vec`] plus the [`QueryExplain`]
+    /// record, under its own request root span.
+    pub fn knn_vec_explained(&self, query: &[f32], k: usize) -> (Vec<(u64, f32)>, QueryExplain) {
         let t0 = std::time::Instant::now();
-        let out = self.store.knn_ann(query, k);
+        let span = obs::span_root!(target: "serve.service", "query_vec"; k = k);
+        let (out, explain) = self.store.knn_ann_explained(query, k);
+        emit_explain(&explain);
+        drop(span);
         obs::counter!("serve.queries").incr();
-        obs::histogram!("serve.query_ns").record_duration(t0.elapsed());
-        out
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        obs::histogram!("serve.query_ns").record(ns);
+        obs::slo_recorder!("serve.query").record(ns);
+        (out, explain)
     }
 
     /// Takes a snapshot (compaction): dumps the store, writes the
@@ -304,6 +342,25 @@ impl SimilarityService {
                 .to_path_buf()
         })
     }
+}
+
+/// Emits a query's [`QueryExplain`] as a `serve.explain` debug event.
+/// Called while the request's root span is still current, so the event
+/// carries that span's trace/span ids — a trace analyzer finds exactly
+/// one explain per sampled query tree.
+fn emit_explain(explain: &QueryExplain) {
+    obs::debug!(target: "serve.explain", "query explain";
+        ann = explain.ann,
+        exact_fallback = explain.exact_fallback,
+        nlist = explain.nlist,
+        nprobe = explain.nprobe,
+        cells_probed = explain.cells_probed,
+        candidates = explain.candidates,
+        rerank = explain.rerank,
+        quantized = explain.quantized,
+        k = explain.k,
+        results = explain.results,
+    );
 }
 
 /// Convenience: recover just the entries under `dir` without standing

@@ -29,7 +29,7 @@
 //! serving store (Similari's sharded `TrackStore` makes the same
 //! trade).
 
-use crate::ann::{AnnConfig, AnnState, AnnTier};
+use crate::ann::{AnnConfig, AnnState, AnnTier, QueryExplain};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{OnceLock, RwLock};
@@ -258,8 +258,23 @@ impl EmbeddingStore {
     /// # Panics
     /// Panics on a dimension mismatch.
     pub fn knn(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        self.knn_explained(query, k).0
+    }
+
+    /// [`EmbeddingStore::knn`] plus the [`QueryExplain`] record for the
+    /// exact scan (every stored vector is a candidate). `knn` *is* this
+    /// method with the explain dropped, so the result bytes cannot
+    /// diverge.
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn knn_explained(&self, query: &[f32], k: usize) -> (Vec<(u64, f32)>, QueryExplain) {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
         let t0 = std::time::Instant::now();
+        let _span = obs::span!(target: "serve.store", "store_knn";
+            k = k,
+            shards = self.shards.len(),
+        );
         simd::record_dispatch();
         let mut merged: Vec<(u64, f32)> = Vec::new();
         let mut scanned = 0u64;
@@ -284,7 +299,8 @@ impl EmbeddingStore {
             e.1 = e.1.sqrt();
         }
         obs::histogram!("serve.store.query_ns").record_duration(t0.elapsed());
-        merged
+        let explain = QueryExplain::exact_scan(scanned as usize, k, merged.len());
+        (merged, explain)
     }
 
     /// Trains and activates the ANN tier from the current contents
@@ -357,9 +373,25 @@ impl EmbeddingStore {
     /// # Panics
     /// Panics on a dimension mismatch.
     pub fn knn_ann(&self, query: &[f32], k: usize) -> Vec<(u64, f32)> {
+        self.knn_ann_explained(query, k).0
+    }
+
+    /// [`EmbeddingStore::knn_ann`] plus the [`QueryExplain`] describing
+    /// which path answered (tier probe stats, or the exact-fallback
+    /// scan when no tier is active).
+    ///
+    /// # Panics
+    /// Panics on a dimension mismatch.
+    pub fn knn_ann_explained(&self, query: &[f32], k: usize) -> (Vec<(u64, f32)>, QueryExplain) {
         match self.ann.get() {
-            Some(tier) => tier.knn(|id| self.get(id), query, k),
-            None => self.knn(query, k),
+            Some(tier) => {
+                let _span = obs::span!(target: "serve.store", "store_knn";
+                    k = k,
+                    ann = true,
+                );
+                tier.knn_explained(|id| self.get(id), query, k)
+            }
+            None => self.knn_explained(query, k),
         }
     }
 

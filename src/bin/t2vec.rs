@@ -8,6 +8,8 @@
 //! t2vec knn      --model model.json --db trips.csv --query trips.csv --k 10 [--lsh]
 //! t2vec loadgen  --model model.json --data trips.csv [--ops N] [--read-frac F]
 //!                [--workers N] [--k N] [--shards N] [--out report.json]
+//!                [--trace-out trace.jsonl]
+//! t2vec obs-dump --trace trace.jsonl [--check]
 //! t2vec stats    --data trips.csv
 //! ```
 //!
@@ -43,7 +45,12 @@ impl Opts {
             let Some(name) = a.strip_prefix("--") else {
                 return Err(format!("unexpected argument '{a}'"));
             };
-            if name == "lsh" || name == "resume" || name == "quiet" || name == "progress" {
+            if name == "lsh"
+                || name == "resume"
+                || name == "quiet"
+                || name == "progress"
+                || name == "check"
+            {
                 flags.insert(name.to_string(), "true".to_string());
                 continue;
             }
@@ -69,17 +76,19 @@ impl Opts {
 }
 
 fn usage() -> &'static str {
-    "usage: t2vec <generate|train|encode|knn|loadgen|stats> [--flags]\n\
+    "usage: t2vec <generate|train|encode|knn|loadgen|obs-dump|stats> [--flags]\n\
      \n  generate --city porto|harbin|tiny --trips N --out FILE [--seed N] [--min-len N]\
      \n  train    --data FILE --out FILE [--preset tiny|small|paper] [--seed N]\
      \n           [--checkpoint-dir DIR [--checkpoint-every N] [--keep K] [--resume]]\
      \n  encode   --model FILE --data FILE --out FILE\
      \n  knn      --model FILE --db FILE --query FILE [--k N] [--lsh]\
      \n  loadgen  --model FILE --data FILE [--ops N] [--read-frac F] [--workers N]\
-     \n           [--k N] [--shards N] [--seed N] [--out FILE]\
+     \n           [--k N] [--shards N] [--seed N] [--out FILE] [--trace-out FILE]\
+     \n  obs-dump --trace FILE [--check]\
      \n  stats    --data FILE\
      \n\
      \n  global:  [--log-level SPEC] [--metrics-out FILE] [--quiet] [--progress]\
+     \n           [--flight N] [--flight-dump FILE]\
      \n           SPEC is like T2VEC_LOG: error|warn|info|debug|trace or\
      \n           target=level directives, e.g. 'info,nn.train=debug'"
 }
@@ -104,6 +113,7 @@ fn main() -> ExitCode {
         "encode" => encode(&opts),
         "knn" => knn(&opts),
         "loadgen" => loadgen(&opts),
+        "obs-dump" => obs_dump(&opts),
         "stats" => stats(&opts),
         other => Err(format!("unknown command '{other}'\n{}", usage())),
     };
@@ -128,6 +138,18 @@ fn init_obs(opts: &Opts) {
     }
     if let Some(path) = opts.flags.get("metrics-out") {
         std::env::set_var("T2VEC_METRICS_OUT", path);
+    }
+    // `--trace-out` is the tracing-flavoured spelling of the same JSONL
+    // sink (the sink receives every record: spans, events, metrics);
+    // installing it raises the filter to debug so span records flow.
+    if let Some(path) = opts.flags.get("trace-out") {
+        std::env::set_var("T2VEC_METRICS_OUT", path);
+    }
+    if let Some(cap) = opts.flags.get("flight") {
+        std::env::set_var("T2VEC_FLIGHT", cap);
+    }
+    if let Some(path) = opts.flags.get("flight-dump") {
+        std::env::set_var("T2VEC_FLIGHT_DUMP", path);
     }
     let quiet = opts.flags.contains_key("quiet");
     let progress = opts.flags.contains_key("progress");
@@ -380,6 +402,204 @@ fn loadgen(opts: &Opts) -> Result<(), String> {
         let file = File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
         serde_json::to_writer(file, &report).map_err(|e| e.to_string())?;
         println!("report -> {out}");
+    }
+    Ok(())
+}
+
+/// Analyzes a JSONL event stream (`--trace-out` / `T2VEC_METRICS_OUT`
+/// traces and flight-recorder dumps share the shape): reconstructs
+/// every span tree, reports per-trace completeness, per-span-name
+/// latency quantiles and ANN explain records. With `--check`, exits
+/// nonzero when any line fails to parse or any trace's tree is
+/// incomplete (a referenced parent never seen, or a span never exited).
+fn obs_dump(opts: &Opts) -> Result<(), String> {
+    use serde_json::Value;
+    use std::collections::BTreeMap;
+    use t2vec::obs::quantiles::WindowedQuantiles;
+
+    struct SpanRec {
+        name: String,
+        target: String,
+        trace: u64,
+        parent: u64,
+        entered: bool,
+        exited: bool,
+        elapsed_ns: Option<u64>,
+        members: Vec<u64>,
+    }
+
+    fn num(v: Option<&Value>) -> u64 {
+        match v {
+            Some(Value::UInt(n)) => *n,
+            _ => 0,
+        }
+    }
+
+    let path = opts.get("trace")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+
+    let mut spans: BTreeMap<u64, SpanRec> = BTreeMap::new();
+    let (mut events, mut metrics, mut bad_lines) = (0usize, 0usize, 0usize);
+    let (mut explains, mut explain_ann, mut explain_fallback) = (0usize, 0usize, 0usize);
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            bad_lines += 1;
+            continue;
+        };
+        let kind = v.get("kind").and_then(Value::as_str).unwrap_or("");
+        let span = num(v.get("span"));
+        match kind {
+            "span_enter" | "span_exit" if span != 0 => {
+                let rec = spans.entry(span).or_insert_with(|| SpanRec {
+                    name: v
+                        .get("msg")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    target: v
+                        .get("target")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string(),
+                    trace: num(v.get("trace")),
+                    parent: num(v.get("parent")),
+                    entered: false,
+                    exited: false,
+                    elapsed_ns: None,
+                    members: Vec::new(),
+                });
+                if kind == "span_enter" {
+                    rec.entered = true;
+                    if let Some(Value::Str(m)) = v.get("fields").and_then(|f| f.get("members")) {
+                        rec.members = m.split(',').filter_map(|t| t.parse().ok()).collect();
+                    }
+                } else {
+                    rec.exited = true;
+                    rec.elapsed_ns = match v.get("elapsed_ns") {
+                        Some(Value::UInt(n)) => Some(*n),
+                        _ => None,
+                    };
+                }
+            }
+            "event" => {
+                events += 1;
+                if v.get("target").and_then(Value::as_str) == Some("serve.explain") {
+                    explains += 1;
+                    let field = |k: &str| v.get("fields").and_then(|f| f.get(k)).cloned();
+                    if field("ann") == Some(Value::Bool(true)) {
+                        explain_ann += 1;
+                    }
+                    if field("exact_fallback") == Some(Value::Bool(true)) {
+                        explain_fallback += 1;
+                    }
+                }
+            }
+            "metric" => metrics += 1,
+            _ => {}
+        }
+    }
+
+    // Group spans by trace and check each tree: every parent resolves,
+    // every entered span exited. Spans recorded by a *flight dump* may
+    // legitimately miss their enter twin (the ring wrapped), so an
+    // exit-only span is fine; a dangling parent or an unexited span is
+    // not.
+    let mut traces: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+    for (&id, rec) in &spans {
+        if rec.trace != 0 {
+            traces.entry(rec.trace).or_default().push(id);
+        }
+    }
+    let mut incomplete: Vec<(u64, String)> = Vec::new();
+    for (&trace, ids) in &traces {
+        let mut reasons = Vec::new();
+        for &id in ids {
+            let rec = &spans[&id];
+            if rec.entered && !rec.exited {
+                reasons.push(format!("span {id} ({}) never exited", rec.name));
+            }
+            if rec.parent != 0 && !spans.contains_key(&rec.parent) {
+                reasons.push(format!(
+                    "span {id} ({}) references unseen parent {}",
+                    rec.name, rec.parent
+                ));
+            }
+        }
+        if !reasons.is_empty() {
+            incomplete.push((trace, reasons.join("; ")));
+        }
+    }
+
+    // Roots by name, engine-batch coverage, per-span-name latency
+    // quantiles (dogfooding the obs estimator, unwindowed).
+    let mut roots: BTreeMap<String, usize> = BTreeMap::new();
+    let mut covered: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut engine_batches = 0usize;
+    let mut lat: BTreeMap<String, WindowedQuantiles> = BTreeMap::new();
+    for rec in spans.values() {
+        if rec.parent == 0 {
+            *roots
+                .entry(format!("{}/{}", rec.target, rec.name))
+                .or_default() += 1;
+        }
+        if !rec.members.is_empty() {
+            engine_batches += 1;
+            covered.extend(&rec.members);
+        }
+        if let Some(ns) = rec.elapsed_ns {
+            lat.entry(format!("{}/{}", rec.target, rec.name))
+                .or_insert_with(WindowedQuantiles::unwindowed)
+                .record(ns);
+        }
+    }
+
+    println!(
+        "{} spans over {} traces; {} events ({} explain), {metrics} metric records",
+        spans.len(),
+        traces.len(),
+        events,
+        explains
+    );
+    if explains > 0 {
+        println!(
+            "explain: {explain_ann} ann / {explain_fallback} exact-fallback / {explains} total"
+        );
+    }
+    for (name, n) in &roots {
+        println!("root {name}: {n}");
+    }
+    if engine_batches > 0 {
+        println!(
+            "engine batches: {engine_batches}, covering {} request traces",
+            covered.len()
+        );
+    }
+    for (name, q) in &lat {
+        println!(
+            "span {name}: n={} p50={}ns p99={}ns max={}ns",
+            q.count(),
+            q.quantile(0.50),
+            q.quantile(0.99),
+            q.max()
+        );
+    }
+    if bad_lines > 0 {
+        println!("unparseable lines: {bad_lines}");
+    }
+    for (trace, why) in incomplete.iter().take(10) {
+        println!("incomplete trace {trace}: {why}");
+    }
+    println!(
+        "complete span trees: {}/{}",
+        traces.len() - incomplete.len(),
+        traces.len()
+    );
+    if opts.flags.contains_key("check") && (!incomplete.is_empty() || bad_lines > 0) {
+        return Err(format!(
+            "trace check failed: {} incomplete trace(s), {} unparseable line(s)",
+            incomplete.len(),
+            bad_lines
+        ));
     }
     Ok(())
 }

@@ -62,7 +62,9 @@ pub mod prelude {
         TrajDistance,
     };
     pub use t2vec_eval::metrics::{mean_rank, precision_at_k};
-    pub use t2vec_serve::{AnnConfig, EmbeddingStore, ServeConfig, SimilarityService};
+    pub use t2vec_serve::{
+        AnnConfig, EmbeddingStore, QueryExplain, ServeConfig, SimilarityService,
+    };
     pub use t2vec_spatial::{
         grid::Grid,
         point::{BBox, Point},
