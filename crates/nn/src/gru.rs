@@ -326,15 +326,19 @@ impl SplitGruStack {
     /// Unfused inference step: updates `states` in place, returns a
     /// reference to the top-layer state.
     ///
+    /// Layer `l > 0` reads layer `l−1`'s freshly written state through a
+    /// `split_at_mut` borrow — no per-layer clone of the input matrix
+    /// (the `step_raw` kernels still allocate their own outputs; only
+    /// the redundant input copies are gone).
+    ///
     /// # Panics
     /// Panics if `states` does not have one entry per layer.
     pub fn step_raw<'s>(&self, x: &Matrix, states: &'s mut [Matrix]) -> &'s Matrix {
         assert_eq!(states.len(), self.layers.len(), "state count mismatch");
-        let mut input = x.clone();
-        for (layer, state) in self.layers.iter().zip(states.iter_mut()) {
-            let new_state = layer.step_raw(&input, state);
-            input = new_state.clone();
-            *state = new_state;
+        for l in 0..self.layers.len() {
+            let (prev, rest) = states.split_at_mut(l);
+            let input = if l == 0 { x } else { &prev[l - 1] };
+            rest[0] = self.layers[l].step_raw(input, &rest[0]);
         }
         states.last().expect("non-empty stack")
     }
@@ -491,17 +495,28 @@ impl GruStack {
     /// Inference step: updates `states` in place, returns a reference to
     /// the top-layer state.
     ///
+    /// Layer `l > 0` reads layer `l−1`'s freshly written state through a
+    /// `split_at_mut` borrow instead of cloning the input matrix every
+    /// layer (the old `input = new_state.clone()` pattern).
+    ///
     /// # Panics
     /// Panics if `states` does not have one entry per layer.
     pub fn step_raw<'s>(&self, x: &Matrix, states: &'s mut [Matrix]) -> &'s Matrix {
         assert_eq!(states.len(), self.layers.len(), "state count mismatch");
-        let mut input = x.clone();
-        for (layer, state) in self.layers.iter().zip(states.iter_mut()) {
-            let new_state = layer.step_raw(&input, state);
-            input = new_state.clone();
-            *state = new_state;
+        for l in 0..self.layers.len() {
+            let (prev, rest) = states.split_at_mut(l);
+            let input = if l == 0 { x } else { &prev[l - 1] };
+            rest[0] = self.layers[l].step_raw(input, &rest[0]);
         }
         states.last().expect("non-empty stack")
+    }
+
+    /// Borrowed per-layer cells, in stacking order — the fused training
+    /// path reads each cell's prepacked `[z|r|n]` weight matrices
+    /// directly (the canonical `Param` storage already uses the fused
+    /// dense layout that [`PackedGruCell::pack`] clones).
+    pub(crate) fn cells(&self) -> &[GruCell] {
+        &self.layers
     }
 }
 

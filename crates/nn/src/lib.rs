@@ -19,6 +19,9 @@
 //!   weights, length-bucketed encoding with active-prefix shrinking,
 //!   and a zero-allocation steady-state step loop;
 //! * [`batch`] — length-bucketed minibatching of training pairs;
+//! * [`fused`] — the tape-free training backward: hand-derived BPTT
+//!   with a zero-allocation workspace arena, bitwise identical to the
+//!   tape path (selected by default; `T2VEC_TRAIN_PATH=tape` reverts);
 //! * [`skipgram`] — Algorithm 1: skip-gram with negative sampling over
 //!   spatially sampled cell contexts, used to pre-train the embedding;
 //! * [`train`] — the data-parallel, checkpoint-friendly epoch driver:
@@ -29,6 +32,7 @@
 
 pub mod batch;
 pub mod embedding;
+pub mod fused;
 pub mod gru;
 pub mod infer;
 pub mod loss;
@@ -37,6 +41,7 @@ pub mod seq2seq;
 pub mod skipgram;
 pub mod train;
 
+pub use fused::TrainArena;
 pub use infer::{EncodeEngine, PackedEncoder};
 pub use loss::LossKind;
 pub use param::{GradSet, Param};

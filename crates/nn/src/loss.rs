@@ -60,22 +60,39 @@ impl LossKind {
 /// mass beyond the K-th neighbour is negligible for the paper's
 /// θ = 100 m).
 pub fn dense_targets(targets: &[Option<Token>], table: Option<&NeighborTable>) -> SoftTargets {
-    targets
-        .iter()
-        .map(|t| match t {
-            None => Vec::new(),
-            Some(tok) if tok.is_special() => vec![(tok.idx(), 1.0)],
+    let mut out = SoftTargets::new();
+    dense_targets_into(targets, table, &mut out);
+    out
+}
+
+/// [`dense_targets`] into caller-owned buffers: reuses the outer vec and
+/// every inner row vec (cleared, capacity kept), so steady-state calls
+/// with recurring shapes allocate nothing. Produces exactly the rows
+/// [`dense_targets`] produces.
+pub fn dense_targets_into(
+    targets: &[Option<Token>],
+    table: Option<&NeighborTable>,
+    out: &mut SoftTargets,
+) {
+    out.resize_with(targets.len().max(out.len()), Vec::new);
+    out.truncate(targets.len());
+    for (t, row) in targets.iter().zip(out.iter_mut()) {
+        row.clear();
+        match t {
+            None => {}
+            Some(tok) if tok.is_special() => row.push((tok.idx(), 1.0)),
             Some(tok) => match table {
-                None => vec![(tok.idx(), 1.0)],
-                Some(table) => table
-                    .neighbors(*tok)
-                    .iter()
-                    .zip(table.weights(*tok).iter())
-                    .map(|(n, &w)| (n.idx(), w))
-                    .collect(),
+                None => row.push((tok.idx(), 1.0)),
+                Some(table) => row.extend(
+                    table
+                        .neighbors(*tok)
+                        .iter()
+                        .zip(table.weights(*tok).iter())
+                        .map(|(n, &w)| (n.idx(), w)),
+                ),
             },
-        })
-        .collect()
+        }
+    }
 }
 
 /// Builds the candidate sets and weights for the sampled loss `L3`
@@ -94,47 +111,78 @@ pub fn sampled_targets(
 ) -> (Vec<Vec<usize>>, SoftTargets) {
     let mut candidates = Vec::with_capacity(targets.len());
     let mut weights: SoftTargets = Vec::with_capacity(targets.len());
-    for t in targets {
-        match t {
-            None => {
-                candidates.push(Vec::new());
-                weights.push(Vec::new());
-            }
-            Some(tok) => {
-                let (mut cand, w): (Vec<usize>, Vec<(usize, f32)>) = if tok.is_special() {
-                    (vec![tok.idx()], vec![(0, 1.0)])
-                } else {
-                    let neigh = table.neighbors(*tok);
-                    let cand: Vec<usize> = neigh.iter().map(Token::idx).collect();
-                    let w = table
-                        .weights(*tok)
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &w)| (i, w))
-                        .collect();
-                    (cand, w)
-                };
-                // O(y_t): uniform noise from V ∖ N_K(y_t) (hot cells only),
-                // without replacement.
-                let mut seen: std::collections::HashSet<usize> = cand.iter().copied().collect();
-                let pool = vocab_size.saturating_sub(Token::NUM_SPECIALS as usize);
-                let want = noise.min(pool.saturating_sub(seen.len()));
-                let mut drawn = 0;
-                let mut guard = 0;
-                while drawn < want && guard < want * 200 + 1000 {
-                    guard += 1;
-                    let idx = rng.random_range(Token::NUM_SPECIALS as usize..vocab_size);
-                    if seen.insert(idx) {
-                        cand.push(idx);
-                        drawn += 1;
-                    }
-                }
-                candidates.push(cand);
-                weights.push(w);
+    candidates.resize_with(targets.len(), Vec::new);
+    weights.resize_with(targets.len(), Vec::new);
+    let mut seen = std::collections::HashSet::new();
+    sampled_targets_into(
+        targets,
+        table,
+        noise,
+        vocab_size,
+        rng,
+        &mut candidates,
+        &mut weights,
+        &mut seen,
+    );
+    (candidates, weights)
+}
+
+/// [`sampled_targets`] into caller-owned buffers. `candidates` and
+/// `weights` must already hold `targets.len()` rows (inner vecs are
+/// cleared and refilled, keeping their capacity); `seen` is dedup
+/// scratch for the noise draw. The RNG is consumed in exactly the same
+/// per-row order as [`sampled_targets`], so for an identical RNG stream
+/// the produced candidate sets are identical — this is the single place
+/// the `O(y_t)` noise sampling of Eq. 7 lives.
+///
+/// # Panics
+/// Panics if the row buffers are shorter than `targets`.
+#[allow(clippy::too_many_arguments)] // internal hot-path variant; the tuple-returning wrapper is the public face
+pub fn sampled_targets_into(
+    targets: &[Option<Token>],
+    table: &NeighborTable,
+    noise: usize,
+    vocab_size: usize,
+    rng: &mut impl Rng,
+    candidates: &mut [Vec<usize>],
+    weights: &mut [Vec<(usize, f32)>],
+    seen: &mut std::collections::HashSet<usize>,
+) {
+    assert!(candidates.len() >= targets.len(), "candidate rows");
+    assert!(weights.len() >= targets.len(), "weight rows");
+    for (t, (cand, w)) in targets
+        .iter()
+        .zip(candidates.iter_mut().zip(weights.iter_mut()))
+    {
+        cand.clear();
+        w.clear();
+        let Some(tok) = t else {
+            continue;
+        };
+        if tok.is_special() {
+            cand.push(tok.idx());
+            w.push((0, 1.0));
+        } else {
+            cand.extend(table.neighbors(*tok).iter().map(Token::idx));
+            w.extend(table.weights(*tok).iter().enumerate().map(|(i, &w)| (i, w)));
+        }
+        // O(y_t): uniform noise from V ∖ N_K(y_t) (hot cells only),
+        // without replacement.
+        seen.clear();
+        seen.extend(cand.iter().copied());
+        let pool = vocab_size.saturating_sub(Token::NUM_SPECIALS as usize);
+        let want = noise.min(pool.saturating_sub(seen.len()));
+        let mut drawn = 0;
+        let mut guard = 0;
+        while drawn < want && guard < want * 200 + 1000 {
+            guard += 1;
+            let idx = rng.random_range(Token::NUM_SPECIALS as usize..vocab_size);
+            if seen.insert(idx) {
+                cand.push(idx);
+                drawn += 1;
             }
         }
     }
-    (candidates, weights)
 }
 
 /// Computes the loss contribution of one decoder step.

@@ -10,6 +10,7 @@
 
 use crate::batch::Batch;
 use crate::embedding::Embedding;
+use crate::fused::TrainArena;
 use crate::gru::{BoundGruStack, GruStack};
 use crate::infer::{EncodeEngine, PackedEncoder, MAX_BUCKET_ROWS};
 use crate::loss::{step_loss, LossKind};
@@ -432,6 +433,56 @@ impl Seq2Seq {
         }
     }
 
+    /// The decoder stack (crate-internal, for the fused backward).
+    pub(crate) fn decoder_stack(&self) -> &GruStack {
+        &self.decoder
+    }
+
+    /// The output-projection weights (crate-internal, for the fused
+    /// backward).
+    pub(crate) fn w_out_value(&self) -> &Matrix {
+        &self.w_out.value
+    }
+
+    /// The fused, tape-free twin of [`Seq2Seq::compute_grads`]:
+    /// hand-derived BPTT with all intermediates staged in `arena`,
+    /// producing a **bitwise identical** [`GradSet`] (loss value and
+    /// every gradient matrix) while consuming the same RNG stream. See
+    /// [`crate::fused`] for the derivation and equality argument.
+    pub fn compute_grads_fused(
+        &self,
+        batch: &Batch,
+        kind: LossKind,
+        table: &NeighborTable,
+        rng: &mut impl Rng,
+        arena: &mut TrainArena,
+    ) -> GradSet {
+        let mut out = GradSet {
+            loss: 0.0,
+            target_tokens: 0,
+            grads: Vec::new(),
+        };
+        self.compute_grads_fused_into(batch, kind, table, rng, arena, &mut out);
+        out
+    }
+
+    /// [`Seq2Seq::compute_grads_fused`] writing into a caller-owned
+    /// [`GradSet`] whose buffers are reused call over call — the
+    /// zero-allocation face of the fused path (after a warmup call at a
+    /// given batch shape, a step performs no heap allocation; see
+    /// `nn/tests/alloc_guard.rs`).
+    pub fn compute_grads_fused_into(
+        &self,
+        batch: &Batch,
+        kind: LossKind,
+        table: &NeighborTable,
+        rng: &mut impl Rng,
+        arena: &mut TrainArena,
+        out: &mut GradSet,
+    ) {
+        crate::fused::run(self, batch, kind, table, rng, arena, out);
+    }
+
     /// Greedy decode: reconstructs the most likely token sequence from a
     /// representation (used to inspect what route the model believes a
     /// sparse trajectory took). Stops at `EOS` or `max_len`.
@@ -692,6 +743,121 @@ mod tests {
                 "detached gradient differs from tape gradient"
             );
         }
+    }
+
+    /// Bit-for-bit `GradSet` equality — stricter than `PartialEq`
+    /// (`-0.0` vs `0.0` and every last mantissa bit must agree).
+    fn assert_grads_bits_eq(tape: &GradSet, fused: &GradSet, ctx: &str) {
+        assert_eq!(tape.loss.to_bits(), fused.loss.to_bits(), "{ctx}: loss");
+        assert_eq!(tape.target_tokens, fused.target_tokens, "{ctx}: tokens");
+        assert_eq!(tape.grads.len(), fused.grads.len(), "{ctx}: slot count");
+        for (i, (ga, gb)) in tape.grads.iter().zip(fused.grads.iter()).enumerate() {
+            match (ga, gb) {
+                (None, None) => {}
+                (Some(ma), Some(mb)) => {
+                    assert_eq!(ma.shape(), mb.shape(), "{ctx}: slot {i} shape");
+                    for (j, (x, y)) in ma.as_slice().iter().zip(mb.as_slice()).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{ctx}: slot {i} elem {j}: tape {x} vs fused {y}"
+                        );
+                    }
+                }
+                _ => panic!("{ctx}: slot {i} presence differs"),
+            }
+        }
+    }
+
+    #[test]
+    fn fused_grads_bitwise_match_tape_all_kinds() {
+        // The fused hand-derived BPTT must reproduce the tape path
+        // bit-for-bit: same loss bits, same gradient bits, same RNG
+        // stream, same None slots. One arena reused across every kind
+        // and batch shape (the zero-alloc reuse must not leak state).
+        let (vocab, table, model) = tiny_setup();
+        let pairs = toy_pairs(&vocab);
+        let batches = make_batches(&pairs, 4, &mut det_rng(6));
+        let mut arena = TrainArena::new();
+        for kind in [
+            LossKind::Nll,
+            LossKind::Spatial,
+            LossKind::SpatialNce { noise: 8 },
+        ] {
+            for (bi, batch) in batches.iter().enumerate() {
+                let tape_set = model.compute_grads(batch, kind, &table, &mut det_rng(77));
+                let fused_set =
+                    model.compute_grads_fused(batch, kind, &table, &mut det_rng(77), &mut arena);
+                assert_grads_bits_eq(&tape_set, &fused_set, &format!("{kind:?} batch {bi}"));
+            }
+        }
+        assert!(arena.high_water_bytes() > 0);
+    }
+
+    #[test]
+    fn fused_grads_bitwise_match_tape_unidirectional() {
+        // Unidirectional single-layer model, including an empty-source
+        // batch (the decoder then starts from zero states and the
+        // encoder parameters must come back `None` on both paths).
+        let (vocab, table, _) = tiny_setup();
+        let config = Seq2SeqConfig {
+            vocab: vocab.size(),
+            embed_dim: 8,
+            hidden: 8,
+            layers: 1,
+            bidirectional: false,
+        };
+        let model = Seq2Seq::new(config, &mut det_rng(3));
+        let toks: Vec<Token> = vocab.hot_tokens().collect();
+        let pairs = vec![
+            (toks[..5].to_vec(), toks[..7].to_vec()),
+            (Vec::new(), toks[3..6].to_vec()),
+            (toks[2..3].to_vec(), toks[2..5].to_vec()),
+        ];
+        let mut arena = TrainArena::new();
+        let mut cases = 0usize;
+        for pair in &pairs {
+            // `make_batches` drops empty-source pairs, so the zero-step
+            // encoder case is built by hand (decoder from zero states).
+            let batch = if pair.0.is_empty() {
+                let steps = pair.1.len() + 1;
+                let dec_inputs: Vec<Vec<Token>> = (0..steps)
+                    .map(|s| vec![if s == 0 { Token::BOS } else { pair.1[s - 1] }])
+                    .collect();
+                let dec_targets: Vec<Vec<Option<Token>>> = (0..steps)
+                    .map(|s| {
+                        vec![Some(if s < pair.1.len() {
+                            pair.1[s]
+                        } else {
+                            Token::EOS
+                        })]
+                    })
+                    .collect();
+                Batch {
+                    src: Vec::new(),
+                    dec_inputs,
+                    dec_targets,
+                    batch_size: 1,
+                    num_target_tokens: steps,
+                }
+            } else {
+                make_batches(std::slice::from_ref(pair), 4, &mut det_rng(9))
+                    .pop()
+                    .expect("one batch")
+            };
+            for kind in [LossKind::Spatial, LossKind::SpatialNce { noise: 4 }] {
+                let tape_set = model.compute_grads(&batch, kind, &table, &mut det_rng(41));
+                let fused_set =
+                    model.compute_grads_fused(&batch, kind, &table, &mut det_rng(41), &mut arena);
+                assert_grads_bits_eq(
+                    &tape_set,
+                    &fused_set,
+                    &format!("{kind:?} src_len {}", pair.0.len()),
+                );
+                cases += 1;
+            }
+        }
+        assert_eq!(cases, 6, "every shape must actually be exercised");
     }
 
     #[test]

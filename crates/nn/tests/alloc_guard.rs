@@ -10,12 +10,17 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
+use t2vec_nn::batch::make_batches;
 use t2vec_nn::embedding::Embedding;
 use t2vec_nn::gru::{GruStack, PackedGruStack};
 use t2vec_nn::infer::PackedEncoder;
-use t2vec_spatial::vocab::Token;
+use t2vec_nn::skipgram::{pretrain_cells, SkipGramConfig};
+use t2vec_nn::{GradSet, LossKind, Seq2Seq, Seq2SeqConfig, TrainArena};
+use t2vec_spatial::grid::Grid;
+use t2vec_spatial::point::{BBox, Point};
+use t2vec_spatial::vocab::{NeighborTable, Token, Vocab};
 use t2vec_tensor::rng::det_rng;
-use t2vec_tensor::{init, Workspace};
+use t2vec_tensor::{init, parallel, Workspace};
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
@@ -96,5 +101,89 @@ fn bucket_encode_allocations_are_length_independent() {
     assert_eq!(
         short, long,
         "allocation count grew with sequence length — a per-step allocation leaked in"
+    );
+}
+
+fn tiny_vocab() -> (Vocab, NeighborTable) {
+    let grid = Grid::new(BBox::new(0.0, 0.0, 500.0, 500.0), 100.0);
+    let pts: Vec<Point> = (0..25).flat_map(|c| vec![grid.centroid(c); 3]).collect();
+    let vocab = Vocab::build(grid, pts.iter(), 2);
+    let table = NeighborTable::build(&vocab, 4, 100.0);
+    (vocab, table)
+}
+
+/// The tentpole claim of the fused training backward: once the arena
+/// and the output `GradSet` are warm for a batch shape, a full training
+/// step — forward stash, NCE loss (with its noise sampling), and the
+/// hand-derived BPTT — touches the heap zero times.
+#[test]
+fn fused_train_step_is_alloc_free_after_warmup() {
+    parallel::set_threads(1); // keep all work (and the counter) on this thread
+    let (vocab, table) = tiny_vocab();
+    let config = Seq2SeqConfig {
+        vocab: vocab.size(),
+        embed_dim: 8,
+        hidden: 8,
+        layers: 2,
+        bidirectional: true,
+    };
+    let model = Seq2Seq::new(config, &mut det_rng(3));
+    let toks: Vec<Token> = vocab.hot_tokens().collect();
+    let pairs: Vec<(Vec<Token>, Vec<Token>)> = vec![(toks[..4].to_vec(), toks[..8].to_vec()); 4];
+    let batches = make_batches(&pairs, 4, &mut det_rng(5));
+    let kind = LossKind::SpatialNce { noise: 8 };
+    let mut arena = TrainArena::new();
+    let mut out = GradSet {
+        loss: 0.0,
+        target_tokens: 0,
+        grads: Vec::new(),
+    };
+    // Warmup: grows the arena, the free-list spine, the output slots
+    // and the obs counter slots for this shape.
+    for _ in 0..3 {
+        let mut rng = det_rng(11);
+        model.compute_grads_fused_into(&batches[0], kind, &table, &mut rng, &mut arena, &mut out);
+    }
+    let before = allocations();
+    for _ in 0..20 {
+        let mut rng = det_rng(11);
+        model.compute_grads_fused_into(&batches[0], kind, &table, &mut rng, &mut arena, &mut out);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "steady-state fused training steps must not touch the heap"
+    );
+    assert!(out.loss.is_finite() && out.loss > 0.0);
+    assert!(arena.high_water_bytes() > 0);
+}
+
+/// Skip-gram pretraining reuses its neighbourhoods and per-epoch
+/// buffers: running more epochs performs exactly the same number of
+/// allocations as running few.
+#[test]
+fn skipgram_pretrain_allocations_are_epoch_independent() {
+    parallel::set_threads(1);
+    let (vocab, _) = tiny_vocab();
+    let count_for = |epochs: usize| {
+        let config = SkipGramConfig {
+            dim: 8,
+            epochs,
+            k: 4,
+            context_window: 4,
+            negatives: 2,
+            ..Default::default()
+        };
+        let before = allocations();
+        let table = pretrain_cells(&vocab, &config, &mut det_rng(9));
+        assert_eq!(table.rows(), vocab.size());
+        allocations() - before
+    };
+    count_for(1); // absorb one-time process inits (obs slots, lazies)
+    let few = count_for(2);
+    let many = count_for(6);
+    assert_eq!(
+        few, many,
+        "per-epoch allocations leaked into skip-gram pretraining"
     );
 }

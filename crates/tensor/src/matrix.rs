@@ -790,6 +790,125 @@ impl Matrix {
         }
     }
 
+    /// `self (m×k) · otherᵀ (n×k) -> (m×n)` written into `out`, with the
+    /// **same per-element reduction as [`Matrix::matmul_transpose`]**:
+    /// one 32-lane tree [`dot`] per element, `MC`-high row tiles.
+    ///
+    /// This is the backward-pass twin of `matmul_transpose` (the tape's
+    /// `dY·Wᵀ` rule): the allocating kernel's per-element order is
+    /// independent of how rows were partitioned across workers, so this
+    /// serial into-variant is **bitwise identical** to it at any thread
+    /// count — the property the fused tape-free trainer's gradient
+    /// reductions rely on. Not to be confused with
+    /// [`Matrix::matmul_transpose_into`], whose ascending-`k` quad
+    /// reduction instead matches `matmul` against untransposed weights
+    /// (the prepacked inference contract).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or if `out` is not `(m×n)`.
+    pub fn matmul_transpose_tree_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_tree_into shape mismatch: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        assert_eq!(
+            out.shape(),
+            (m, n),
+            "matmul_transpose_tree_into output must be {m}x{n}"
+        );
+        let _obs = MacsTimer::start(m, k, n);
+        matmul_transpose_panel(&self.data, &other.data, k, n, 0..m, &mut out.data);
+    }
+
+    /// `selfᵀ (k×m) · other (k×n) -> (m×n)` written into `out` — the
+    /// zero-allocation twin of [`Matrix::transpose_matmul`] (the tape's
+    /// `Xᵀ·dY` weight-gradient rule).
+    ///
+    /// Runs the **same blocked axpy loop nest** (`NC`-wide column tiles,
+    /// `MC`-high row tiles, ascending-`kk` quads) as the allocating
+    /// kernel; since that nest fixes each element's reduction order
+    /// independently of row partitioning, this serial variant is
+    /// **bitwise identical** to `transpose_matmul` at any worker count.
+    /// Always serial, zero-allocation.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch or if `out` is not `(m×n)`.
+    pub fn transpose_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul_into shape mismatch: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        assert_eq!(
+            out.shape(),
+            (m, n),
+            "transpose_matmul_into output must be {m}x{n}"
+        );
+        let _obs = MacsTimer::start(m, k, n);
+        out.data.fill(0.0);
+        transpose_matmul_panel(&self.data, &other.data, k, m, n, 0..m, &mut out.data);
+    }
+
+    /// [`Matrix::sum_rows`] written into `out` (a `(1, cols)` row
+    /// vector). Same row-then-column accumulation order, so bitwise
+    /// identical to the allocating version.
+    pub fn sum_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (1, self.cols),
+            "sum_rows_into output must be 1x{}",
+            self.cols
+        );
+        out.data.fill(0.0);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+    }
+
+    /// [`Matrix::softmax_rows`] written into `out` (same shape). The
+    /// allocating version clones and mutates in place; this copies into
+    /// `out` and runs the identical per-row passes, so the result is
+    /// bitwise the same.
+    pub fn softmax_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(self.shape(), out.shape(), "softmax_rows_into shape");
+        out.data.copy_from_slice(&self.data);
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// [`Matrix::log_softmax_rows`] written into `out` (same shape);
+    /// bitwise identical to the allocating version for the same reason
+    /// as [`Matrix::softmax_rows_into`].
+    pub fn log_softmax_rows_into(&self, out: &mut Matrix) {
+        assert_eq!(self.shape(), out.shape(), "log_softmax_rows_into shape");
+        out.data.copy_from_slice(&self.data);
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum = row.iter().map(|v| (v - max).exp()).sum::<f32>().ln() + max;
+            for v in row.iter_mut() {
+                *v -= log_sum;
+            }
+        }
+    }
+
     /// `out = self + other` without allocating (shapes must all match).
     pub fn add_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.shape(), other.shape(), "add_into shape mismatch");
@@ -1426,6 +1545,47 @@ mod tests {
             a.matmul_into(&w, &mut out);
             assert_eq!(out.as_slice(), a.matmul(&w).as_slice());
         }
+    }
+
+    /// The fused-trainer backward kernels must be bitwise-equal to the
+    /// allocating tape kernels they replace, across KC/NC/MC block
+    /// boundaries AND across thread counts (the tape kernels may fan
+    /// out above the parallel threshold; the into-variants never do —
+    /// equality at 4 threads is exactly the partition-independence
+    /// claim the fused gradient path rests on).
+    #[test]
+    fn backward_into_kernels_bitwise_match_tape_kernels() {
+        let mut rng = crate::rng::det_rng(17);
+        for (m, k, n) in [(1, 513, 7), (70, 300, 9), (64, 768, 256), (160, 161, 96)] {
+            let g = crate::init::uniform(m, k, 1.0, &mut rng);
+            let w = crate::init::uniform(n, k, 1.0, &mut rng);
+            let x = crate::init::uniform(k, m, 1.0, &mut rng);
+            let y = crate::init::uniform(k, n, 1.0, &mut rng);
+            let mut da = Matrix::full(m, n, f32::NAN); // stale contents must not leak
+            let mut dw = Matrix::full(m, n, f32::NAN);
+            g.matmul_transpose_tree_into(&w, &mut da);
+            x.transpose_matmul_into(&y, &mut dw);
+            for threads in [1, 4] {
+                crate::parallel::set_threads(threads);
+                assert_eq!(da.as_slice(), g.matmul_transpose(&w).as_slice());
+                assert_eq!(dw.as_slice(), x.transpose_matmul(&y).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn rowwise_into_kernels_bitwise_match_allocating_twins() {
+        let mut rng = crate::rng::det_rng(19);
+        let a = crate::init::uniform(9, 13, 3.0, &mut rng);
+        let mut s = Matrix::full(1, 13, f32::NAN);
+        a.sum_rows_into(&mut s);
+        assert_eq!(s.as_slice(), a.sum_rows().as_slice());
+        let mut p = Matrix::full(9, 13, f32::NAN);
+        a.softmax_rows_into(&mut p);
+        assert_eq!(p.as_slice(), a.softmax_rows().as_slice());
+        let mut l = Matrix::full(9, 13, f32::NAN);
+        a.log_softmax_rows_into(&mut l);
+        assert_eq!(l.as_slice(), a.log_softmax_rows().as_slice());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! `T2VEC_LOG` / `T2VEC_METRICS_OUT` environment variables) control the
 //! structured event stream; `--quiet` silences the per-epoch training
 //! heartbeat, `--progress` keeps it even under `--quiet`'s log level.
+//!
+//! Performance knobs: `T2VEC_THREADS` caps the worker-thread count;
+//! `T2VEC_TRAIN_PATH=tape|fused` selects the training gradient
+//! implementation (default `fused`, the tape-free hand-derived BPTT —
+//! both paths produce bitwise-identical models).
 
 // Binaries may print; the workspace-wide clippy.toml ban targets
 // library crates (diagnostics there must go through t2vec-obs).

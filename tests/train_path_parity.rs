@@ -1,0 +1,33 @@
+//! End-to-end training-path parity gate.
+//!
+//! The fused, tape-free backward (`T2VEC_TRAIN_PATH=fused`, the
+//! default) must be indistinguishable from the autograd-tape reference
+//! — not just per-batch (the bitwise `GradSet` tests in `t2vec-nn`) but
+//! across the whole seeded pipeline: pretraining, every epoch, early
+//! stopping, and the EXP1/EXP2/EXP3 reports. This runs the paper
+//! harness once per path and requires byte-identical canonical JSON.
+//! Combined with `tests/paper_experiments.rs` (which gates the default
+//! path against the checked-in `GOLDEN_EXP.json`), both paths are
+//! pinned to the same golden bytes.
+
+use t2vec_eval::harness::{self, HarnessConfig};
+use t2vec_nn::train::{set_train_path, TrainPath};
+use t2vec_tensor::parallel;
+
+#[test]
+fn harness_report_is_byte_identical_under_tape_and_fused_training() {
+    t2vec::obs::init_from_env("off");
+    let cfg = HarnessConfig::tiny();
+    parallel::set_threads(4);
+
+    set_train_path(TrainPath::Tape);
+    let tape_json = harness::run(&cfg).to_canonical_json();
+
+    set_train_path(TrainPath::Fused);
+    let fused_json = harness::run(&cfg).to_canonical_json();
+
+    assert_eq!(
+        tape_json, fused_json,
+        "tape and fused training paths produced different reports"
+    );
+}
